@@ -1,0 +1,358 @@
+// Benchmarks regenerating each of the paper's tables and figures (at
+// reduced trace scale; use cmd/baexp for full-scale runs), plus
+// micro-benchmarks of the substrates: the alignment algorithms, the
+// predictors, the walker and the VM.
+package balign_test
+
+import (
+	"io"
+	"testing"
+
+	"balign"
+	"balign/internal/core"
+	"balign/internal/cost"
+	"balign/internal/experiments"
+	"balign/internal/icache"
+	"balign/internal/ir"
+	"balign/internal/predict"
+	"balign/internal/trace"
+	"balign/internal/workload"
+)
+
+func benchCfg(programs ...string) experiments.Config {
+	return experiments.Config{Scale: 0.1, Window: 10, Programs: programs}
+}
+
+// BenchmarkTable1CostModel prices a procedure layout under every
+// architecture cost model (the Table 1 machinery).
+func BenchmarkTable1CostModel(b *testing.B) {
+	w, err := workload.ByName("doduc", workload.Config{Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pf, _, err := w.CollectProfile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := []cost.Model{cost.FallthroughModel{}, cost.BTFNTModel{},
+		cost.LikelyModel{}, cost.PHTModel{}, cost.BTBModel{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range models {
+			_ = cost.ProgramCost(w.Prog, pf, m)
+		}
+	}
+}
+
+// BenchmarkTable2Attributes measures one program's Table 2 attributes.
+func BenchmarkTable2Attributes(b *testing.B) {
+	cfg := benchCfg("ora")
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Static runs the static-architecture evaluation matrix.
+func BenchmarkTable3Static(b *testing.B) {
+	cfg := benchCfg("ora", "compress")
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Dynamic runs the dynamic-architecture evaluation matrix.
+func BenchmarkTable4Dynamic(b *testing.B) {
+	cfg := benchCfg("ora", "compress")
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Espresso reproduces the Figure 1 fragment analysis.
+func BenchmarkFig1Espresso(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Alvinn reproduces the Figure 2 loop trick.
+func BenchmarkFig2Alvinn(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3LoopBreak reproduces the Figure 3 loop-breaking comparison.
+func BenchmarkFig3LoopBreak(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4ExecutionTime runs the pipeline-model timing comparison.
+func BenchmarkFig4ExecutionTime(b *testing.B) {
+	cfg := benchCfg("compress")
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDesignChoices runs the §6.1 design-choice comparisons.
+func BenchmarkAblationDesignChoices(b *testing.B) {
+	cfg := benchCfg("ora")
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func alignBenchFixture(b *testing.B) (*ir.Program, *balign.Profile) {
+	b.Helper()
+	w, err := workload.ByName("gcc", workload.Config{Scale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pf, _, err := w.CollectProfile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w.Prog, pf
+}
+
+// BenchmarkAlignGreedy measures Pettis-Hansen alignment of a gcc-sized
+// program.
+func BenchmarkAlignGreedy(b *testing.B) {
+	prog, pf := alignBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AlignProgram(prog, pf, core.Options{Algorithm: core.AlgoGreedy}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlignCost measures the Cost algorithm.
+func BenchmarkAlignCost(b *testing.B) {
+	prog, pf := alignBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AlignProgram(prog, pf, core.Options{
+			Algorithm: core.AlgoCost, Model: cost.FallthroughModel{},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlignTryN measures the TryN algorithm at the paper's window.
+func BenchmarkAlignTryN(b *testing.B) {
+	prog, pf := alignBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AlignProgram(prog, pf, core.Options{
+			Algorithm: core.AlgoTryN, Model: cost.FallthroughModel{}, Window: 15,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWalker measures synthetic trace generation throughput
+// (instructions walked per op).
+func BenchmarkWalker(b *testing.B) {
+	w, err := workload.ByName("hydro2d", workload.Config{Scale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Run(w.Prog, nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMExecution measures interpreter throughput on a real kernel.
+func BenchmarkVMExecution(b *testing.B) {
+	w, err := workload.ByName("tomcatv", workload.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Run(w.Prog, nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGshare measures correlation-PHT event throughput.
+func BenchmarkGshare(b *testing.B) {
+	sim := predict.NewStaticSim(predict.NewGsharePHT(4096))
+	ev := trace.Event{Kind: ir.CondBr, Taken: true, PC: 0x1040, Target: 0x1000, Fall: 0x1044}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Taken = i&3 != 0
+		sim.Event(ev)
+	}
+}
+
+// BenchmarkBTB measures BTB event throughput.
+func BenchmarkBTB(b *testing.B) {
+	sim := predict.NewBTBSim(256, 4)
+	ev := trace.Event{Kind: ir.CondBr, Taken: true, PC: 0x1040, Target: 0x1000, Fall: 0x1044}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.PC = 0x1000 + uint64(i&1023)*4
+		sim.Event(ev)
+	}
+}
+
+// --- extension benchmarks ---
+
+// BenchmarkExtUnrollStudy measures the loop-unrolling study (paper's ALVINN
+// suggestion).
+func BenchmarkExtUnrollStudy(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.UnrollStudy([]string{"alvinn"}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtPenaltySweep measures the wide-issue penalty sweep.
+func BenchmarkExtPenaltySweep(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PenaltySweep("compress", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtCrossTraining measures the profile cross-training study.
+func BenchmarkExtCrossTraining(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CrossTraining([]string{"compress"}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnrollLoops measures the unrolling transformation itself.
+func BenchmarkUnrollLoops(b *testing.B) {
+	w, err := workload.ByName("alvinn", workload.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pf, _, err := w.CollectProfile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := core.UnrollLoops(w.Prog, pf, core.DefaultUnrollOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReorderProcs measures hottest-first procedure reordering.
+func BenchmarkReorderProcs(b *testing.B) {
+	prog, pf := alignBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ReorderProcs(prog, pf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalPHT measures the PAg extension predictor's throughput.
+func BenchmarkLocalPHT(b *testing.B) {
+	sim := predict.NewStaticSim(predict.NewLocalPHT(1024, 4096))
+	ev := trace.Event{Kind: ir.CondBr, Taken: true, PC: 0x1040, Target: 0x1000, Fall: 0x1044}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Taken = i&3 != 0
+		sim.Event(ev)
+	}
+}
+
+// BenchmarkTraceFileWrite measures event serialization throughput.
+func BenchmarkTraceFileWrite(b *testing.B) {
+	fw := trace.NewFileWriter(io.Discard)
+	ev := trace.Event{Kind: ir.CondBr, Taken: true, PC: 0x1040, Target: 0x1000, Fall: 0x1044}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.PC += 8
+		fw.Event(ev)
+	}
+	if err := fw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkICacheSim measures the I-cache simulator's event throughput.
+func BenchmarkICacheSim(b *testing.B) {
+	sim := icache.New(icache.DefaultConfig())
+	ev := trace.Event{Kind: ir.Br, Taken: true, PC: 0x1000, Target: 0x1200, Fall: 0x1004}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.PC = 0x1000 + uint64(i&255)*4
+		ev.Target = ev.PC ^ 0x700
+		sim.Event(ev)
+	}
+}
+
+// BenchmarkExtICacheStudy measures the I-cache locality study.
+func BenchmarkExtICacheStudy(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ICacheStudy([]string{"espresso"}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtHintStudy measures the LIKELY hint-source comparison.
+func BenchmarkExtHintStudy(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HintStudy([]string{"espresso"}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtSeedSweep measures the seed-robustness sweep.
+func BenchmarkExtSeedSweep(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SeedSweep([]string{"ora"}, 3, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"table1"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Mispredicted") {
+		t.Errorf("table1 output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunSmallExperiments(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{"-scale", "0.02", "-window", "5", "-programs", "ora",
+		"table2", "fig2", "fig3"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 2", "Figure 2", "Figure 3", "ora", "paper: 5 -> 3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf, &buf); err == nil {
+		t.Error("no experiment id should error")
+	}
+	if err := run([]string{"bogus"}, &buf, &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-programs", "nope", "table2"}, &buf, &buf); err == nil {
+		t.Error("unknown program should error")
+	}
+}
+
+func TestRunAllPaperExperimentsWiring(t *testing.T) {
+	// Exercise every experiment id end-to-end at tiny scale to guard the
+	// CLI wiring (formatting, flag plumbing, the "all"/"ext" groups).
+	var out, errBuf bytes.Buffer
+	args := []string{"-scale", "0.02", "-window", "5", "-programs", "ora",
+		"table1", "table3", "table4", "fig1", "fig4", "ablation"}
+	// fig4 needs a C-suite program; ora is filtered out, leaving the rest.
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Table 1", "Table 3", "Table 4", "Figure 1", "Figure 4", "Ablations"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunExtGroupWiring(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{"-scale", "0.02", "-window", "5", "-programs", "compress",
+		"penalty", "crosstrain", "unroll", "hints", "seeds"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"penalty", "cross-training", "unrolling", "hint sources", "seed robustness"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command balign performs profile-guided branch alignment on an assembly
+// program — the paper's OM-style link-time transformation. It reads a
+// program and an edge profile (from batrace), applies the selected
+// algorithm and architecture cost model, and writes the transformed
+// assembly.
+//
+// Usage:
+//
+//	balign -prog file.asm -profile file.prof [-algo tryn] [-arch btfnt]
+//	       [-order hottest|btfnt] [-window 15] [-o out.asm] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"balign/internal/asm"
+	"balign/internal/core"
+	"balign/internal/cost"
+	"balign/internal/predict"
+	"balign/internal/profile"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "balign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("balign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	progFile := fs.String("prog", "", "assembly file to transform (required)")
+	profFile := fs.String("profile", "", "edge profile from batrace (required)")
+	algo := fs.String("algo", "tryn", "alignment algorithm: orig | greedy | cost | tryn")
+	arch := fs.String("arch", "btfnt", "architecture cost model: fallthrough | btfnt | likely | pht-direct | pht-gshare | btb64 | btb256")
+	order := fs.String("order", "hottest", "chain layout order: hottest | btfnt")
+	window := fs.Int("window", core.DefaultWindow, "TryN window size")
+	out := fs.String("o", "", "output assembly file (default: stdout)")
+	verbose := fs.Bool("v", false, "print rewrite statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *progFile == "" || *profFile == "" {
+		return fmt.Errorf("-prog and -profile are required")
+	}
+
+	src, err := os.ReadFile(*progFile)
+	if err != nil {
+		return err
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+
+	pfFile, err := os.Open(*profFile)
+	if err != nil {
+		return err
+	}
+	pf, err := profile.Read(pfFile)
+	pfFile.Close()
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{Window: *window}
+	switch *algo {
+	case "greedy":
+		opts.Algorithm = core.AlgoGreedy
+	case "cost":
+		opts.Algorithm = core.AlgoCost
+	case "tryn":
+		opts.Algorithm = core.AlgoTryN
+	case "orig":
+		opts.Algorithm = core.AlgoOriginal
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if opts.Algorithm == core.AlgoCost || opts.Algorithm == core.AlgoTryN {
+		m, err := cost.ForArch(predict.ArchID(*arch))
+		if err != nil {
+			return err
+		}
+		opts.Model = m
+	}
+	switch *order {
+	case "hottest":
+		opts.Order = core.OrderHottest
+	case "btfnt":
+		opts.Order = core.OrderBTFNT
+	default:
+		return fmt.Errorf("unknown chain order %q", *order)
+	}
+
+	res, err := core.AlignProgram(prog, pf, opts)
+	if err != nil {
+		return err
+	}
+
+	if *verbose {
+		m := opts.Model
+		if m == nil {
+			m = cost.FallthroughModel{}
+		}
+		fmt.Fprintf(stderr, "jumps inserted: %d, removed: %d; branches inverted: %d; dynamic instruction delta: %+d\n",
+			res.Stats.JumpsInserted, res.Stats.JumpsRemoved, res.Stats.BranchesInverted, res.Stats.DynInstrDelta)
+		fmt.Fprintf(stderr, "layout cost under %s model: %.0f -> %.0f cycles\n",
+			m.Name(), cost.ProgramCost(prog, pf, m), cost.ProgramCost(res.Prog, res.Prof, m))
+	}
+
+	text := res.Prog.Format()
+	if *out == "" {
+		fmt.Fprint(stdout, text)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(text), 0o644)
+}

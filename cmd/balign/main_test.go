@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"balign/internal/asm"
+	"balign/internal/profile"
+	"balign/internal/vm"
+)
+
+const testSrc = `
+mem 16
+proc main
+    li r1, 100
+loop:
+    addi r2, r2, 1
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`
+
+// writeFixture assembles, profiles and writes both files to dir.
+func writeFixture(t *testing.T, dir string) (progPath, profPath string) {
+	t.Helper()
+	progPath = filepath.Join(dir, "p.asm")
+	if err := os.WriteFile(progPath, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := profile.NewCollector(prog)
+	if _, err := vm.New(prog).Run(nil, col); err != nil {
+		t.Fatal(err)
+	}
+	profPath = filepath.Join(dir, "p.prof")
+	f, err := os.Create(profPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.Profile().WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return progPath, profPath
+}
+
+func TestRunAlignsAndWritesAssembly(t *testing.T) {
+	dir := t.TempDir()
+	progPath, profPath := writeFixture(t, dir)
+	outPath := filepath.Join(dir, "out.asm")
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-prog", progPath, "-profile", profPath,
+		"-algo", "tryn", "-arch", "fallthrough", "-v", "-o", outPath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "layout cost") {
+		t.Errorf("verbose output missing: %s", stderr.String())
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The transformed output must reassemble and still execute to the same
+	// result.
+	prog2, err := asm.Assemble(string(out))
+	if err != nil {
+		t.Fatalf("output does not reassemble: %v\n%s", err, out)
+	}
+	m := vm.New(prog2)
+	if _, err := m.Run(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(2) != 100 {
+		t.Errorf("aligned program computed r2 = %d, want 100", m.Reg(2))
+	}
+}
+
+func TestRunToStdout(t *testing.T) {
+	dir := t.TempDir()
+	progPath, profPath := writeFixture(t, dir)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-prog", progPath, "-profile", profPath, "-algo", "greedy"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "proc main") {
+		t.Errorf("stdout missing assembly: %s", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	progPath, profPath := writeFixture(t, dir)
+	var out bytes.Buffer
+	cases := [][]string{
+		{},
+		{"-prog", progPath},
+		{"-prog", progPath, "-profile", profPath, "-algo", "bogus"},
+		{"-prog", progPath, "-profile", profPath, "-arch", "bogus"},
+		{"-prog", progPath, "-profile", profPath, "-order", "bogus"},
+		{"-prog", filepath.Join(dir, "missing.asm"), "-profile", profPath},
+		{"-prog", progPath, "-profile", filepath.Join(dir, "missing.prof")},
+	}
+	for _, args := range cases {
+		if err := run(args, &out, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

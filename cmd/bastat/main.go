@@ -1,0 +1,61 @@
+// Command bastat reports Table 2-style attributes for suite benchmarks:
+// instructions traced, break density, branch-site quantiles, taken rate
+// and the break-kind mix.
+//
+// Usage:
+//
+//	bastat -list
+//	bastat -bench gcc [-scale 1.0] [-seed 0]
+//	bastat -all [-scale 1.0] [-seed 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"balign/internal/experiments"
+	"balign/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bastat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bastat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list suite benchmark names")
+	bench := fs.String("bench", "", "single benchmark to measure")
+	all := fs.Bool("all", false, "measure the full suite (paper Table 2)")
+	scale := fs.Float64("scale", 1.0, "trace budget scale")
+	seed := fs.Int64("seed", 0, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Fprintln(stdout, n)
+		}
+		return nil
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	switch {
+	case *bench != "":
+		cfg.Programs = []string{*bench}
+	case *all:
+	default:
+		return fmt.Errorf("one of -list, -bench or -all is required")
+	}
+	rows, err := experiments.Table2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, experiments.FormatTable2(rows))
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Fields(out.String())
+	if len(names) != 24 {
+		t.Errorf("listed %d names, want 24", len(names))
+	}
+}
+
+func TestRunBench(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-bench", "ora", "-scale", "0.02"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ora") || !strings.Contains(out.String(), "%Taken") {
+		t.Errorf("output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunNoModeIsError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf, &buf); err == nil {
+		t.Error("run with no mode should error")
+	}
+	if err := run([]string{"-bench", "nope"}, &buf, &buf); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"balign/internal/ir"
+	"balign/internal/profile"
+	"balign/internal/trace"
+)
+
+func TestRunProgFile(t *testing.T) {
+	dir := t.TempDir()
+	progPath := filepath.Join(dir, "p.asm")
+	src := "mem 8\nproc main\n li r1, 5\nloop:\n addi r1, r1, -1\n bnez r1, loop\n halt\nendproc\n"
+	if err := os.WriteFile(progPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-prog", progPath, "-stats"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pf, err := profile.Read(&stdout)
+	if err != nil {
+		t.Fatalf("output is not a valid profile: %v", err)
+	}
+	if pf.Instrs == 0 || pf.TotalEdgeWeight() == 0 {
+		t.Error("empty profile")
+	}
+	if !strings.Contains(stderr.String(), "taken rate") {
+		t.Errorf("stats missing: %s", stderr.String())
+	}
+}
+
+func TestRunBenchToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "w.prof")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bench", "ora", "-scale", "0.02", "-o", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pf, err := profile.Read(f)
+	if err != nil {
+		t.Fatalf("profile unreadable: %v", err)
+	}
+	if len(pf.Procs) == 0 {
+		t.Error("profile has no procedures")
+	}
+}
+
+func TestRunArgErrors(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"-prog", "a.asm", "-bench", "ora"},
+		{"-bench", "not-a-benchmark"},
+		{"-prog", "does-not-exist.asm"},
+	} {
+		if err := run(args, &buf, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunEventsFile(t *testing.T) {
+	dir := t.TempDir()
+	progPath := filepath.Join(dir, "p.asm")
+	src := "mem 8\nproc main\n li r1, 9\nloop:\n addi r1, r1, -1\n bnez r1, loop\n halt\nendproc\n"
+	if err := os.WriteFile(progPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evPath := filepath.Join(dir, "p.trc")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-prog", progPath, "-events", evPath, "-o", filepath.Join(dir, "p.prof")}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(evPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var taken, fall int
+	if err := trace.ReadFile(f, func(e trace.Event) error {
+		if e.Kind == ir.CondBr {
+			if e.Taken {
+				taken++
+			} else {
+				fall++
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if taken != 8 || fall != 1 {
+		t.Errorf("replayed taken/fall = %d/%d, want 8/1", taken, fall)
+	}
+}

@@ -1,0 +1,80 @@
+package balign_test
+
+import (
+	"fmt"
+
+	"balign"
+)
+
+// The canonical flow: assemble, profile, align, compare.
+func Example() {
+	prog := balign.MustAssemble(`
+mem 16
+proc main
+    li r1, 1000
+loop:
+    addi r2, r2, 1
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`)
+	prof, origInstrs, err := balign.ProfileVM(prog, nil)
+	if err != nil {
+		panic(err)
+	}
+	res, err := balign.Align(prog, prof, balign.Options{
+		Algorithm: balign.AlgoCost,
+		Model:     balign.ModelFallthrough,
+	})
+	if err != nil {
+		panic(err)
+	}
+	before, _, _ := balign.SimulateVM(balign.ArchFallthrough, prog, prof, nil)
+	after, n, _ := balign.SimulateVM(balign.ArchFallthrough, res.Prog, res.Prof, nil)
+	fmt.Printf("CPI %.2f -> %.2f\n",
+		balign.RelativeCPI(origInstrs, origInstrs, balign.BEP(before)),
+		balign.RelativeCPI(origInstrs, n, balign.BEP(after)))
+	// Output: CPI 2.33 -> 1.67
+}
+
+// LayoutCost prices a layout without running a simulation: the paper's
+// Figure 2 arithmetic (5 cycles per iteration before the loop trick, 3
+// after) falls straight out of the cost model.
+func ExampleLayoutCost() {
+	prog := balign.MustAssemble(`
+proc main
+    li r1, 100
+loop:
+    addi r2, r2, 1
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`)
+	prof, _, err := balign.ProfileVM(prog, nil)
+	if err != nil {
+		panic(err)
+	}
+	res, err := balign.Align(prog, prof, balign.Options{
+		Algorithm: balign.AlgoCost, Model: balign.ModelFallthrough,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("branch cycles: %.0f -> %.0f\n",
+		balign.LayoutCost(prog, prof, balign.ModelFallthrough),
+		balign.LayoutCost(res.Prog, res.Prof, balign.ModelFallthrough))
+	// Output: branch cycles: 496 -> 302
+}
+
+// ModelFor maps a simulated architecture to the cost model the alignment
+// algorithms should optimize for.
+func ExampleModelFor() {
+	m, err := balign.ModelFor(balign.ArchBTB256)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Name())
+	// Output: btb
+}

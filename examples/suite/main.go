@@ -1,0 +1,44 @@
+// Suite: a miniature run of the paper's evaluation over a few benchmark
+// programs, printing Table 3-style relative CPI rows and a Figure 4-style
+// execution-time comparison on the dual-issue pipeline model. This example
+// drives the evaluation harness directly (the suite workloads live inside
+// the module); downstream users align their own programs via the balign
+// package as shown in examples/quickstart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"balign/internal/experiments"
+	"balign/internal/predict"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "trace budget scale")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:    *scale,
+		Window:   10,
+		Programs: []string{"compress", "espresso", "ora", "db++"},
+	}
+
+	fmt.Println("Static architectures (relative CPI; lower is better):")
+	results, err := experiments.Table3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatCPITable(results, predict.StaticArchs(), true))
+
+	fmt.Println()
+	fmt.Println("Execution time on the dual-issue Alpha-like pipeline (original = 1.0):")
+	rows, err := experiments.Figure4(experiments.Config{
+		Scale: *scale, Window: 10, Programs: []string{"compress", "espresso"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatFigure4(rows))
+}

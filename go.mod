@@ -1,0 +1,3 @@
+module balign
+
+go 1.22

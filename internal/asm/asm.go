@@ -1,0 +1,423 @@
+// Package asm assembles a textual assembly language into ir.Programs and
+// disassembles them back. The syntax round-trips with ir.Program.Format.
+//
+// A program is a sequence of directives and procedures:
+//
+//	; comment (also # comment)
+//	mem 1024            ; data memory size in 64-bit words
+//	entry main          ; entry procedure (default: first proc)
+//
+//	proc main
+//	    li   r1, 10
+//	loop:
+//	    addi r2, r2, 1
+//	    blt  r2, r1, loop
+//	    call helper
+//	    halt
+//	endproc
+//
+// Labels start new basic blocks; block-ending instructions (branches, ret,
+// halt, ijump) implicitly end the current block. Branch targets name labels
+// inside the same procedure; call targets name procedures; ijump lists its
+// possible targets in brackets: `ijump r2, [a, b, c]`.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"balign/internal/ir"
+)
+
+// Error describes an assembly failure with its source line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// mnemonic table: name -> opcode.
+var mnemonics = func() map[string]ir.Opcode {
+	m := make(map[string]ir.Opcode)
+	for op := ir.OpNop; op <= ir.OpHalt; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+type pendingInstr struct {
+	in   ir.Instr
+	line int
+	// symbolic targets, resolved in a second pass
+	labelTarget string   // CondBr/Br
+	procTarget  string   // Call
+	ijTargets   []string // IJump
+}
+
+type pendingBlock struct {
+	label  string
+	line   int
+	instrs []pendingInstr
+}
+
+type pendingProc struct {
+	name   string
+	line   int
+	blocks []*pendingBlock
+}
+
+// Assemble parses src into a validated ir.Program with addresses assigned
+// from base address 0x1000.
+func Assemble(src string) (*ir.Program, error) {
+	prog := &ir.Program{MemWords: 1024}
+	var procs []*pendingProc
+	var cur *pendingProc
+	var curBlock *pendingBlock
+	entryName := ""
+
+	newBlock := func(label string, line int) {
+		curBlock = &pendingBlock{label: label, line: line}
+		cur.blocks = append(cur.blocks, curBlock)
+	}
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := lineNo + 1
+		text := raw
+		if i := strings.IndexAny(text, ";#"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+
+		fields := splitOperands(text)
+		head := fields[0]
+
+		switch head {
+		case "mem":
+			if len(fields) != 2 {
+				return nil, errf(line, "mem takes one argument")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, errf(line, "bad mem size %q", fields[1])
+			}
+			prog.MemWords = n
+			continue
+		case "entry":
+			if len(fields) != 2 {
+				return nil, errf(line, "entry takes one argument")
+			}
+			entryName = fields[1]
+			continue
+		case "proc":
+			if cur != nil {
+				return nil, errf(line, "nested proc (missing endproc?)")
+			}
+			if len(fields) != 2 {
+				return nil, errf(line, "proc takes one argument")
+			}
+			cur = &pendingProc{name: fields[1], line: line}
+			curBlock = nil
+			continue
+		case "endproc":
+			if cur == nil {
+				return nil, errf(line, "endproc outside proc")
+			}
+			procs = append(procs, cur)
+			cur, curBlock = nil, nil
+			continue
+		}
+
+		if cur == nil {
+			return nil, errf(line, "instruction or label outside proc: %q", text)
+		}
+
+		// Label? A label may share a line with an instruction: "loop: nop".
+		if strings.HasSuffix(head, ":") {
+			name := strings.TrimSuffix(head, ":")
+			if name == "" {
+				return nil, errf(line, "empty label")
+			}
+			newBlock(name, line)
+			if len(fields) == 1 {
+				continue
+			}
+			fields = fields[1:]
+			head = fields[0]
+		}
+
+		op, ok := mnemonics[head]
+		if !ok {
+			return nil, errf(line, "unknown mnemonic %q", head)
+		}
+		pi, err := parseInstr(op, fields[1:], line)
+		if err != nil {
+			return nil, err
+		}
+		if curBlock == nil || blockEnded(curBlock) {
+			newBlock("", line)
+		}
+		curBlock.instrs = append(curBlock.instrs, pi)
+	}
+	if cur != nil {
+		return nil, errf(len(lines), "missing endproc for proc %q", cur.name)
+	}
+	if len(procs) == 0 {
+		return nil, errf(1, "no procedures")
+	}
+
+	// Resolve pass.
+	procIdx := make(map[string]int, len(procs))
+	for i, p := range procs {
+		if _, dup := procIdx[p.name]; dup {
+			return nil, errf(p.line, "duplicate proc %q", p.name)
+		}
+		procIdx[p.name] = i
+	}
+	for _, pp := range procs {
+		labelIdx := make(map[string]ir.BlockID)
+		for bi, b := range pp.blocks {
+			if b.label == "" {
+				continue
+			}
+			if _, dup := labelIdx[b.label]; dup {
+				return nil, errf(b.line, "duplicate label %q in proc %q", b.label, pp.name)
+			}
+			labelIdx[b.label] = ir.BlockID(bi)
+		}
+		p := &ir.Proc{Name: pp.name}
+		for _, b := range pp.blocks {
+			nb := &ir.Block{Label: b.label, Orig: ir.BlockID(len(p.Blocks))}
+			for i := range b.instrs {
+				pi := &b.instrs[i]
+				in := pi.in
+				switch in.Kind() {
+				case ir.CondBr, ir.Br:
+					id, ok := labelIdx[pi.labelTarget]
+					if !ok {
+						return nil, errf(pi.line, "undefined label %q in proc %q", pi.labelTarget, pp.name)
+					}
+					in.TargetBlock = id
+				case ir.Call:
+					idx, ok := procIdx[pi.procTarget]
+					if !ok {
+						return nil, errf(pi.line, "undefined proc %q", pi.procTarget)
+					}
+					in.TargetProc = idx
+				case ir.IJump:
+					for _, lt := range pi.ijTargets {
+						id, ok := labelIdx[lt]
+						if !ok {
+							return nil, errf(pi.line, "undefined label %q in proc %q", lt, pp.name)
+						}
+						in.Targets = append(in.Targets, id)
+					}
+				}
+				nb.Instrs = append(nb.Instrs, in)
+			}
+			p.Blocks = append(p.Blocks, nb)
+		}
+		if len(p.Blocks) == 0 {
+			return nil, errf(pp.line, "proc %q has no instructions", pp.name)
+		}
+		prog.Procs = append(prog.Procs, p)
+	}
+
+	if entryName != "" {
+		idx, ok := procIdx[entryName]
+		if !ok {
+			return nil, errf(1, "entry proc %q not defined", entryName)
+		}
+		prog.EntryProc = idx
+	}
+	prog.AssignAddresses(0x1000)
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble that panics on error; intended for package-level
+// fixture programs whose source is a compile-time constant.
+func MustAssemble(src string) *ir.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func blockEnded(b *pendingBlock) bool {
+	if len(b.instrs) == 0 {
+		return false
+	}
+	return b.instrs[len(b.instrs)-1].in.Kind().EndsBlock()
+}
+
+// splitOperands splits "addi r2, r2, 1" into ["addi", "r2", "r2", "1"],
+// keeping bracketed ijump target lists as single fields stripped later.
+func splitOperands(text string) []string {
+	var out []string
+	cur := strings.Builder{}
+	depth := 0
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case r == '[':
+			depth++
+			cur.WriteRune(r)
+		case r == ']':
+			depth--
+			cur.WriteRune(r)
+		case depth == 0 && (r == ',' || r == ' ' || r == '\t'):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+func parseReg(s string, line int) (uint8, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, errf(line, "expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= ir.NumRegs {
+		return 0, errf(line, "bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string, line int) (int64, error) {
+	n, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, errf(line, "bad immediate %q", s)
+	}
+	return n, nil
+}
+
+// parseMem parses "imm(rN)" into (imm, reg).
+func parseMem(s string, line int) (int64, uint8, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, errf(line, "expected imm(rN), got %q", s)
+	}
+	imm, err := parseImm(s[:open], line)
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err := parseReg(s[open+1:len(s)-1], line)
+	if err != nil {
+		return 0, 0, err
+	}
+	return imm, reg, nil
+}
+
+func parseInstr(op ir.Opcode, args []string, line int) (pendingInstr, error) {
+	pi := pendingInstr{in: ir.Instr{Op: op}, line: line}
+	need := func(n int) error {
+		if len(args) != n {
+			return errf(line, "%v takes %d operand(s), got %d", op, n, len(args))
+		}
+		return nil
+	}
+	var err error
+	switch op {
+	case ir.OpNop, ir.OpRet, ir.OpHalt:
+		err = need(0)
+	case ir.OpLi:
+		if err = need(2); err == nil {
+			if pi.in.Rd, err = parseReg(args[0], line); err == nil {
+				pi.in.Imm, err = parseImm(args[1], line)
+			}
+		}
+	case ir.OpMov:
+		if err = need(2); err == nil {
+			if pi.in.Rd, err = parseReg(args[0], line); err == nil {
+				pi.in.Rs, err = parseReg(args[1], line)
+			}
+		}
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr, ir.OpSlt:
+		if err = need(3); err == nil {
+			if pi.in.Rd, err = parseReg(args[0], line); err == nil {
+				if pi.in.Rs, err = parseReg(args[1], line); err == nil {
+					pi.in.Rt, err = parseReg(args[2], line)
+				}
+			}
+		}
+	case ir.OpAddi, ir.OpMuli, ir.OpAndi, ir.OpSlti:
+		if err = need(3); err == nil {
+			if pi.in.Rd, err = parseReg(args[0], line); err == nil {
+				if pi.in.Rs, err = parseReg(args[1], line); err == nil {
+					pi.in.Imm, err = parseImm(args[2], line)
+				}
+			}
+		}
+	case ir.OpLd, ir.OpSt:
+		if err = need(2); err == nil {
+			if pi.in.Rd, err = parseReg(args[0], line); err == nil {
+				pi.in.Imm, pi.in.Rs, err = parseMem(args[1], line)
+			}
+		}
+	case ir.OpBeq, ir.OpBne, ir.OpBlt, ir.OpBle, ir.OpBgt, ir.OpBge:
+		if err = need(3); err == nil {
+			if pi.in.Rd, err = parseReg(args[0], line); err == nil {
+				if pi.in.Rs, err = parseReg(args[1], line); err == nil {
+					pi.labelTarget = args[2]
+				}
+			}
+		}
+	case ir.OpBeqz, ir.OpBnez, ir.OpBltz, ir.OpBgez:
+		if err = need(2); err == nil {
+			if pi.in.Rd, err = parseReg(args[0], line); err == nil {
+				pi.labelTarget = args[1]
+			}
+		}
+	case ir.OpBr:
+		if err = need(1); err == nil {
+			pi.labelTarget = args[0]
+		}
+	case ir.OpCall:
+		if err = need(1); err == nil {
+			pi.procTarget = args[0]
+		}
+	case ir.OpIJump:
+		if err = need(2); err == nil {
+			if pi.in.Rd, err = parseReg(args[0], line); err == nil {
+				list := args[1]
+				if !strings.HasPrefix(list, "[") || !strings.HasSuffix(list, "]") {
+					return pi, errf(line, "ijump targets must be bracketed, got %q", list)
+				}
+				for _, t := range strings.Split(list[1:len(list)-1], ",") {
+					t = strings.TrimSpace(t)
+					if t != "" {
+						pi.ijTargets = append(pi.ijTargets, t)
+					}
+				}
+				if len(pi.ijTargets) == 0 {
+					return pi, errf(line, "ijump with empty target list")
+				}
+			}
+		}
+	default:
+		err = errf(line, "unhandled opcode %v", op)
+	}
+	return pi, err
+}

@@ -1,0 +1,237 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"balign/internal/ir"
+)
+
+const sample = `
+; countdown loop with a call
+mem 64
+entry main
+
+proc main
+    li   r1, 10
+    li   r2, 0
+loop:
+    addi r2, r2, 1
+    call helper
+    blt  r2, r1, loop
+    halt
+endproc
+
+proc helper
+    addi r3, r3, 1
+    ret
+endproc
+`
+
+func TestAssembleSample(t *testing.T) {
+	prog, err := Assemble(sample)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if prog.MemWords != 64 {
+		t.Errorf("MemWords = %d, want 64", prog.MemWords)
+	}
+	if len(prog.Procs) != 2 {
+		t.Fatalf("len(Procs) = %d, want 2", len(prog.Procs))
+	}
+	main := prog.Procs[0]
+	if main.Name != "main" || len(main.Blocks) != 3 {
+		t.Fatalf("main has %d blocks, want 3 (entry, loop, exit)", len(main.Blocks))
+	}
+	// Block 1 is "loop" and ends with blt whose taken target is itself.
+	loop := main.Blocks[1]
+	if loop.Label != "loop" {
+		t.Errorf("block 1 label = %q, want loop", loop.Label)
+	}
+	term, ok := loop.Terminator()
+	if !ok || term.Op != ir.OpBlt || term.TargetBlock != 1 {
+		t.Errorf("loop terminator = %+v, want blt -> block 1", term)
+	}
+	// The call must be mid-block (calls don't end blocks).
+	foundCall := false
+	for _, in := range loop.Instrs[:len(loop.Instrs)-1] {
+		if in.Op == ir.OpCall {
+			foundCall = true
+			if in.TargetProc != 1 {
+				t.Errorf("call target proc = %d, want 1", in.TargetProc)
+			}
+		}
+	}
+	if !foundCall {
+		t.Error("call not found mid-block in loop")
+	}
+	if err := prog.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if prog.Procs[0].Blocks[0].Addr == 0 {
+		t.Error("addresses not assigned")
+	}
+}
+
+func TestAssembleEntryDirective(t *testing.T) {
+	prog, err := Assemble(`
+proc a
+    ret
+endproc
+proc b
+    halt
+endproc
+entry b
+`)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if prog.EntryProc != 1 {
+		t.Errorf("EntryProc = %d, want 1", prog.EntryProc)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	prog, err := Assemble(sample)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	text := prog.Format()
+	prog2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble formatted output: %v\n%s", err, text)
+	}
+	if prog2.Format() != text {
+		t.Errorf("round-trip not stable:\nfirst:\n%s\nsecond:\n%s", text, prog2.Format())
+	}
+	if prog2.NumInstrs() != prog.NumInstrs() {
+		t.Errorf("instr count changed: %d -> %d", prog.NumInstrs(), prog2.NumInstrs())
+	}
+}
+
+func TestRoundTripIJumpAndAllOps(t *testing.T) {
+	src := `
+proc main
+    nop
+    li r1, 3
+    mov r2, r1
+    add r3, r1, r2
+    sub r3, r3, r1
+    mul r3, r3, r2
+    div r3, r3, r2
+    mod r4, r3, r2
+    and r4, r4, r1
+    or  r4, r4, r1
+    xor r4, r4, r1
+    shl r4, r4, r1
+    shr r4, r4, r1
+    addi r4, r4, 1
+    muli r4, r4, 2
+    andi r4, r4, 7
+    slt r5, r1, r2
+    slti r5, r1, 9
+    ld r6, 0(r1)
+    st r6, 8(r1)
+    li r7, 0
+    ijump r7, [a, b]
+a:
+    beq r1, r2, b
+    bne r1, r2, b
+    blt r1, r2, b
+    ble r1, r2, b
+    bgt r1, r2, b
+    bge r1, r2, b
+    beqz r1, b
+    bnez r1, b
+    bltz r1, b
+    bgez r1, b
+    br b
+b:
+    halt
+endproc
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	text := prog.Format()
+	prog2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	if got, want := prog2.Format(), text; got != want {
+		t.Errorf("round trip changed output:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", "proc p\n frob r1\nendproc", "unknown mnemonic"},
+		{"outside proc", "li r1, 1", "outside proc"},
+		{"nested proc", "proc a\nproc b\nendproc\nendproc", "nested proc"},
+		{"missing endproc", "proc a\n ret\n", "missing endproc"},
+		{"undefined label", "proc a\n br nowhere\nendproc", "undefined label"},
+		{"undefined proc", "proc a\n call nothing\n halt\nendproc", "undefined proc"},
+		{"duplicate label", "proc a\nx:\n nop\n br x\nx:\n ret\nendproc", "duplicate label"},
+		{"duplicate proc", "proc a\n ret\nendproc\nproc a\n ret\nendproc", "duplicate proc"},
+		{"bad register", "proc a\n li r99, 1\n ret\nendproc", "bad register"},
+		{"bad immediate", "proc a\n li r1, xyz\n ret\nendproc", "bad immediate"},
+		{"wrong arity", "proc a\n add r1, r2\n ret\nendproc", "operand"},
+		{"bad mem operand", "proc a\n ld r1, r2\n ret\nendproc", "expected imm(rN)"},
+		{"entry undefined", "proc a\n ret\nendproc\nentry zz", "entry proc"},
+		{"empty ijump", "proc a\n ijump r1, []\n ret\nendproc", "empty target list"},
+		{"falls off end", "proc a\n li r1, 1\nendproc", "falls through"},
+		{"no procs", "; nothing\n", "no procedures"},
+		{"bad mem directive", "mem many\nproc a\n ret\nendproc", "bad mem size"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%s: Assemble succeeded, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %q, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble of bad source did not panic")
+		}
+	}()
+	MustAssemble("garbage")
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	prog, err := Assemble("# hash comment\nproc p ; trailing\n nop ; mid\n halt\nendproc\n")
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if prog.Procs[0].NumInstrs() != 2 {
+		t.Errorf("instr count = %d, want 2", prog.Procs[0].NumInstrs())
+	}
+}
+
+func TestLabelOnlyBlocksMerge(t *testing.T) {
+	// A label immediately following another label creates an empty block
+	// that falls through; ensure structure is still valid.
+	prog, err := Assemble(`
+proc p
+a:
+b:
+    nop
+    br a
+endproc
+`)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}

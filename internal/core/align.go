@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"balign/internal/cost"
+	"balign/internal/ir"
+	"balign/internal/profile"
+)
+
+// Algorithm selects a branch alignment algorithm.
+type Algorithm string
+
+const (
+	// AlgoOriginal performs no reordering (the paper's "Orig" columns).
+	AlgoOriginal Algorithm = "orig"
+	// AlgoGreedy is the Pettis & Hansen bottom-up chaining algorithm: link
+	// the hottest edges first, no architecture cost model.
+	AlgoGreedy Algorithm = "greedy"
+	// AlgoCost is the paper's Cost heuristic: greedy edge processing, but
+	// every link is justified against the architecture cost model, the best
+	// predecessor of each block is preferred, and loops may be restructured
+	// with inserted jumps when that is cheaper.
+	AlgoCost Algorithm = "cost"
+	// AlgoTryN is the paper's Try15 heuristic generalized to a configurable
+	// window: the N hottest undecided edges are taken at a time and all
+	// combinations of their nodes' alignment choices are evaluated under
+	// the cost model.
+	AlgoTryN Algorithm = "tryn"
+)
+
+// DefaultWindow is the paper's Try15 window size.
+const DefaultWindow = 15
+
+// DefaultMaxCombos bounds the exhaustive enumeration of one TryN window;
+// conflict clusters whose combination count would exceed it are split, which
+// trades optimality within the window for bounded time exactly as the
+// paper's Try10 variant does.
+const DefaultMaxCombos = 1 << 18
+
+// DefaultMinWeight is the TryN edge filter: the paper only examines edges
+// executed more than once.
+const DefaultMinWeight = 2
+
+// Options configures alignment.
+type Options struct {
+	// Algorithm is the alignment algorithm (default AlgoGreedy).
+	Algorithm Algorithm
+	// Model is the architecture cost model consulted by AlgoCost and
+	// AlgoTryN and by the rewriter's jump-orientation decisions. Nil is
+	// allowed for AlgoOriginal/AlgoGreedy (which do not use one) and
+	// selects original-orientation jumps.
+	Model cost.Model
+	// Order is the chain layout order (default OrderHottest).
+	Order ChainOrder
+	// Window is the TryN group size (default DefaultWindow).
+	Window int
+	// MaxCombos caps one window's enumeration (default DefaultMaxCombos).
+	MaxCombos int
+	// MinWeight is the TryN minimum edge weight (default DefaultMinWeight).
+	MinWeight uint64
+}
+
+func (o *Options) window() int {
+	if o.Window <= 0 {
+		return DefaultWindow
+	}
+	return o.Window
+}
+
+func (o *Options) maxCombos() int {
+	if o.MaxCombos <= 0 {
+		return DefaultMaxCombos
+	}
+	return o.MaxCombos
+}
+
+func (o *Options) minWeight() uint64 {
+	if o.MinWeight == 0 {
+		return DefaultMinWeight
+	}
+	return o.MinWeight
+}
+
+// Result is the outcome of aligning a program.
+type Result struct {
+	// Prog is the aligned program with addresses assigned.
+	Prog *ir.Program
+	// Prof is the input profile transferred onto the aligned program's
+	// block IDs (same traversal counts, new keys, jump-block detours
+	// included); its Instrs field is adjusted by the expected dynamic
+	// instruction delta from inserted/removed jumps.
+	Prof *profile.Profile
+	// Stats aggregates the rewriter's work across all procedures.
+	Stats RewriteStats
+}
+
+// AlignProgram aligns every procedure of prog using the profile pf and
+// returns the rewritten program, the transferred profile and rewrite
+// statistics. Procedures without profile data keep their original layout.
+// The input program and profile are not modified.
+func AlignProgram(prog *ir.Program, pf *profile.Profile, opts Options) (*Result, error) {
+	out := &ir.Program{
+		Name:      prog.Name,
+		EntryProc: prog.EntryProc,
+		MemWords:  prog.MemWords,
+	}
+	npf := profile.New(pf.Program)
+	res := &Result{Prog: out, Prof: npf}
+
+	for _, p := range prog.Procs {
+		pp, ok := pf.Procs[p.Name]
+		if !ok || opts.Algorithm == AlgoOriginal || opts.Algorithm == "" {
+			out.Procs = append(out.Procs, p.Clone())
+			if ok {
+				npf.Procs[p.Name] = clonePP(pp)
+			}
+			continue
+		}
+		layout, forceJump, err := planLayout(p, pp, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: aligning %q: %w", p.Name, err)
+		}
+		np, npp, stats, err := rewriteProc(p, pp, layout, opts.Model, forceJump)
+		if err != nil {
+			return nil, fmt.Errorf("core: rewriting %q: %w", p.Name, err)
+		}
+		out.Procs = append(out.Procs, np)
+		npf.Procs[p.Name] = npp
+		res.Stats.Add(stats)
+	}
+
+	newInstrs := int64(pf.Instrs) + res.Stats.DynInstrDelta
+	if newInstrs < 0 {
+		newInstrs = 0
+	}
+	npf.Instrs = uint64(newInstrs)
+
+	out.AssignAddresses(0x1000)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: aligned program invalid: %w", err)
+	}
+	return res, nil
+}
+
+// planLayout runs the selected algorithm over one procedure and returns the
+// block layout plus any "align neither edge" decisions.
+func planLayout(p *ir.Proc, pp *profile.ProcProfile, opts Options) ([]ir.BlockID, map[ir.BlockID]bool, error) {
+	switch opts.Algorithm {
+	case AlgoGreedy:
+		return greedyLayout(p, pp, opts), nil, nil
+	case AlgoCost:
+		if opts.Model == nil {
+			return nil, nil, fmt.Errorf("algorithm %q requires a cost model", opts.Algorithm)
+		}
+		layout, force := costLayout(p, pp, opts)
+		return layout, force, nil
+	case AlgoTryN:
+		if opts.Model == nil {
+			return nil, nil, fmt.Errorf("algorithm %q requires a cost model", opts.Algorithm)
+		}
+		layout, force := tryNLayout(p, pp, opts)
+		return layout, force, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown algorithm %q", opts.Algorithm)
+	}
+}
+
+// greedyLayout implements Pettis & Hansen's bottom-up chaining: process
+// edges in descending weight order, linking source to destination whenever
+// the source is a chain tail and the destination a chain head of different
+// chains.
+func greedyLayout(p *ir.Proc, pp *profile.ProcProfile, opts Options) []ir.BlockID {
+	c := newChains(p)
+	edges := alignableEdges(p, pp.Weight, 1)
+	for _, e := range edges {
+		if c.canLink(e.from, e.to) {
+			c.link(e.from, e.to)
+		}
+	}
+	return orderChains(c, pp, opts.Order)
+}
+
+// finishLinks greedily links any remaining feasible edges (used by Cost and
+// TryN after their model-guided passes so cold blocks still form reasonable
+// chains rather than arbitrary singletons). Edges whose source made an
+// explicit "neither" decision are skipped.
+func finishLinks(c *chains, p *ir.Proc, pp *profile.ProcProfile, skip map[ir.BlockID]bool) {
+	edges := alignableEdges(p, pp.Weight, 1)
+	for _, e := range edges {
+		if skip[e.from] {
+			continue
+		}
+		if c.canLink(e.from, e.to) {
+			c.link(e.from, e.to)
+		}
+	}
+}
+
+func clonePP(pp *profile.ProcProfile) *profile.ProcProfile {
+	np := profile.NewProcProfile()
+	for e, w := range pp.Edges {
+		np.Edges[e] = w
+	}
+	for b, cnt := range pp.Branches {
+		np.Branches[b] = cnt
+	}
+	return np
+}

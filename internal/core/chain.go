@@ -1,0 +1,202 @@
+// Package core implements the paper's contribution: branch alignment.
+// Basic blocks of each procedure are threaded into chains — contiguous
+// sequences connected by fall-through edges — using one of three algorithms
+// (Greedy, Cost, TryN), the chains are ordered, and the procedure is
+// rewritten: blocks reordered, branch senses inverted, unconditional jumps
+// inserted or removed, all without changing program semantics.
+package core
+
+import (
+	"sort"
+
+	"balign/internal/ir"
+)
+
+// chains tracks the incremental chain structure over a procedure's blocks:
+// a union-find partition plus explicit next/prev threading. The zero weight
+// entry block is pinned as a chain head so the procedure entry stays first.
+type chains struct {
+	proc   *ir.Proc
+	parent []int32
+	size   []int32
+	next   []ir.BlockID // chain successor, NoBlock at a chain tail
+	prev   []ir.BlockID // chain predecessor, NoBlock at a chain head
+}
+
+func newChains(p *ir.Proc) *chains {
+	n := len(p.Blocks)
+	c := &chains{
+		proc:   p,
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		next:   make([]ir.BlockID, n),
+		prev:   make([]ir.BlockID, n),
+	}
+	for i := 0; i < n; i++ {
+		c.parent[i] = int32(i)
+		c.size[i] = 1
+		c.next[i] = ir.NoBlock
+		c.prev[i] = ir.NoBlock
+	}
+	return c
+}
+
+// find returns the union-find root of b, with path compression.
+func (c *chains) find(b ir.BlockID) int32 {
+	r := int32(b)
+	for c.parent[r] != r {
+		r = c.parent[r]
+	}
+	for int32(b) != r {
+		b, c.parent[b] = ir.BlockID(c.parent[b]), r
+	}
+	return r
+}
+
+// findNoCompress is find without path compression; used during tentative
+// (undoable) evaluation so rollback restores exact state.
+func (c *chains) findNoCompress(b ir.BlockID) int32 {
+	r := int32(b)
+	for c.parent[r] != r {
+		r = c.parent[r]
+	}
+	return r
+}
+
+// canLink reports whether d can become the chain (layout) successor of s:
+// s must be a chain tail, d a chain head other than the procedure entry, and
+// the two must belong to different chains (linking within one chain would
+// close a cycle).
+func (c *chains) canLink(s, d ir.BlockID) bool {
+	if d == c.proc.Entry() {
+		return false
+	}
+	if c.next[s] != ir.NoBlock || c.prev[d] != ir.NoBlock {
+		return false
+	}
+	return c.findNoCompress(s) != c.findNoCompress(d)
+}
+
+// link makes d the chain successor of s. Callers must have checked canLink.
+func (c *chains) link(s, d ir.BlockID) {
+	rs, rd := c.find(s), c.find(d)
+	c.next[s] = d
+	c.prev[d] = s
+	if c.size[rs] >= c.size[rd] {
+		c.parent[rd] = rs
+		c.size[rs] += c.size[rd]
+	} else {
+		c.parent[rs] = rd
+		c.size[rd] += c.size[rs]
+	}
+}
+
+// undoRecord captures one tentative link for rollback.
+type undoRecord struct {
+	s, d         ir.BlockID
+	child, root  int32
+	oldChildSize int32
+}
+
+// tentativeLink performs link without path compression and returns an undo
+// record.
+func (c *chains) tentativeLink(s, d ir.BlockID) undoRecord {
+	rs, rd := c.findNoCompress(s), c.findNoCompress(d)
+	c.next[s] = d
+	c.prev[d] = s
+	var rec undoRecord
+	rec.s, rec.d = s, d
+	if c.size[rs] >= c.size[rd] {
+		rec.child, rec.root = rd, rs
+		rec.oldChildSize = c.size[rd]
+		c.parent[rd] = rs
+		c.size[rs] += c.size[rd]
+	} else {
+		rec.child, rec.root = rs, rd
+		rec.oldChildSize = c.size[rs]
+		c.parent[rs] = rd
+		c.size[rd] += c.size[rs]
+	}
+	return rec
+}
+
+// undo reverses a tentativeLink. Records must be undone in reverse order of
+// application.
+func (c *chains) undo(rec undoRecord) {
+	c.next[rec.s] = ir.NoBlock
+	c.prev[rec.d] = ir.NoBlock
+	c.parent[rec.child] = rec.child
+	c.size[rec.root] -= rec.oldChildSize
+}
+
+// head returns the head block of b's chain by walking prev pointers.
+func (c *chains) head(b ir.BlockID) ir.BlockID {
+	for c.prev[b] != ir.NoBlock {
+		b = c.prev[b]
+	}
+	return b
+}
+
+// chainBlocks returns the blocks of the chain containing b, head to tail.
+func (c *chains) chainBlocks(b ir.BlockID) []ir.BlockID {
+	var out []ir.BlockID
+	for cur := c.head(b); cur != ir.NoBlock; cur = c.next[cur] {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// heads returns all chain heads in ascending block-ID order.
+func (c *chains) heads() []ir.BlockID {
+	var out []ir.BlockID
+	for i := range c.prev {
+		if c.prev[i] == ir.NoBlock {
+			out = append(out, ir.BlockID(i))
+		}
+	}
+	return out
+}
+
+// weightedEdge is a candidate alignment edge: an intraprocedural CFG edge a
+// chain link could realize, annotated with its profile weight.
+type weightedEdge struct {
+	from, to ir.BlockID
+	kind     ir.EdgeKind
+	weight   uint64
+}
+
+// alignableEdges lists the procedure's CFG edges eligible for chaining —
+// fall-through, conditional-taken and unconditional edges, per the paper's
+// restriction to nodes of out-degree one or two (indirect jumps, calls and
+// returns are ignored) — sorted by descending weight with deterministic
+// tie-breaking. Edges into the entry block are excluded (the entry must
+// remain first). minWeight filters cold edges (TryN uses 2: edges executed
+// more than once).
+func alignableEdges(p *ir.Proc, weight func(from, to ir.BlockID) uint64, minWeight uint64) []weightedEdge {
+	var out []weightedEdge
+	var scratch []ir.Edge
+	entry := p.Entry()
+	for id := range p.Blocks {
+		scratch = p.OutEdges(ir.BlockID(id), scratch[:0])
+		for _, e := range scratch {
+			if e.Kind == ir.EdgeIndirect || e.To == entry {
+				continue
+			}
+			w := weight(e.From, e.To)
+			if w < minWeight {
+				continue
+			}
+			out = append(out, weightedEdge{from: e.From, to: e.To, kind: e.Kind, weight: w})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].weight != out[j].weight {
+			return out[i].weight > out[j].weight
+		}
+		if out[i].from != out[j].from {
+			return out[i].from < out[j].from
+		}
+		return out[i].to < out[j].to
+	})
+	return out
+}

@@ -1,0 +1,631 @@
+package core
+
+import (
+	"testing"
+
+	"balign/internal/asm"
+	"balign/internal/cost"
+	"balign/internal/ir"
+	"balign/internal/profile"
+	"balign/internal/vm"
+)
+
+func TestChainsLinkBasics(t *testing.T) {
+	p := &ir.Proc{Name: "p", Blocks: make([]*ir.Block, 5)}
+	for i := range p.Blocks {
+		p.Blocks[i] = &ir.Block{Instrs: []ir.Instr{{Op: ir.OpRet}}}
+	}
+	c := newChains(p)
+
+	if !c.canLink(1, 2) {
+		t.Fatal("fresh blocks should be linkable")
+	}
+	c.link(1, 2)
+	if c.next[1] != 2 || c.prev[2] != 1 {
+		t.Errorf("next/prev = %d/%d, want 2/1", c.next[1], c.prev[2])
+	}
+	if c.canLink(1, 3) {
+		t.Error("1 already has a successor")
+	}
+	if c.canLink(3, 2) {
+		t.Error("2 already has a predecessor")
+	}
+	if c.canLink(2, 1) {
+		t.Error("linking 2->1 would close a cycle")
+	}
+	if c.canLink(3, 0) {
+		t.Error("entry block cannot get a predecessor")
+	}
+	c.link(2, 3)
+	got := c.chainBlocks(2)
+	want := []ir.BlockID{1, 2, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("chainBlocks = %v, want %v", got, want)
+	}
+	if h := c.head(3); h != 1 {
+		t.Errorf("head(3) = %d, want 1", h)
+	}
+	heads := c.heads()
+	if len(heads) != 3 { // chains: {0}, {1,2,3}, {4}
+		t.Errorf("heads = %v, want 3 chains", heads)
+	}
+}
+
+func TestChainsTentativeUndo(t *testing.T) {
+	p := &ir.Proc{Name: "p", Blocks: make([]*ir.Block, 4)}
+	for i := range p.Blocks {
+		p.Blocks[i] = &ir.Block{Instrs: []ir.Instr{{Op: ir.OpRet}}}
+	}
+	c := newChains(p)
+	c.link(1, 2)
+
+	rec := c.tentativeLink(2, 3)
+	if c.findNoCompress(1) != c.findNoCompress(3) {
+		t.Error("tentative link did not merge chains")
+	}
+	c.undo(rec)
+	if c.findNoCompress(1) == c.findNoCompress(3) {
+		t.Error("undo did not split chains")
+	}
+	if c.next[2] != ir.NoBlock || c.prev[3] != ir.NoBlock {
+		t.Error("undo did not clear next/prev")
+	}
+	// State must be identical to before: re-linking works.
+	if !c.canLink(2, 3) {
+		t.Error("canLink(2,3) false after undo")
+	}
+	// Nested tentative links undone in reverse order.
+	r1 := c.tentativeLink(2, 3)
+	r2 := c.tentativeLink(3, 0+0) // 3 -> 0 is entry; pick another
+	_ = r2
+	c.undo(r2)
+	c.undo(r1)
+	if c.next[2] != ir.NoBlock {
+		t.Error("nested undo failed")
+	}
+}
+
+func TestAlignableEdgesOrderingAndFilter(t *testing.T) {
+	// b0: cond -> b2 / fall b1; b1: br -> b3; b2: ijump [b3]; b3: ret
+	p := &ir.Proc{Name: "p", Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{{Op: ir.OpBnez, Rd: 1, TargetBlock: 2}}},
+		{Instrs: []ir.Instr{{Op: ir.OpBr, TargetBlock: 3}}},
+		{Instrs: []ir.Instr{{Op: ir.OpIJump, Rd: 1, Targets: []ir.BlockID{3}}}},
+		{Instrs: []ir.Instr{{Op: ir.OpRet}}},
+	}}
+	w := map[[2]ir.BlockID]uint64{
+		{0, 2}: 5, {0, 1}: 10, {1, 3}: 7, {2, 3}: 100,
+	}
+	weight := func(f, to ir.BlockID) uint64 { return w[[2]ir.BlockID{f, to}] }
+	edges := alignableEdges(p, weight, 1)
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v, want 3 (indirect excluded)", edges)
+	}
+	if edges[0].from != 0 || edges[0].to != 1 || edges[0].weight != 10 {
+		t.Errorf("hottest edge = %+v, want 0->1 w10", edges[0])
+	}
+	if edges[1].weight != 7 || edges[2].weight != 5 {
+		t.Errorf("order wrong: %+v", edges)
+	}
+	// minWeight filter.
+	if got := alignableEdges(p, weight, 8); len(got) != 1 {
+		t.Errorf("minWeight filter: %v, want 1 edge", got)
+	}
+}
+
+// profileByVM runs the program in the VM and returns its edge profile.
+func profileByVM(t *testing.T, prog *ir.Program, setup func(*vm.VM)) *profile.Profile {
+	t.Helper()
+	machine := vm.New(prog)
+	if setup != nil {
+		setup(machine)
+	}
+	col := profile.NewCollector(prog)
+	if _, err := machine.Run(nil, col); err != nil {
+		t.Fatalf("profiling run: %v", err)
+	}
+	return col.Profile()
+}
+
+// runVM executes a program and returns selected register values and memory.
+func runVM(t *testing.T, prog *ir.Program, setup func(*vm.VM)) ([]int64, []int64, uint64) {
+	t.Helper()
+	machine := vm.New(prog)
+	if setup != nil {
+		setup(machine)
+	}
+	res, err := machine.Run(nil, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	regs := make([]int64, ir.NumRegs)
+	for i := 0; i < ir.NumRegs; i++ {
+		regs[i] = machine.Reg(i)
+	}
+	mem := append([]int64(nil), machine.Mem()...)
+	return regs, mem, res.Instrs
+}
+
+const sortSrc = `
+mem 64
+; bubble sort of 8 values at mem[0..7]; inner loop branches are data-driven
+proc main
+    li r1, 8          ; n
+    li r2, 0          ; i
+outer:
+    li r3, 0          ; j
+    sub r4, r1, r2
+    addi r4, r4, -1   ; n-i-1
+inner:
+    ld r5, 0(r3)
+    addi r6, r3, 1
+    ld r7, 0(r6)
+    ble r5, r7, noswap
+    st r7, 0(r3)
+    st r5, 0(r6)
+noswap:
+    addi r3, r3, 1
+    blt r3, r4, inner
+    addi r2, r2, 1
+    addi r8, r1, -1
+    blt r2, r8, outer
+    halt
+endproc
+`
+
+func sortSetup(v *vm.VM) {
+	v.SetMem(0, []int64{42, 7, 99, -3, 0, 55, 13, 8})
+}
+
+func allAlgorithms() []Options {
+	return []Options{
+		{Algorithm: AlgoGreedy},
+		{Algorithm: AlgoGreedy, Order: OrderBTFNT},
+		{Algorithm: AlgoCost, Model: cost.FallthroughModel{}},
+		{Algorithm: AlgoCost, Model: cost.BTFNTModel{}, Order: OrderBTFNT},
+		{Algorithm: AlgoCost, Model: cost.LikelyModel{}},
+		{Algorithm: AlgoTryN, Model: cost.FallthroughModel{}, Window: 8},
+		{Algorithm: AlgoTryN, Model: cost.BTFNTModel{}, Window: 8, Order: OrderBTFNT},
+		{Algorithm: AlgoTryN, Model: cost.PHTModel{}, Window: 8},
+		{Algorithm: AlgoTryN, Model: cost.BTBModel{}, Window: 8},
+	}
+}
+
+func TestAlignmentPreservesSemantics(t *testing.T) {
+	sources := map[string]struct {
+		src   string
+		setup func(*vm.VM)
+	}{
+		"sort": {sortSrc, sortSetup},
+		"collatz": {`
+mem 16
+proc main
+    li r1, 27      ; n
+    li r2, 0       ; steps
+loop:
+    beq r1, r10, done   ; r10 == 0? no: compare to 1 below
+    li r3, 1
+    beq r1, r3, done
+    andi r4, r1, 1
+    beqz r4, even
+    muli r1, r1, 3
+    addi r1, r1, 1
+    br next
+even:
+    li r5, 2
+    div r1, r1, r5
+next:
+    addi r2, r2, 1
+    br loop
+done:
+    st r2, 0(r0)
+    halt
+endproc
+`, nil},
+		"calls": {`
+mem 16
+proc main
+    li r1, 6
+    call fib
+    st r2, 0(r0)
+    halt
+endproc
+; iterative fibonacci: r2 = fib(r1)
+proc fib
+    li r2, 0
+    li r3, 1
+    li r4, 0
+floop:
+    bge r4, r1, fdone
+    add r5, r2, r3
+    mov r2, r3
+    mov r3, r5
+    addi r4, r4, 1
+    br floop
+fdone:
+    ret
+endproc
+`, nil},
+	}
+
+	for name, tc := range sources {
+		prog, err := asm.Assemble(tc.src)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", name, err)
+		}
+		pf := profileByVM(t, prog, tc.setup)
+		wantRegs, wantMem, _ := runVM(t, prog, tc.setup)
+
+		for _, opts := range allAlgorithms() {
+			res, err := AlignProgram(prog, pf, opts)
+			if err != nil {
+				t.Errorf("%s/%s: align: %v", name, opts.Algorithm, err)
+				continue
+			}
+			if err := res.Prog.Validate(); err != nil {
+				t.Errorf("%s/%s: aligned program invalid: %v", name, opts.Algorithm, err)
+				continue
+			}
+			gotRegs, gotMem, _ := runVM(t, res.Prog, tc.setup)
+			for r := range wantRegs {
+				if gotRegs[r] != wantRegs[r] {
+					t.Errorf("%s/%s(%v): r%d = %d, want %d",
+						name, opts.Algorithm, opts.Model, r, gotRegs[r], wantRegs[r])
+				}
+			}
+			for a := range wantMem {
+				if gotMem[a] != wantMem[a] {
+					t.Errorf("%s/%s: mem[%d] = %d, want %d",
+						name, opts.Algorithm, a, gotMem[a], wantMem[a])
+				}
+			}
+		}
+	}
+}
+
+func TestAlignedInstrDeltaMatchesExecution(t *testing.T) {
+	prog, err := asm.Assemble(sortSrc)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	pf := profileByVM(t, prog, sortSetup)
+	_, _, origInstrs := runVM(t, prog, sortSetup)
+
+	for _, opts := range allAlgorithms() {
+		res, err := AlignProgram(prog, pf, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", opts.Algorithm, err)
+		}
+		_, _, gotInstrs := runVM(t, res.Prog, sortSetup)
+		wantInstrs := int64(origInstrs) + res.Stats.DynInstrDelta
+		if int64(gotInstrs) != wantInstrs {
+			t.Errorf("%s/%v: aligned instrs = %d, want orig %d + delta %d = %d",
+				opts.Algorithm, opts.Model, gotInstrs, origInstrs, res.Stats.DynInstrDelta, wantInstrs)
+		}
+		if res.Prof.Instrs != uint64(wantInstrs) {
+			t.Errorf("%s: transferred profile instrs = %d, want %d",
+				opts.Algorithm, res.Prof.Instrs, wantInstrs)
+		}
+	}
+}
+
+func TestTransferredProfileMatchesReprofiling(t *testing.T) {
+	prog, err := asm.Assemble(sortSrc)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	pf := profileByVM(t, prog, sortSetup)
+	for _, opts := range allAlgorithms() {
+		res, err := AlignProgram(prog, pf, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", opts.Algorithm, err)
+		}
+		fresh := profileByVM(t, res.Prog, sortSetup)
+		for name, want := range fresh.Procs {
+			got, ok := res.Prof.Procs[name]
+			if !ok {
+				t.Fatalf("%s: transferred profile missing proc %q", opts.Algorithm, name)
+			}
+			for e, w := range want.Edges {
+				if got.Edges[e] != w {
+					t.Errorf("%s/%v: proc %s edge %v: transferred %d, reprofiled %d",
+						opts.Algorithm, opts.Model, name, e, got.Edges[e], w)
+				}
+			}
+			for b, c := range want.Branches {
+				if got.Branches[b] != c {
+					t.Errorf("%s/%v: proc %s branch %d: transferred %+v, reprofiled %+v",
+						opts.Algorithm, opts.Model, name, b, got.Branches[b], c)
+				}
+			}
+		}
+	}
+}
+
+func TestAlignmentIncreasesFallthroughRate(t *testing.T) {
+	prog, err := asm.Assemble(sortSrc)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	pf := profileByVM(t, prog, sortSetup)
+
+	fallRate := func(p *ir.Program, f *profile.Profile) float64 {
+		var taken, fall uint64
+		for _, pp := range f.Procs {
+			for _, c := range pp.Branches {
+				taken += c.Taken
+				fall += c.Fall
+			}
+		}
+		if taken+fall == 0 {
+			return 0
+		}
+		return float64(fall) / float64(taken+fall)
+	}
+
+	before := fallRate(prog, pf)
+	res, err := AlignProgram(prog, pf, Options{Algorithm: AlgoTryN, Model: cost.FallthroughModel{}, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := fallRate(res.Prog, res.Prof)
+	if after <= before {
+		t.Errorf("fall-through rate did not improve: before %.3f after %.3f", before, after)
+	}
+}
+
+func TestGreedyLinksHottestEdge(t *testing.T) {
+	// b0 cond-> b2(hot) / fall b1(cold); b1: br b3; b2: br b3; b3 halt.
+	src := `
+proc main
+    li r1, 1
+    bnez r1, hot
+cold:
+    br join
+hot:
+    br join
+join:
+    halt
+endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profile.New("x")
+	pp := pf.Proc("main")
+	pp.Edges[profile.Edge{From: 0, To: 2}] = 90 // taken to hot
+	pp.Edges[profile.Edge{From: 0, To: 1}] = 10
+	pp.Edges[profile.Edge{From: 2, To: 3}] = 90
+	pp.Edges[profile.Edge{From: 1, To: 3}] = 10
+	pp.Branches[0] = profile.BranchCount{Taken: 90, Fall: 10}
+
+	res, err := AlignProgram(prog, pf, Options{Algorithm: AlgoGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := res.Prog.Procs[0]
+	// Expect layout entry, hot, join, ... with the branch inverted so hot is
+	// the fall-through, and hot's jump to join removed.
+	if main.Blocks[1].Orig != 2 {
+		t.Errorf("block after entry has Orig %d, want 2 (hot)", main.Blocks[1].Orig)
+	}
+	term, _ := main.Blocks[0].Terminator()
+	if term.Op != ir.OpBeqz {
+		t.Errorf("entry terminator = %v, want inverted beqz", term.Op)
+	}
+	if res.Stats.BranchesInverted != 1 {
+		t.Errorf("BranchesInverted = %d, want 1", res.Stats.BranchesInverted)
+	}
+	if res.Stats.JumpsRemoved == 0 {
+		t.Error("expected hot's jump to join to be removed")
+	}
+}
+
+func TestCostPrefersLoopTrickOnFallthroughArch(t *testing.T) {
+	// Hot single-block self loop (Figure 2 shape): under FALLTHROUGH the
+	// Cost algorithm must invert the loop conditional and add a jump.
+	src := `
+proc main
+    li r1, 1000
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, nil)
+
+	res, err := AlignProgram(prog, pf, Options{Algorithm: AlgoCost, Model: cost.FallthroughModel{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.JumpsInserted == 0 || res.Stats.BranchesInverted == 0 {
+		t.Errorf("loop trick not applied: %+v", res.Stats)
+	}
+	// Semantics preserved.
+	wantRegs, _, _ := runVM(t, prog, nil)
+	gotRegs, _, _ := runVM(t, res.Prog, nil)
+	if gotRegs[1] != wantRegs[1] {
+		t.Errorf("r1 = %d, want %d", gotRegs[1], wantRegs[1])
+	}
+	// Cost under the model must improve.
+	before := cost.ProgramCost(prog, pf, cost.FallthroughModel{})
+	after := cost.ProgramCost(res.Prog, res.Prof, cost.FallthroughModel{})
+	if after >= before {
+		t.Errorf("loop trick did not reduce model cost: %.0f -> %.0f", before, after)
+	}
+	// Under BT/FNT the backward loop branch is already predicted: the trick
+	// must NOT fire.
+	res2, err := AlignProgram(prog, pf, Options{Algorithm: AlgoCost, Model: cost.BTFNTModel{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.JumpsInserted != 0 {
+		t.Errorf("BT/FNT alignment inserted %d jumps; loop trick should not fire", res2.Stats.JumpsInserted)
+	}
+}
+
+// figure3Program reproduces the paper's Figure 3: a loop A->B->C->A where A
+// conditionally exits to D, entered at A, with the unconditional C->A back
+// branch. Weights: entry->A 1, A->D 1, A->B 8999, B->C 9000, C->A 9000.
+func figure3Program(t *testing.T) (*ir.Program, *profile.Profile) {
+	t.Helper()
+	src := `
+proc main
+entry:
+    li r1, 9000
+a:
+    addi r1, r1, -1
+    beqz r1, d
+b:
+    nop
+c:
+    nop
+    br a
+d:
+    halt
+endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, nil)
+	return prog, pf
+}
+
+func TestTryNBeatsGreedyOnFigure3(t *testing.T) {
+	prog, pf := figure3Program(t)
+	m := cost.BTFNTModel{}
+
+	greedy, err := AlignProgram(prog, pf, Options{Algorithm: AlgoGreedy, Order: OrderBTFNT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tryn, err := AlignProgram(prog, pf, Options{Algorithm: AlgoTryN, Model: m, Window: 8, Order: OrderBTFNT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := cost.ProgramCost(greedy.Prog, greedy.Prof, m)
+	tc := cost.ProgramCost(tryn.Prog, tryn.Prof, m)
+	oc := cost.ProgramCost(prog, pf, m)
+	if tc > gc {
+		t.Errorf("TryN cost %.0f worse than Greedy %.0f (orig %.0f)", tc, gc, oc)
+	}
+	if tc >= oc {
+		t.Errorf("TryN cost %.0f did not improve on original %.0f", tc, oc)
+	}
+	// Semantics.
+	wantRegs, _, _ := runVM(t, prog, nil)
+	gotRegs, _, _ := runVM(t, tryn.Prog, nil)
+	if gotRegs[1] != wantRegs[1] {
+		t.Errorf("r1 = %d, want %d", gotRegs[1], wantRegs[1])
+	}
+}
+
+func TestAlignProgramOriginalIsIdentity(t *testing.T) {
+	prog, err := asm.Assemble(sortSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, sortSetup)
+	res, err := AlignProgram(prog, pf, Options{Algorithm: AlgoOriginal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prog.Format() != prog.Format() {
+		t.Error("AlgoOriginal changed the program")
+	}
+	if res.Stats != (RewriteStats{}) {
+		t.Errorf("AlgoOriginal stats = %+v, want zero", res.Stats)
+	}
+}
+
+func TestAlignProgramErrors(t *testing.T) {
+	prog, err := asm.Assemble("proc main\n halt\nendproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profile.New("x")
+	pf.Proc("main")
+	if _, err := AlignProgram(prog, pf, Options{Algorithm: "nope"}); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	if _, err := AlignProgram(prog, pf, Options{Algorithm: AlgoCost}); err == nil {
+		t.Error("AlgoCost without model should error")
+	}
+	if _, err := AlignProgram(prog, pf, Options{Algorithm: AlgoTryN}); err == nil {
+		t.Error("AlgoTryN without model should error")
+	}
+}
+
+func TestRewriteLayoutValidation(t *testing.T) {
+	prog, err := asm.Assemble("proc main\n li r1, 1\n halt\nendproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prog
+	pp := profile.NewProcProfile()
+	prog2, err := asm.Assemble("proc main\n li r1, 1\n br x\nx:\n halt\nendproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := prog2.Procs[0]
+	if _, _, _, err := rewriteProc(p2, pp, []ir.BlockID{0}, nil, nil); err == nil {
+		t.Error("short layout should error")
+	}
+	if _, _, _, err := rewriteProc(p2, pp, []ir.BlockID{0, 0}, nil, nil); err == nil {
+		t.Error("non-permutation layout should error")
+	}
+	if _, _, _, err := rewriteProc(p2, pp, []ir.BlockID{1, 0}, nil, nil); err == nil {
+		t.Error("layout not starting at entry should error")
+	}
+}
+
+func TestOrderChainsEntryFirstAndDeterministic(t *testing.T) {
+	prog, err := asm.Assemble(sortSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, sortSetup)
+	p := prog.Procs[0]
+	pp := pf.Procs["main"]
+
+	for _, ord := range []ChainOrder{OrderHottest, OrderBTFNT} {
+		var prev []ir.BlockID
+		for rep := 0; rep < 3; rep++ {
+			c := newChains(p)
+			for _, e := range alignableEdges(p, pp.Weight, 1) {
+				if c.canLink(e.from, e.to) {
+					c.link(e.from, e.to)
+				}
+			}
+			layout := orderChains(c, pp, ord)
+			if layout[0] != p.Entry() {
+				t.Fatalf("%v: layout starts at %d, want entry", ord, layout[0])
+			}
+			if len(layout) != len(p.Blocks) {
+				t.Fatalf("%v: layout has %d blocks, want %d", ord, len(layout), len(p.Blocks))
+			}
+			if rep > 0 {
+				for i := range layout {
+					if layout[i] != prev[i] {
+						t.Fatalf("%v: non-deterministic layout: %v vs %v", ord, layout, prev)
+					}
+				}
+			}
+			prev = layout
+		}
+	}
+}
+
+func TestChainOrderString(t *testing.T) {
+	if OrderHottest.String() != "hottest-first" || OrderBTFNT.String() != "btfnt-precedence" {
+		t.Error("ChainOrder names wrong")
+	}
+}

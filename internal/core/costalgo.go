@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+
+	"balign/internal/cost"
+	"balign/internal/ir"
+	"balign/internal/profile"
+)
+
+// nodeInfo summarizes one alignable node (a block with out-degree one or
+// two) for the cost-model-guided algorithms.
+type nodeInfo struct {
+	id     ir.BlockID
+	isCond bool
+	// Conditional: t/f are the taken and fall-through targets with their
+	// weights. Single-exit (unconditional branch or pure fall-through): t
+	// is the successor and wT its weight; f is unused.
+	t, f   ir.BlockID
+	wT, wF uint64
+	valid  bool
+	// domBackT/domBackF report whether the edge to t (resp. f) is a loop
+	// back edge — the target dominates this node — in which case every
+	// sensible chain layout places the target before the branch and the
+	// BT/FNT model may count the branch as predicted.
+	domBackT, domBackF bool
+	// posHint, when non-nil, gives each block's position in a previous
+	// layout of the same procedure; TryN's placement-feedback pass uses it
+	// as the backward estimate instead of the original block order.
+	posHint []int
+}
+
+// backTo estimates whether target (one of ni.t / ni.f) will lie at or
+// before ni in the final layout: certain for loop back edges (dominance),
+// the original block order otherwise. The paper notes exactly this
+// difficulty for BT/FNT: final positions are unknown while chains form.
+func (ni *nodeInfo) backTo(target ir.BlockID) bool {
+	if ni.posHint != nil {
+		return ni.posHint[target] <= ni.posHint[ni.id]
+	}
+	if target == ni.t && ni.domBackT {
+		return true
+	}
+	if target == ni.f && ni.domBackF {
+		return true
+	}
+	return backwardEst(ni.id, target)
+}
+
+// buildNodeInfos computes nodeInfo for every block of p.
+func buildNodeInfos(p *ir.Proc, pp *profile.ProcProfile) []nodeInfo {
+	idom := p.Dominators()
+	infos := make([]nodeInfo, len(p.Blocks))
+	for id, b := range p.Blocks {
+		bid := ir.BlockID(id)
+		ni := &infos[id]
+		ni.id = bid
+		term, ok := b.Terminator()
+		switch {
+		case ok && term.Kind() == ir.CondBr:
+			ni.valid, ni.isCond = true, true
+			ni.t = term.TargetBlock
+			ni.f = bid + 1
+			if ni.t == ni.f {
+				c := pp.Branches[bid]
+				ni.wT, ni.wF = c.Taken, c.Fall
+			} else {
+				ni.wT = pp.Weight(bid, ni.t)
+				ni.wF = pp.Weight(bid, ni.f)
+			}
+			ni.domBackT = ir.Dominates(idom, ni.t, bid)
+			ni.domBackF = ir.Dominates(idom, ni.f, bid)
+		case ok && term.Kind() == ir.Br:
+			ni.valid = true
+			ni.t = term.TargetBlock
+			ni.wT = pp.Weight(bid, ni.t)
+			ni.domBackT = ir.Dominates(idom, ni.t, bid)
+		case !ok && b.FallsThrough() && int(bid)+1 < len(p.Blocks):
+			ni.valid = true
+			ni.t = bid + 1
+			ni.wT = pp.Weight(bid, ni.t)
+			ni.domBackT = ir.Dominates(idom, ni.t, bid)
+		}
+	}
+	return infos
+}
+
+// backwardEst is the position fallback when dominance says nothing: in the
+// original layout, loop targets usually precede their branches.
+func backwardEst(src, dst ir.BlockID) bool { return dst <= src }
+
+// alignCost prices the node with fallTarget as its layout fall-through.
+// Single-exit nodes cost nothing when aligned (the branch disappears or was
+// never there); conditionals pay the model's branch cost with the other
+// successor as the taken direction.
+func (ni *nodeInfo) alignCost(m cost.Model, fallTarget ir.BlockID) float64 {
+	if !ni.isCond {
+		return 0
+	}
+	if fallTarget == ni.f {
+		return m.CondBranch(ni.wF, ni.wT, ni.backTo(ni.t))
+	}
+	// Inverted: old taken target becomes the fall-through.
+	return m.CondBranch(ni.wT, ni.wF, ni.backTo(ni.f))
+}
+
+// jumpCost prices a single-exit node left unaligned: its edge is reached
+// through an unconditional branch.
+func (ni *nodeInfo) jumpCost(m cost.Model) float64 { return m.Uncond(ni.wT) }
+
+// neitherCost prices a conditional with neither successor as fall-through:
+// the conditional branch plus a synthesized jump carrying the colder (or
+// hotter, whichever orientation is cheaper) direction.
+func (ni *nodeInfo) neitherCost(m cost.Model) float64 {
+	keep := m.CondBranch(ni.wF, ni.wT, ni.backTo(ni.t)) + m.Uncond(ni.wF)
+	inv := m.CondBranch(ni.wT, ni.wF, ni.backTo(ni.f)) + m.Uncond(ni.wT)
+	return math.Min(keep, inv)
+}
+
+// bestUnaligned prices the node's cheapest arrangement in which `exclude`
+// is NOT its fall-through: for conditionals, aligning the other successor
+// or aligning neither; for single-exit nodes, the jump.
+func (ni *nodeInfo) bestUnaligned(m cost.Model, exclude ir.BlockID) float64 {
+	if !ni.isCond {
+		return ni.jumpCost(m)
+	}
+	best := ni.neitherCost(m)
+	other := ni.f
+	if exclude == ni.f {
+		other = ni.t
+	}
+	// A self edge can never be a fall-through.
+	if other != ni.id && other != exclude {
+		if c := ni.alignCost(m, other); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// benefit is the local gain of making d the fall-through of node ni versus
+// ni's best arrangement without d as fall-through.
+func (ni *nodeInfo) benefit(m cost.Model, d ir.BlockID) float64 {
+	return ni.bestUnaligned(m, d) - ni.alignCost(m, d)
+}
+
+// costLayout implements the paper's Cost algorithm: edges are processed
+// hottest first as in Greedy, but a link is made only when the architecture
+// cost model says it is locally worthwhile and the source is the most
+// cost-effective predecessor of the destination. Afterwards, conditionals
+// left without a committed fall-through are checked for the loop trick:
+// when aligning neither edge (conditional + jump) is cheaper than the
+// natural fall-through, the node is marked forceJump.
+func costLayout(p *ir.Proc, pp *profile.ProcProfile, opts Options) ([]ir.BlockID, map[ir.BlockID]bool) {
+	m := opts.Model
+	c := newChains(p)
+	infos := buildNodeInfos(p, pp)
+	preds := alignablePreds(p)
+	edges := alignableEdges(p, pp.Weight, 1)
+
+	for _, e := range edges {
+		if !c.canLink(e.from, e.to) {
+			continue
+		}
+		ni := &infos[e.from]
+		if !ni.valid {
+			continue
+		}
+		// Is some other predecessor a better home for e.to?
+		best := e.from
+		bestGain := ni.benefit(m, e.to)
+		for _, pr := range preds[e.to] {
+			if pr == e.from || !infos[pr].valid || !c.canLink(pr, e.to) {
+				continue
+			}
+			if g := infos[pr].benefit(m, e.to); g > bestGain ||
+				(g == bestGain && pr < best) {
+				best, bestGain = pr, g
+			}
+		}
+		if best != e.from {
+			continue
+		}
+		if bestGain < 0 {
+			continue
+		}
+		c.link(e.from, e.to)
+	}
+
+	forceJump := make(map[ir.BlockID]bool)
+	for i := range infos {
+		ni := &infos[i]
+		if !ni.valid || !ni.isCond || c.next[ni.id] != ir.NoBlock {
+			continue
+		}
+		natural := ni.alignCost(m, ni.f)
+		if ni.neitherCost(m) < natural {
+			forceJump[ni.id] = true
+		}
+	}
+	return orderChains(c, pp, opts.Order), forceJump
+}
+
+// alignablePreds returns, for each block, the predecessors whose edge to it
+// could become a fall-through (conditional-taken, fall-through or
+// unconditional edges only).
+func alignablePreds(p *ir.Proc) [][]ir.BlockID {
+	preds := make([][]ir.BlockID, len(p.Blocks))
+	var scratch []ir.Edge
+	for id := range p.Blocks {
+		scratch = p.OutEdges(ir.BlockID(id), scratch[:0])
+		for _, e := range scratch {
+			if e.Kind == ir.EdgeIndirect {
+				continue
+			}
+			preds[e.To] = append(preds[e.To], e.From)
+		}
+	}
+	return preds
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+
+	"balign/internal/asm"
+	"balign/internal/cost"
+	"balign/internal/ir"
+	"balign/internal/predict"
+	"balign/internal/trace"
+	"balign/internal/vm"
+)
+
+const selfLoopSrc = `
+mem 16
+proc main
+    li r1, 1000
+    li r2, 0
+loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bnez r1, loop
+    st r2, 0(r0)
+    halt
+endproc
+`
+
+func TestUnrollLoopsSemantics(t *testing.T) {
+	prog, err := asm.Assemble(selfLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, nil)
+	wantRegs, wantMem, _ := runVM(t, prog, nil)
+
+	for _, factor := range []int{2, 3, 4, 8} {
+		opts := UnrollOptions{Factor: factor, MinIterations: 10, MaxBodyInstrs: 16}
+		up, upf, stats, err := UnrollLoops(prog, pf, opts)
+		if err != nil {
+			t.Fatalf("factor %d: %v", factor, err)
+		}
+		if stats.LoopsUnrolled != 1 {
+			t.Fatalf("factor %d: LoopsUnrolled = %d, want 1", factor, stats.LoopsUnrolled)
+		}
+		if stats.BlocksAdded != factor-1 {
+			t.Errorf("factor %d: BlocksAdded = %d, want %d", factor, stats.BlocksAdded, factor-1)
+		}
+		gotRegs, gotMem, _ := runVM(t, up, nil)
+		for r := range wantRegs {
+			if gotRegs[r] != wantRegs[r] {
+				t.Fatalf("factor %d: r%d = %d, want %d", factor, r, gotRegs[r], wantRegs[r])
+			}
+		}
+		for a := range wantMem {
+			if gotMem[a] != wantMem[a] {
+				t.Fatalf("factor %d: mem[%d] = %d, want %d", factor, a, gotMem[a], wantMem[a])
+			}
+		}
+		if upf.Procs["main"] == nil {
+			t.Fatalf("factor %d: transferred profile missing", factor)
+		}
+		// The trip count is divisible by the tested factors of 1000 only
+		// for 2 and 4; either way the taken rate of the event stream must
+		// drop to roughly 1/factor.
+		var cnt trace.Counter
+		m := vm.New(up)
+		if _, err := m.Run(&cnt, nil); err != nil {
+			t.Fatal(err)
+		}
+		takenRate := float64(cnt.CondTaken) / float64(cnt.CondTaken+cnt.CondFall)
+		want := 1.0 / float64(factor)
+		if takenRate > want+0.05 {
+			t.Errorf("factor %d: taken rate %.3f, want about %.3f", factor, takenRate, want)
+		}
+	}
+}
+
+func TestUnrollReducesFallthroughPenalty(t *testing.T) {
+	prog, err := asm.Assemble(selfLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, nil)
+
+	measure := func(p *ir.Program) uint64 {
+		sim := predict.NewStaticSim(predict.Fallthrough{})
+		m := vm.New(p)
+		if _, err := m.Run(sim, nil); err != nil {
+			t.Fatal(err)
+		}
+		r := sim.Result()
+		return r.BEP(1, 4)
+	}
+	before := measure(prog)
+	up, _, _, err := UnrollLoops(prog, pf, UnrollOptions{Factor: 4, MinIterations: 10, MaxBodyInstrs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := measure(up)
+	// 1000 mispredicted taken branches become ~250: the BEP should drop by
+	// well over half.
+	if after >= before/2 {
+		t.Errorf("unrolling cut BEP only %d -> %d", before, after)
+	}
+}
+
+func TestUnrollComposesWithAlignment(t *testing.T) {
+	prog, err := asm.Assemble(selfLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, nil)
+	up, upf, _, err := UnrollLoops(prog, pf, UnrollOptions{Factor: 4, MinIterations: 10, MaxBodyInstrs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AlignProgram(up, upf, Options{Algorithm: AlgoTryN, Model: cost.FallthroughModel{}, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRegs, _, _ := runVM(t, prog, nil)
+	gotRegs, _, _ := runVM(t, res.Prog, nil)
+	for r := range wantRegs {
+		if gotRegs[r] != wantRegs[r] {
+			t.Fatalf("unroll+align broke semantics at r%d", r)
+		}
+	}
+}
+
+func TestUnrollRejectsBadFactor(t *testing.T) {
+	prog, err := asm.Assemble(selfLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, nil)
+	if _, _, _, err := UnrollLoops(prog, pf, UnrollOptions{Factor: 1}); err == nil {
+		t.Error("factor 1 should error")
+	}
+}
+
+func TestUnrollSkipsColdAndBigLoops(t *testing.T) {
+	prog, err := asm.Assemble(selfLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, nil)
+	// MinIterations above the trip count: nothing unrolled.
+	_, _, stats, err := UnrollLoops(prog, pf, UnrollOptions{Factor: 4, MinIterations: 10_000, MaxBodyInstrs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LoopsUnrolled != 0 {
+		t.Errorf("cold loop unrolled")
+	}
+	// Body too big: nothing unrolled.
+	_, _, stats, err = UnrollLoops(prog, pf, UnrollOptions{Factor: 4, MinIterations: 10, MaxBodyInstrs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LoopsUnrolled != 0 {
+		t.Errorf("oversized loop body unrolled")
+	}
+}
+
+const callsSrc = `
+mem 16
+proc main
+    li r1, 50
+ml:
+    call hot
+    call hot
+    call cold
+    addi r1, r1, -1
+    bnez r1, ml
+    halt
+endproc
+proc cold
+    addi r3, r3, 1
+    ret
+endproc
+proc hot
+    addi r2, r2, 1
+    ret
+endproc
+`
+
+func TestProcHotness(t *testing.T) {
+	prog, err := asm.Assemble(callsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, nil)
+	hot := ProcHotness(prog, pf)
+	hotIdx := prog.ProcByName("hot")
+	coldIdx := prog.ProcByName("cold")
+	if hot[hotIdx] <= hot[coldIdx] {
+		t.Errorf("hotness: hot=%d cold=%d, want hot > cold", hot[hotIdx], hot[coldIdx])
+	}
+}
+
+func TestReorderProcs(t *testing.T) {
+	prog, err := asm.Assemble(callsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, nil)
+	wantRegs, _, _ := runVM(t, prog, nil)
+
+	out, err := ReorderProcs(prog, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry stays first; hot precedes cold.
+	if out.Procs[0].Name != "main" {
+		t.Errorf("entry proc moved: %q first", out.Procs[0].Name)
+	}
+	if out.ProcByName("hot") > out.ProcByName("cold") {
+		t.Errorf("hot proc (%d) not before cold (%d)", out.ProcByName("hot"), out.ProcByName("cold"))
+	}
+	gotRegs, _, _ := runVM(t, out, nil)
+	for r := range wantRegs {
+		if gotRegs[r] != wantRegs[r] {
+			t.Fatalf("reordering broke semantics at r%d: %d != %d", r, gotRegs[r], wantRegs[r])
+		}
+	}
+	// Profile keyed by name still prices identically.
+	m := cost.FallthroughModel{}
+	if a, b := cost.ProgramCost(prog, pf, m), cost.ProgramCost(out, pf, m); a != b {
+		t.Errorf("intra-procedural cost changed under reordering: %.0f vs %.0f", a, b)
+	}
+}
+
+func TestReorderProcsThenAlign(t *testing.T) {
+	prog, err := asm.Assemble(callsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := profileByVM(t, prog, nil)
+	out, err := ReorderProcs(prog, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AlignProgram(out, pf, Options{Algorithm: AlgoTryN, Model: cost.BTFNTModel{}, Window: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRegs, _, _ := runVM(t, prog, nil)
+	gotRegs, _, _ := runVM(t, res.Prog, nil)
+	for r := range wantRegs {
+		if gotRegs[r] != wantRegs[r] {
+			t.Fatalf("reorder+align broke semantics at r%d", r)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sort"
+
+	"balign/internal/ir"
+	"balign/internal/profile"
+)
+
+// ChainOrder selects how completed chains are sequenced into the final
+// procedure layout.
+type ChainOrder int
+
+const (
+	// OrderHottest lays chains out from most to least frequently executed.
+	// The paper's OM implementation found this slightly better overall than
+	// the BT/FNT precedence order, because it satisfies most backward-taken
+	// preferences while also improving cache locality.
+	OrderHottest ChainOrder = iota
+	// OrderBTFNT orders chains by the Pettis–Hansen precedence relation for
+	// the BT/FNT architecture: a chain containing the target of a hot taken
+	// branch prefers to precede the chain containing the branch, making the
+	// branch backward and hence predicted taken.
+	OrderBTFNT
+)
+
+// String names the order for reports.
+func (o ChainOrder) String() string {
+	switch o {
+	case OrderHottest:
+		return "hottest-first"
+	case OrderBTFNT:
+		return "btfnt-precedence"
+	default:
+		return "order?"
+	}
+}
+
+// orderChains sequences the chains of c into a final block layout. The
+// entry block's chain is always first; remaining chains follow per the
+// selected strategy. Returns the block IDs in final layout order.
+func orderChains(c *chains, pp *profile.ProcProfile, order ChainOrder) []ir.BlockID {
+	p := c.proc
+	entryHead := c.head(p.Entry())
+	heads := c.heads()
+
+	// Chain weight: total execution weight of its blocks (sum of incoming
+	// edge weights), used by both strategies for tie-breaking and by
+	// OrderHottest as the primary key.
+	blockWeight := make([]uint64, len(p.Blocks))
+	for e, w := range pp.Edges {
+		if int(e.To) < len(blockWeight) {
+			blockWeight[e.To] += w
+		}
+	}
+	chainWeight := make(map[ir.BlockID]uint64, len(heads))
+	for _, h := range heads {
+		var w uint64
+		for _, b := range c.chainBlocks(h) {
+			w += blockWeight[b]
+		}
+		chainWeight[h] = w
+	}
+
+	var rest []ir.BlockID
+	for _, h := range heads {
+		if h != entryHead {
+			rest = append(rest, h)
+		}
+	}
+
+	switch order {
+	case OrderBTFNT:
+		rest = orderByPrecedence(c, pp, rest, chainWeight)
+	default:
+		sort.SliceStable(rest, func(i, j int) bool {
+			wi, wj := chainWeight[rest[i]], chainWeight[rest[j]]
+			if wi != wj {
+				return wi > wj
+			}
+			return rest[i] < rest[j]
+		})
+	}
+
+	layout := make([]ir.BlockID, 0, len(p.Blocks))
+	layout = append(layout, c.chainBlocks(entryHead)...)
+	for _, h := range rest {
+		layout = append(layout, c.chainBlocks(h)...)
+	}
+	return layout
+}
+
+// orderByPrecedence implements the Pettis–Hansen BT/FNT chain precedence:
+// for every inter-chain conditional taken edge S->D with weight w, the chain
+// of D gains w units of preference to precede the chain of S. Chains are
+// emitted greedily: repeatedly pick the chain with the least unsatisfied
+// "should come after" weight (fewest predecessors still unplaced), breaking
+// ties by execution weight then block ID. This is a weighted topological
+// sort that breaks cycles by weight, as the paper's implementation does.
+func orderByPrecedence(c *chains, pp *profile.ProcProfile, heads []ir.BlockID, chainWeight map[ir.BlockID]uint64) []ir.BlockID {
+	p := c.proc
+	entryHead := c.head(p.Entry())
+
+	// pendingBefore[h] = total weight of edges demanding some unplaced
+	// chain be placed before h.
+	pendingBefore := make(map[ir.BlockID]uint64, len(heads))
+	// wants[a] lists (b, w): chain a should precede chain b with weight w.
+	wants := make(map[ir.BlockID]map[ir.BlockID]uint64)
+	addWant := func(before, after ir.BlockID, w uint64) {
+		m := wants[before]
+		if m == nil {
+			m = make(map[ir.BlockID]uint64)
+			wants[before] = m
+		}
+		m[after] += w
+		pendingBefore[after] += w
+	}
+
+	inSet := make(map[ir.BlockID]bool, len(heads))
+	for _, h := range heads {
+		inSet[h] = true
+		if _, ok := pendingBefore[h]; !ok {
+			pendingBefore[h] = 0
+		}
+	}
+
+	var scratch []ir.Edge
+	for id := range p.Blocks {
+		scratch = p.OutEdges(ir.BlockID(id), scratch[:0])
+		for _, e := range scratch {
+			if e.Kind != ir.EdgeTaken {
+				continue
+			}
+			hs, hd := c.head(e.From), c.head(e.To)
+			if hs == hd {
+				continue // intra-chain: position already fixed
+			}
+			// The entry chain is pinned first, so preferences involving it
+			// are moot.
+			if hd == entryHead || hs == entryHead {
+				continue
+			}
+			// BT/FNT predicts by displacement sign, on every execution of
+			// the branch: a mostly-taken branch wants its target backward
+			// (chain of D before chain of S), but a mostly-falling branch
+			// wants the target FORWARD, or the common not-taken executions
+			// all mispredict. Weight the preference by the branch's net
+			// direction.
+			bc := pp.Branches[e.From]
+			wTaken := pp.Weight(e.From, e.To)
+			wFall := bc.Fall
+			switch {
+			case wTaken > wFall:
+				addWant(hd, hs, wTaken-wFall)
+			case wFall > wTaken:
+				addWant(hs, hd, wFall-wTaken)
+			}
+		}
+	}
+
+	var out []ir.BlockID
+	placed := make(map[ir.BlockID]bool, len(heads))
+	for len(out) < len(heads) {
+		var best ir.BlockID = ir.NoBlock
+		for _, h := range heads {
+			if placed[h] {
+				continue
+			}
+			if best == ir.NoBlock {
+				best = h
+				continue
+			}
+			pb, pbBest := pendingBefore[h], pendingBefore[best]
+			switch {
+			case pb < pbBest:
+				best = h
+			case pb == pbBest:
+				wb, wBest := chainWeight[h], chainWeight[best]
+				if wb > wBest || (wb == wBest && h < best) {
+					best = h
+				}
+			}
+		}
+		placed[best] = true
+		out = append(out, best)
+		// Placing best satisfies its outgoing preferences.
+		for after, w := range wants[best] {
+			if !placed[after] {
+				pendingBefore[after] -= w
+			}
+		}
+	}
+	return out
+}

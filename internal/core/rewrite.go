@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"balign/internal/cost"
+	"balign/internal/ir"
+	"balign/internal/profile"
+)
+
+// RewriteStats reports what the rewriter did to one procedure.
+type RewriteStats struct {
+	// JumpsInserted counts unconditional branch blocks synthesized to
+	// preserve fall-through semantics.
+	JumpsInserted int
+	// JumpsRemoved counts unconditional branches deleted because their
+	// target now follows them.
+	JumpsRemoved int
+	// BranchesInverted counts conditional branches whose sense was flipped.
+	BranchesInverted int
+	// DynInstrDelta is the expected change in dynamically executed
+	// instructions: +weight for every inserted jump's traversals, -weight
+	// for every removed jump's traversals.
+	DynInstrDelta int64
+}
+
+// Add accumulates other into s.
+func (s *RewriteStats) Add(other RewriteStats) {
+	s.JumpsInserted += other.JumpsInserted
+	s.JumpsRemoved += other.JumpsRemoved
+	s.BranchesInverted += other.BranchesInverted
+	s.DynInstrDelta += other.DynInstrDelta
+}
+
+// rewriteProc materializes a block layout for p: blocks are emitted in
+// layout order, conditional branches are inverted when their taken target
+// becomes the fall-through, unconditional branches to the next block are
+// deleted, and jump blocks are synthesized where a fall-through edge no
+// longer reaches the next block. The edge profile pp (keyed by p's block
+// IDs) is transferred to the new block IDs, with jump-block detours and
+// outcome swaps applied.
+//
+// model chooses the orientation of a conditional branch when neither
+// successor follows it (the cheaper of branch-to-taken + jump-to-fall vs the
+// inverse); a nil model keeps the original orientation, which is what the
+// Greedy algorithm — defined without a cost model — does.
+//
+// forceJump (nil allowed) lists conditional-branch blocks the alignment
+// algorithm decided to align with *neither* successor as the fall-through:
+// the branch gets a jump block even when a successor happens to follow in
+// the layout. This realizes the paper's loop trick — inverting the sense of
+// a hot self-loop's conditional and following it with a jump is cheaper than
+// a mispredicted taken branch on the FALLTHROUGH architecture (3 cycles per
+// iteration instead of 5).
+func rewriteProc(p *ir.Proc, pp *profile.ProcProfile, layout []ir.BlockID, model cost.Model, forceJump map[ir.BlockID]bool) (*ir.Proc, *profile.ProcProfile, RewriteStats, error) {
+	var stats RewriteStats
+	if len(layout) != len(p.Blocks) {
+		return nil, nil, stats, fmt.Errorf("core: layout has %d blocks, proc %q has %d",
+			len(layout), p.Name, len(p.Blocks))
+	}
+	pos := make([]int, len(p.Blocks))
+	seen := make([]bool, len(p.Blocks))
+	for i, b := range layout {
+		if b < 0 || int(b) >= len(p.Blocks) || seen[b] {
+			return nil, nil, stats, fmt.Errorf("core: layout for %q is not a permutation", p.Name)
+		}
+		seen[b] = true
+		pos[b] = i
+	}
+	if layout[0] != p.Entry() {
+		return nil, nil, stats, fmt.Errorf("core: layout for %q does not start with the entry block", p.Name)
+	}
+
+	np := &ir.Proc{Name: p.Name}
+	oldToNew := make([]ir.BlockID, len(p.Blocks))
+	inverted := make([]bool, len(p.Blocks))
+	// jumpVia[old src] = (old dst, new jump block) for edges routed through
+	// a synthesized jump block.
+	type jumpRoute struct {
+		oldDst ir.BlockID
+		via    ir.BlockID
+	}
+	jumpVia := make(map[ir.BlockID]jumpRoute)
+
+	// branchWeights returns the taken/fall weights of the conditional
+	// branch ending old block b with taken target T and fall target F.
+	branchWeights := func(b, t, f ir.BlockID) (wTaken, wFall uint64) {
+		if t == f {
+			c := pp.Branches[b]
+			return c.Taken, c.Fall
+		}
+		return pp.Weight(b, t), pp.Weight(b, f)
+	}
+
+	// appendJump synthesizes a jump block targeting old block dst (patched
+	// to new IDs later) and records the detour for edge transfer.
+	appendJump := func(src, dst ir.BlockID, w uint64) {
+		jb := &ir.Block{
+			Orig:   ir.NoBlock,
+			Instrs: []ir.Instr{{Op: ir.OpBr, TargetBlock: dst}},
+		}
+		np.Blocks = append(np.Blocks, jb)
+		jumpVia[src] = jumpRoute{oldDst: dst, via: ir.BlockID(len(np.Blocks) - 1)}
+		stats.JumpsInserted++
+		stats.DynInstrDelta += int64(w)
+	}
+
+	for i, old := range layout {
+		b := p.Blocks[old]
+		nb := b.Clone()
+		np.Blocks = append(np.Blocks, nb)
+		oldToNew[old] = ir.BlockID(len(np.Blocks) - 1)
+
+		var nxt ir.BlockID = ir.NoBlock
+		if i+1 < len(layout) {
+			nxt = layout[i+1]
+		}
+
+		// emitNeither realizes a conditional with neither successor as the
+		// layout fall-through: the branch plus a synthesized jump block,
+		// oriented whichever way the model prices cheaper.
+		emitNeither := func(term *ir.Instr, old, t, f ir.BlockID, i int) {
+			wT, wF := branchWeights(old, t, f)
+			invertIt := false
+			if model != nil && t != f {
+				keep := model.CondBranch(wF, wT, pos[t] <= i) + model.Uncond(wF)
+				inv := model.CondBranch(wT, wF, pos[f] <= i) + model.Uncond(wT)
+				invertIt = inv < keep
+			}
+			if invertIt {
+				term.Op = ir.InvertBranch(term.Op)
+				term.TargetBlock = f
+				inverted[old] = true
+				stats.BranchesInverted++
+				appendJump(old, t, wT)
+			} else {
+				appendJump(old, f, wF)
+			}
+		}
+
+		term, hasTerm := nb.Terminator()
+		switch {
+		case hasTerm && term.Kind() == ir.CondBr:
+			t := term.TargetBlock
+			f := old + 1 // valid programs: a CondBr block always falls through to old+1
+			switch {
+			case forceJump[old]:
+				// Explicit "align neither edge" decision from the
+				// alignment algorithm (the paper's loop trick).
+				emitNeither(term, old, t, f, i)
+			case nxt == f:
+				// Fall-through preserved; taken target patched later.
+			case nxt == t && t != f:
+				term.Op = ir.InvertBranch(term.Op)
+				term.TargetBlock = f
+				inverted[old] = true
+				stats.BranchesInverted++
+			default:
+				emitNeither(term, old, t, f, i)
+			}
+
+		case hasTerm && term.Kind() == ir.Br:
+			if term.TargetBlock == nxt {
+				nb.Instrs = nb.Instrs[:len(nb.Instrs)-1]
+				stats.JumpsRemoved++
+				stats.DynInstrDelta -= int64(pp.Weight(old, nxt))
+			}
+
+		case !hasTerm && b.FallsThrough():
+			f := old + 1
+			if int(f) < len(p.Blocks) && nxt != f {
+				appendJump(old, f, pp.Weight(old, f))
+			}
+		}
+	}
+
+	// Patch all branch targets from old to new block IDs.
+	for _, nb := range np.Blocks {
+		for ii := range nb.Instrs {
+			in := &nb.Instrs[ii]
+			switch in.Kind() {
+			case ir.CondBr, ir.Br:
+				in.TargetBlock = oldToNew[in.TargetBlock]
+			case ir.IJump:
+				for k, t := range in.Targets {
+					in.Targets[k] = oldToNew[t]
+				}
+			}
+		}
+	}
+
+	// Transfer the profile.
+	npp := profile.NewProcProfile()
+	for e, w := range pp.Edges {
+		if int(e.From) >= len(oldToNew) || int(e.To) >= len(oldToNew) {
+			continue
+		}
+		src := oldToNew[e.From]
+		if route, ok := jumpVia[e.From]; ok && route.oldDst == e.To {
+			npp.Edges[profile.Edge{From: src, To: route.via}] += w
+			npp.Edges[profile.Edge{From: route.via, To: oldToNew[e.To]}] += w
+			continue
+		}
+		npp.Edges[profile.Edge{From: src, To: oldToNew[e.To]}] += w
+	}
+	for old, c := range pp.Branches {
+		if int(old) >= len(oldToNew) {
+			continue
+		}
+		if inverted[old] {
+			c.Taken, c.Fall = c.Fall, c.Taken
+		}
+		npp.Branches[oldToNew[old]] = c
+	}
+	return np, npp, stats, nil
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"sort"
+
+	"balign/internal/cost"
+	"balign/internal/ir"
+	"balign/internal/profile"
+)
+
+// tryChoice is one alignment possibility for a node, mirroring the paper:
+// single-exit nodes try {fall-through, taken+jump}; conditionals try each
+// outgoing edge as the fall-through and also neither.
+type tryChoice uint8
+
+const (
+	chooseFallF   tryChoice = iota // keep the fall edge as fall-through (cond)
+	chooseFallT                    // make the taken edge the fall-through (cond, inverts)
+	chooseNeither                  // align neither edge: conditional + jump
+	chooseLink                     // single-exit: successor becomes fall-through
+	chooseJump                     // single-exit: reach successor by jump
+)
+
+// tryNode is a node participating in one TryN window.
+type tryNode struct {
+	info    *nodeInfo
+	model   cost.Model
+	choices []tryChoice
+	// fallback is the cost charged when a link choice turns out infeasible
+	// in the tentative chain state (target already claimed, cycle, ...).
+	fallback float64
+	// weight orders nodes within the window (hottest first).
+	weight uint64
+}
+
+// linkTarget returns the chain-link destination of a choice, or NoBlock for
+// non-linking choices.
+func (n *tryNode) linkTarget(ch tryChoice) ir.BlockID {
+	switch ch {
+	case chooseFallF:
+		return n.info.f
+	case chooseFallT:
+		return n.info.t
+	case chooseLink:
+		return n.info.t
+	default:
+		return ir.NoBlock
+	}
+}
+
+// tryNLayout implements the paper's Try15 heuristic with a configurable
+// window, refined with one round of placement feedback: the paper notes
+// that when forming chains "it is not known where the taken branch will be
+// located in the final procedure", so a first pass commits a layout, and a
+// second pass repeats the search using the first pass's block positions as
+// the backward/forward estimates. The second pass can only change decisions
+// whose placement guesses were wrong.
+func tryNLayout(p *ir.Proc, pp *profile.ProcProfile, opts Options) ([]ir.BlockID, map[ir.BlockID]bool) {
+	layout, _ := tryNOnce(p, pp, opts, nil)
+	pos := make([]int, len(p.Blocks))
+	for i, b := range layout {
+		pos[b] = i
+	}
+	return tryNOnce(p, pp, opts, pos)
+}
+
+// tryNOnce is one TryN pass: take the N hottest not-yet-decided edges
+// (weight ≥ MinWeight), gather their source nodes, and evaluate every
+// combination of the nodes' alignment choices under the cost model,
+// committing the cheapest. Nodes that share chains or targets are
+// enumerated jointly; independent nodes are optimized separately (an exact
+// decomposition that keeps the enumeration tractable). Remaining cold edges
+// are linked greedily.
+func tryNOnce(p *ir.Proc, pp *profile.ProcProfile, opts Options, posHint []int) ([]ir.BlockID, map[ir.BlockID]bool) {
+	m := opts.Model
+	c := newChains(p)
+	infos := buildNodeInfos(p, pp)
+	if posHint != nil {
+		for i := range infos {
+			infos[i].posHint = posHint
+		}
+	}
+	edges := alignableEdges(p, pp.Weight, opts.minWeight())
+
+	decided := make(map[ir.BlockID]bool)
+	forceJump := make(map[ir.BlockID]bool)
+
+	i := 0
+	for i < len(edges) {
+		// Collect the next window of edges whose sources are undecided.
+		var nodes []*tryNode
+		nodeSet := make(map[ir.BlockID]*tryNode)
+		taken := 0
+		for i < len(edges) && taken < opts.window() {
+			e := edges[i]
+			i++
+			if decided[e.from] || !infos[e.from].valid {
+				continue
+			}
+			taken++
+			if nodeSet[e.from] != nil {
+				continue
+			}
+			tn := makeTryNode(&infos[e.from], m)
+			nodeSet[e.from] = tn
+			nodes = append(nodes, tn)
+		}
+		if len(nodes) == 0 {
+			continue
+		}
+		sort.SliceStable(nodes, func(a, b int) bool {
+			if nodes[a].weight != nodes[b].weight {
+				return nodes[a].weight > nodes[b].weight
+			}
+			return nodes[a].info.id < nodes[b].info.id
+		})
+
+		for _, cluster := range clusterNodes(c, nodes) {
+			commitBest(c, cluster, forceJump, opts.maxCombos())
+		}
+		for _, n := range nodes {
+			decided[n.info.id] = true
+		}
+	}
+
+	finishLinks(c, p, pp, forceJump)
+
+	// Loop-trick check for conditionals that ended up without a committed
+	// fall-through and were not part of any window (cold or skipped).
+	for idx := range infos {
+		ni := &infos[idx]
+		if !ni.valid || !ni.isCond || decided[ni.id] || c.next[ni.id] != ir.NoBlock {
+			continue
+		}
+		if ni.neitherCost(m) < ni.alignCost(m, ni.f) {
+			forceJump[ni.id] = true
+		}
+	}
+	return orderChains(c, pp, opts.Order), forceJump
+}
+
+// makeTryNode enumerates the node's choices.
+func makeTryNode(ni *nodeInfo, m cost.Model) *tryNode {
+	tn := &tryNode{info: ni, model: m, weight: ni.wT + ni.wF}
+	if ni.isCond {
+		tn.fallback = ni.neitherCost(m)
+		tn.choices = append(tn.choices, chooseFallF)
+		if ni.t != ni.f {
+			tn.choices = append(tn.choices, chooseFallT)
+		}
+		tn.choices = append(tn.choices, chooseNeither)
+	} else {
+		tn.fallback = ni.jumpCost(m)
+		tn.choices = append(tn.choices, chooseLink, chooseJump)
+	}
+	return tn
+}
+
+// choiceCost prices one choice of a node, given the live (tentative) chain
+// state so the BT/FNT backward test can see where the taken target landed:
+// a taken target threaded earlier in the node's own chain is certainly
+// backward; otherwise the original block order is the estimate. This
+// chain-aware pricing is what lets TryN discover where to break a loop —
+// the capability the paper credits for Try15 beating Greedy and Cost.
+func (n *tryNode) choiceCost(c *chains, ch tryChoice, linked bool) float64 {
+	ni := n.info
+	m := n.model
+	switch ch {
+	case chooseFallF:
+		if !linked {
+			return n.fallback
+		}
+		return m.CondBranch(ni.wF, ni.wT, chainBackward(c, ni, ni.t))
+	case chooseFallT:
+		if !linked {
+			return n.fallback
+		}
+		return m.CondBranch(ni.wT, ni.wF, chainBackward(c, ni, ni.f))
+	case chooseNeither:
+		return ni.neitherCost(m)
+	case chooseLink:
+		if !linked {
+			return n.fallback
+		}
+		return 0
+	case chooseJump:
+		return ni.jumpCost(m)
+	default:
+		return n.fallback
+	}
+}
+
+// chainBackward reports whether target will lie before (or at) the node in
+// the final layout: certain when target is threaded earlier in the node's
+// own chain; certainly forward when threaded later; otherwise the node's
+// dominance/position estimate decides.
+func chainBackward(c *chains, ni *nodeInfo, target ir.BlockID) bool {
+	src := ni.id
+	if src == target {
+		return true
+	}
+	for cur := c.prev[src]; cur != ir.NoBlock; cur = c.prev[cur] {
+		if cur == target {
+			return true
+		}
+	}
+	// If target is in the same chain but after src, it is certainly forward.
+	for cur := c.next[src]; cur != ir.NoBlock; cur = c.next[cur] {
+		if cur == target {
+			return false
+		}
+	}
+	return ni.backTo(target)
+}
+
+// clusterNodes partitions window nodes into groups that can be optimized
+// independently: two nodes interact only if their sources or candidate link
+// targets currently share a chain or name the same block. Keys are chain
+// roots, so disjoint clusters touch disjoint chains and their link
+// feasibilities cannot affect each other.
+func clusterNodes(c *chains, nodes []*tryNode) [][]*tryNode {
+	parent := make([]int, len(nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	keyOwner := make(map[int32]int)
+	for idx, n := range nodes {
+		keys := []int32{c.findNoCompress(n.info.id)}
+		for _, ch := range n.choices {
+			if t := n.linkTarget(ch); t != ir.NoBlock {
+				keys = append(keys, c.findNoCompress(t))
+			}
+		}
+		for _, k := range keys {
+			if prev, ok := keyOwner[k]; ok {
+				union(prev, idx)
+			} else {
+				keyOwner[k] = idx
+			}
+		}
+	}
+
+	groups := make(map[int][]*tryNode)
+	var order []int
+	for idx, n := range nodes {
+		r := find(idx)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], n)
+	}
+	out := make([][]*tryNode, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// commitBest exhaustively evaluates the choice combinations of one cluster
+// against the live chain state (tentatively linking and rolling back) and
+// commits the cheapest combination. Clusters whose combination count
+// exceeds maxCombos are split into sequential sub-clusters.
+func commitBest(c *chains, cluster []*tryNode, forceJump map[ir.BlockID]bool, maxCombos int) {
+	for len(cluster) > 0 {
+		// Take the longest prefix whose combination count fits the budget.
+		n := 0
+		combos := 1
+		for n < len(cluster) {
+			next := combos * len(cluster[n].choices)
+			if n > 0 && next > maxCombos {
+				break
+			}
+			combos = next
+			n++
+		}
+		sub := cluster[:n]
+		cluster = cluster[n:]
+
+		best := make([]int, len(sub))
+		cur := make([]int, len(sub))
+		bestCost := evalCombo(c, sub, cur)
+		for {
+			// Odometer increment.
+			k := len(sub) - 1
+			for k >= 0 {
+				cur[k]++
+				if cur[k] < len(sub[k].choices) {
+					break
+				}
+				cur[k] = 0
+				k--
+			}
+			if k < 0 {
+				break
+			}
+			if ccost := evalCombo(c, sub, cur); ccost < bestCost {
+				bestCost = ccost
+				copy(best, cur)
+			}
+		}
+
+		// Commit the winning combination for real. A conditional whose
+		// winning choice did not materialize as a link (an explicit
+		// Neither, or a link that is infeasible — e.g. a self loop) is
+		// realized as "align neither edge" whenever that beats the natural
+		// fall-through, matching how the evaluation priced it.
+		for idx, n := range sub {
+			ch := n.choices[best[idx]]
+			linked := false
+			if t := n.linkTarget(ch); t != ir.NoBlock && t != n.info.id && c.canLink(n.info.id, t) {
+				c.link(n.info.id, t)
+				linked = true
+			}
+			if !linked && n.info.isCond &&
+				n.info.neitherCost(n.model) < n.info.alignCost(n.model, n.info.f) {
+				forceJump[n.info.id] = true
+			}
+		}
+	}
+}
+
+// evalCombo prices one choice combination: all of the combination's links
+// are tentatively applied first (in node order), then every node is priced
+// against the resulting chain state, and the links are rolled back. Link
+// choices that are infeasible in the tentative state fall back to the
+// node's unaligned cost.
+func evalCombo(c *chains, sub []*tryNode, cur []int) float64 {
+	var undo []undoRecord
+	linked := make([]bool, len(sub))
+	for idx, n := range sub {
+		t := n.linkTarget(n.choices[cur[idx]])
+		if t == ir.NoBlock {
+			continue
+		}
+		if t != n.info.id && c.canLink(n.info.id, t) {
+			undo = append(undo, c.tentativeLink(n.info.id, t))
+			linked[idx] = true
+		}
+	}
+	total := 0.0
+	for idx, n := range sub {
+		total += n.choiceCost(c, n.choices[cur[idx]], linked[idx])
+	}
+	for k := len(undo) - 1; k >= 0; k-- {
+		c.undo(undo[k])
+	}
+	return total
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"balign/internal/ir"
+	"balign/internal/profile"
+)
+
+// UnrollOptions configures the loop-unrolling pre-pass.
+type UnrollOptions struct {
+	// Factor is the number of body copies after unrolling (>= 2).
+	Factor int
+	// MinIterations is the minimum profiled traversal count of the loop's
+	// back edge for the loop to be worth unrolling.
+	MinIterations uint64
+	// MaxBodyInstrs bounds the body size to duplicate.
+	MaxBodyInstrs int
+}
+
+// DefaultUnrollOptions returns the defaults used by the experiments: 4-way
+// unrolling of single-block loops executed at least 64 times with bodies of
+// at most 32 instructions.
+func DefaultUnrollOptions() UnrollOptions {
+	return UnrollOptions{Factor: 4, MinIterations: 64, MaxBodyInstrs: 32}
+}
+
+// UnrollStats reports what UnrollLoops did.
+type UnrollStats struct {
+	// LoopsUnrolled counts transformed loops.
+	LoopsUnrolled int
+	// BlocksAdded counts the synthesized copy blocks.
+	BlocksAdded int
+}
+
+// UnrollLoops implements the transformation the paper sketches for ALVINN's
+// input_hidden (Figure 2): a hot loop whose body is a single basic block
+// ending in a conditional branch to itself is duplicated Factor times; the
+// first Factor-1 copies exit the loop through an inverted conditional and
+// fall through to the next copy, and the last copy branches back to the
+// first. Per Factor iterations, only one taken branch remains; on the
+// FALLTHROUGH architecture this removes most of the per-iteration
+// mispredicts even without the register-level optimizations full loop
+// unrolling would add.
+//
+// The condition is re-evaluated in every copy, so the transformation is
+// semantics-preserving for any trip count. The returned profile maps the
+// original loop's counts onto the copies (the back edge's traversals are
+// split evenly; remainders are attributed to the first copies).
+func UnrollLoops(prog *ir.Program, pf *profile.Profile, opts UnrollOptions) (*ir.Program, *profile.Profile, UnrollStats, error) {
+	var stats UnrollStats
+	if opts.Factor < 2 {
+		return nil, nil, stats, fmt.Errorf("core: unroll factor must be >= 2, got %d", opts.Factor)
+	}
+	if opts.MaxBodyInstrs <= 0 {
+		opts.MaxBodyInstrs = DefaultUnrollOptions().MaxBodyInstrs
+	}
+
+	out := &ir.Program{Name: prog.Name, EntryProc: prog.EntryProc, MemWords: prog.MemWords}
+	npf := profile.New(pf.Program)
+	npf.Instrs = pf.Instrs
+
+	for _, p := range prog.Procs {
+		pp := pf.Procs[p.Name]
+		np, npp, procStats := unrollProc(p, pp, opts)
+		out.Procs = append(out.Procs, np)
+		if npp != nil {
+			npf.Procs[p.Name] = npp
+		}
+		stats.LoopsUnrolled += procStats.LoopsUnrolled
+		stats.BlocksAdded += procStats.BlocksAdded
+	}
+	out.AssignAddresses(0x1000)
+	if err := out.Validate(); err != nil {
+		return nil, nil, stats, fmt.Errorf("core: unrolled program invalid: %w", err)
+	}
+	return out, npf, stats, nil
+}
+
+// selfLoop reports whether block id is a hot single-block self loop.
+func selfLoop(p *ir.Proc, pp *profile.ProcProfile, id ir.BlockID, opts UnrollOptions) bool {
+	b := p.Blocks[id]
+	term, ok := b.Terminator()
+	if !ok || term.Kind() != ir.CondBr || term.TargetBlock != id {
+		return false
+	}
+	if len(b.Instrs) > opts.MaxBodyInstrs {
+		return false
+	}
+	if pp == nil {
+		return false
+	}
+	return pp.Branches[id].Taken >= opts.MinIterations
+}
+
+func unrollProc(p *ir.Proc, pp *profile.ProcProfile, opts UnrollOptions) (*ir.Proc, *profile.ProcProfile, UnrollStats) {
+	var stats UnrollStats
+	np := &ir.Proc{Name: p.Name}
+	oldToNew := make([]ir.BlockID, len(p.Blocks))
+	// copyHead[old] is the first copy's new ID for unrolled loops.
+	type unrolledLoop struct {
+		old    ir.BlockID
+		copies []ir.BlockID
+	}
+	var loops []unrolledLoop
+
+	for id, b := range p.Blocks {
+		old := ir.BlockID(id)
+		if !selfLoop(p, pp, old, opts) {
+			nb := b.Clone()
+			np.Blocks = append(np.Blocks, nb)
+			oldToNew[old] = ir.BlockID(len(np.Blocks) - 1)
+			continue
+		}
+		// Emit Factor copies. Copies 0..Factor-2 end with the inverted
+		// conditional targeting the loop exit (the original fall-through,
+		// i.e. old+1) and fall through to the next copy; the last copy
+		// keeps the original sense, branching back to copy 0.
+		ul := unrolledLoop{old: old}
+		for c := 0; c < opts.Factor; c++ {
+			nb := b.Clone()
+			if c == 0 {
+				nb.Orig = old
+			} else {
+				nb.Orig = ir.NoBlock
+				nb.Label = ""
+				stats.BlocksAdded++
+			}
+			np.Blocks = append(np.Blocks, nb)
+			ul.copies = append(ul.copies, ir.BlockID(len(np.Blocks)-1))
+		}
+		oldToNew[old] = ul.copies[0]
+		loops = append(loops, ul)
+		stats.LoopsUnrolled++
+	}
+
+	// Patch branch targets. For unrolled loops the terminators need their
+	// special orientation; exitTarget records the original fall-through in
+	// old IDs for the second patch pass.
+	for _, ul := range loops {
+		exitOld := ul.old + 1 // a conditional block always falls through
+		for c, nid := range ul.copies {
+			term, _ := np.Blocks[nid].Terminator()
+			if c < len(ul.copies)-1 {
+				term.Op = ir.InvertBranch(term.Op)
+				term.TargetBlock = exitOld // patched below
+			} else {
+				term.TargetBlock = ul.old // back to copy 0; patched below
+			}
+		}
+	}
+	for _, nb := range np.Blocks {
+		for ii := range nb.Instrs {
+			in := &nb.Instrs[ii]
+			switch in.Kind() {
+			case ir.CondBr, ir.Br:
+				in.TargetBlock = oldToNew[in.TargetBlock]
+			case ir.IJump:
+				for k, t := range in.Targets {
+					in.Targets[k] = oldToNew[t]
+				}
+			}
+		}
+	}
+
+	if pp == nil {
+		return np, nil, stats
+	}
+
+	// Transfer the profile.
+	npp := profile.NewProcProfile()
+	loopSet := make(map[ir.BlockID]*unrolledLoop, len(loops))
+	for i := range loops {
+		loopSet[loops[i].old] = &loops[i]
+	}
+	for e, w := range pp.Edges {
+		if int(e.From) >= len(oldToNew) || int(e.To) >= len(oldToNew) {
+			continue
+		}
+		ul, fromLoop := loopSet[e.From]
+		switch {
+		case fromLoop && e.To == e.From:
+			// The back edge: iterations now flow through the copy chain.
+			// Each fall-through between copies and the final back edge
+			// carries ~w/Factor traversals.
+			k := uint64(len(ul.copies))
+			per := w / k
+			rem := w % k
+			for c := 0; c < len(ul.copies); c++ {
+				cw := per
+				if uint64(c) < rem {
+					cw++
+				}
+				var dst ir.BlockID
+				if c < len(ul.copies)-1 {
+					dst = ul.copies[c+1]
+				} else {
+					dst = ul.copies[0]
+				}
+				npp.Edges[profile.Edge{From: ul.copies[c], To: dst}] += cw
+				bc := npp.Branches[ul.copies[c]]
+				if c < len(ul.copies)-1 {
+					bc.Fall += cw // inverted copies fall through to continue
+				} else {
+					bc.Taken += cw
+				}
+				npp.Branches[ul.copies[c]] = bc
+			}
+		case fromLoop:
+			// The exit edge: exits are spread across the copies; attribute
+			// them all to the copies' exit branches evenly.
+			k := uint64(len(ul.copies))
+			per := w / k
+			rem := w % k
+			for c := 0; c < len(ul.copies); c++ {
+				cw := per
+				if uint64(c) < rem {
+					cw++
+				}
+				npp.Edges[profile.Edge{From: ul.copies[c], To: oldToNew[e.To]}] += cw
+				bc := npp.Branches[ul.copies[c]]
+				if c < len(ul.copies)-1 {
+					bc.Taken += cw // inverted copies exit via the taken edge
+				} else {
+					bc.Fall += cw
+				}
+				npp.Branches[ul.copies[c]] = bc
+			}
+		default:
+			npp.Edges[profile.Edge{From: oldToNew[e.From], To: oldToNew[e.To]}] += w
+		}
+	}
+	for old, c := range pp.Branches {
+		if int(old) >= len(oldToNew) {
+			continue
+		}
+		if _, isLoop := loopSet[old]; isLoop {
+			continue // handled above
+		}
+		npp.Branches[oldToNew[old]] = c
+	}
+	return np, npp, stats
+}

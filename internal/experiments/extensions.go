@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"balign/internal/core"
+	"balign/internal/cost"
+	"balign/internal/icache"
+	"balign/internal/ir"
+	"balign/internal/metrics"
+	"balign/internal/predict"
+	"balign/internal/profile"
+	"balign/internal/workload"
+)
+
+// PenaltyRow is one point of the penalty-sensitivity sweep: how the benefit
+// of alignment scales as the mispredict penalty grows — the paper's claim
+// that "as wide-issue architectures become more popular, branch alignment
+// algorithms will have a larger impact".
+type PenaltyRow struct {
+	MispredictPenalty uint64
+	CPIOrig           float64
+	CPITry            float64
+	// GainPct is the relative CPI improvement in percent.
+	GainPct float64
+}
+
+// PenaltySweep evaluates one program on the FALLTHROUGH architecture under
+// increasing mispredict penalties (2, 4, 8, 12 cycles; misfetch stays 1).
+func PenaltySweep(program string, cfg Config) ([]PenaltyRow, error) {
+	w, err := workload.ByName(program, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pf, origInstrs, err := w.CollectProfile()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.AlignProgram(w.Prog, pf, core.Options{
+		Algorithm: core.AlgoTryN, Model: cost.FallthroughModel{},
+		Window: cfg.window(), MaxCombos: cfg.MaxCombos,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	simOrig, err := predict.NewSimulator(predict.ArchFallthrough, w.Prog, pf)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Run(w.Prog, pf, simOrig, nil); err != nil {
+		return nil, err
+	}
+	simTry, err := predict.NewSimulator(predict.ArchFallthrough, res.Prog, res.Prof)
+	if err != nil {
+		return nil, err
+	}
+	tryInstrs, err := w.Run(res.Prog, res.Prof, simTry, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []PenaltyRow
+	for _, mp := range []uint64{2, 4, 8, 12} {
+		ro := simOrig.Result()
+		rt := simTry.Result()
+		cpiO := metrics.RelativeCPI(origInstrs, origInstrs, ro.BEP(1, mp))
+		cpiT := metrics.RelativeCPI(origInstrs, tryInstrs, rt.BEP(1, mp))
+		rows = append(rows, PenaltyRow{
+			MispredictPenalty: mp,
+			CPIOrig:           cpiO,
+			CPITry:            cpiT,
+			GainPct:           100 * (1 - cpiT/cpiO),
+		})
+	}
+	return rows, nil
+}
+
+// FormatPenaltySweep renders the sweep.
+func FormatPenaltySweep(program string, rows []PenaltyRow) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 1, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "%s\tmispredict\tCPI orig\tCPI try15\tgain%%\t\n", program)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "\t%d\t%.3f\t%.3f\t%.1f\t\n", r.MispredictPenalty, r.CPIOrig, r.CPITry, r.GainPct)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// CrossTrainRow reports profile robustness: the program is aligned with a
+// profile from one input and evaluated both on that input and on a
+// different one (the honest profile-guided-optimization methodology; the
+// paper uses the same input for both, which it acknowledges).
+type CrossTrainRow struct {
+	Program      string
+	CPIOrig      float64 // original layout, evaluation input
+	CPISameInput float64 // aligned, evaluated on the training input
+	CPICrossIn   float64 // aligned, evaluated on a different input
+}
+
+// CrossTraining measures train/test input sensitivity on the FALLTHROUGH
+// architecture for kernel workloads (whose inputs are real data).
+func CrossTraining(programs []string, cfg Config) ([]CrossTrainRow, error) {
+	if len(programs) == 0 {
+		programs = []string{"compress", "eqntott", "li"}
+	}
+	var rows []CrossTrainRow
+	for _, name := range programs {
+		train, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed, InputSeed: 0})
+		if err != nil {
+			return nil, err
+		}
+		test, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed, InputSeed: 1})
+		if err != nil {
+			return nil, err
+		}
+		pf, _, err := train.CollectProfile()
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.AlignProgram(train.Prog, pf, core.Options{
+			Algorithm: core.AlgoTryN, Model: cost.FallthroughModel{},
+			Window: cfg.window(), MaxCombos: cfg.MaxCombos,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		cpi := func(w *workload.Workload, prog *core.Result, orig bool) (float64, error) {
+			var p = w.Prog
+			var prof = pf
+			if !orig {
+				p, prof = prog.Prog, prog.Prof
+			}
+			sim, err := predict.NewSimulator(predict.ArchFallthrough, p, prof)
+			if err != nil {
+				return 0, err
+			}
+			instrs, err := w.Run(p, prof, sim, nil)
+			if err != nil {
+				return 0, err
+			}
+			baseline, err := baselineInstrs(w)
+			if err != nil {
+				return 0, err
+			}
+			return metrics.RelativeCPI(baseline, instrs, metrics.BEPFromResult(sim.Result())), nil
+		}
+
+		row := CrossTrainRow{Program: name}
+		if row.CPIOrig, err = cpi(test, res, true); err != nil {
+			return nil, err
+		}
+		if row.CPISameInput, err = cpi(train, res, false); err != nil {
+			return nil, err
+		}
+		if row.CPICrossIn, err = cpi(test, res, false); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// baselineInstrs runs a workload's original program once to get the
+// denominator instruction count on its own input.
+func baselineInstrs(w *workload.Workload) (uint64, error) {
+	return w.Run(w.Prog, nil, nil, nil)
+}
+
+// FormatCrossTraining renders the cross-training rows.
+func FormatCrossTraining(rows []CrossTrainRow) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 1, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Program\tOrig(test input)\tAligned(train input)\tAligned(test input)\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t\n", r.Program, r.CPIOrig, r.CPISameInput, r.CPICrossIn)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// UnrollRow compares alignment alone against unroll+alignment on a program
+// dominated by single-block loops (the paper's ALVINN suggestion).
+type UnrollRow struct {
+	Program      string
+	CPIOrig      float64
+	CPIAligned   float64
+	CPIUnrolled  float64 // unroll + align
+	LoopsHandled int
+}
+
+// UnrollStudy evaluates the loop-unrolling extension on the FALLTHROUGH
+// architecture.
+func UnrollStudy(programs []string, cfg Config) ([]UnrollRow, error) {
+	if len(programs) == 0 {
+		programs = []string{"alvinn", "tomcatv"}
+	}
+	var rows []UnrollRow
+	for _, name := range programs {
+		w, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		pf, origInstrs, err := w.CollectProfile()
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{
+			Algorithm: core.AlgoTryN, Model: cost.FallthroughModel{},
+			Window: cfg.window(), MaxCombos: cfg.MaxCombos,
+		}
+		aligned, err := core.AlignProgram(w.Prog, pf, opts)
+		if err != nil {
+			return nil, err
+		}
+		up, upf, ustats, err := core.UnrollLoops(w.Prog, pf, core.DefaultUnrollOptions())
+		if err != nil {
+			return nil, err
+		}
+		unrolled, err := core.AlignProgram(up, upf, opts)
+		if err != nil {
+			return nil, err
+		}
+
+		cpi := func(prog *core.Result) (float64, error) {
+			sim, err := predict.NewSimulator(predict.ArchFallthrough, prog.Prog, prog.Prof)
+			if err != nil {
+				return 0, err
+			}
+			instrs, err := w.Run(prog.Prog, prog.Prof, sim, nil)
+			if err != nil {
+				return 0, err
+			}
+			return metrics.RelativeCPI(origInstrs, instrs, metrics.BEPFromResult(sim.Result())), nil
+		}
+		simO, err := predict.NewSimulator(predict.ArchFallthrough, w.Prog, pf)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Run(w.Prog, pf, simO, nil); err != nil {
+			return nil, err
+		}
+
+		row := UnrollRow{Program: name, LoopsHandled: ustats.LoopsUnrolled}
+		row.CPIOrig = metrics.RelativeCPI(origInstrs, origInstrs, metrics.BEPFromResult(simO.Result()))
+		if row.CPIAligned, err = cpi(aligned); err != nil {
+			return nil, err
+		}
+		if row.CPIUnrolled, err = cpi(unrolled); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatUnrollStudy renders the unroll study.
+func FormatUnrollStudy(rows []UnrollRow) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 1, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Program\tOrig\tAligned\tUnroll+Align\tLoops\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%d\t\n", r.Program, r.CPIOrig, r.CPIAligned, r.CPIUnrolled, r.LoopsHandled)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// ICacheRow reports the instruction-cache side effect of alignment the
+// paper's prior work targeted: misses per thousand fetched instructions on
+// a small I-cache for the original, Greedy and TryN layouts.
+type ICacheRow struct {
+	Program    string
+	MPKIOrig   float64
+	MPKIGreedy float64
+	MPKITry    float64
+}
+
+// ICacheStudy measures I-cache behaviour before and after alignment. The
+// cache is deliberately small (see icache.DefaultConfig) to exert pressure
+// at reproduction scale.
+func ICacheStudy(programs []string, cfg Config) ([]ICacheRow, error) {
+	if len(programs) == 0 {
+		programs = []string{"gcc", "cfront", "espresso"}
+	}
+	var rows []ICacheRow
+	for _, name := range programs {
+		w, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		pf, _, err := w.CollectProfile()
+		if err != nil {
+			return nil, err
+		}
+		mpki := func(prog *ir.Program, prof *profile.Profile) (float64, error) {
+			sim := icache.New(icache.DefaultConfig())
+			if _, err := w.Run(prog, prof, sim, nil); err != nil {
+				return 0, err
+			}
+			return sim.MPKI(), nil
+		}
+		row := ICacheRow{Program: name}
+		if row.MPKIOrig, err = mpki(w.Prog, pf); err != nil {
+			return nil, err
+		}
+		greedy, err := core.AlignProgram(w.Prog, pf, core.Options{Algorithm: core.AlgoGreedy})
+		if err != nil {
+			return nil, err
+		}
+		if row.MPKIGreedy, err = mpki(greedy.Prog, greedy.Prof); err != nil {
+			return nil, err
+		}
+		tryn, err := core.AlignProgram(w.Prog, pf, core.Options{
+			Algorithm: core.AlgoTryN, Model: cost.BTFNTModel{},
+			Window: cfg.window(), MaxCombos: cfg.MaxCombos,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if row.MPKITry, err = mpki(tryn.Prog, tryn.Prof); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatICacheStudy renders the I-cache rows.
+func FormatICacheStudy(rows []ICacheRow) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 1, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Program\tMPKI orig\tMPKI greedy\tMPKI try15\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t\n", r.Program, r.MPKIOrig, r.MPKIGreedy, r.MPKITry)
+	}
+	tw.Flush()
+	return sb.String()
+}

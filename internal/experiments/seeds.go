@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"balign/internal/core"
+	"balign/internal/cost"
+	"balign/internal/metrics"
+	"balign/internal/predict"
+	"balign/internal/workload"
+)
+
+// SeedRow summarizes alignment benefit across independently seeded
+// instances of one synthetic program: the paper reports single runs; this
+// sweep checks the reproduction's conclusions are not artifacts of one
+// random program instance.
+type SeedRow struct {
+	Program string
+	Seeds   int
+	// MeanGainPct / StdGainPct summarize the relative CPI improvement of
+	// TryN over the original layout on FALLTHROUGH, in percent.
+	MeanGainPct float64
+	StdGainPct  float64
+	MinGainPct  float64
+	MaxGainPct  float64
+}
+
+// SeedSweep evaluates the FALLTHROUGH alignment gain over several seeds.
+func SeedSweep(programs []string, seeds int, cfg Config) ([]SeedRow, error) {
+	if len(programs) == 0 {
+		programs = []string{"ora", "doduc"}
+	}
+	if seeds <= 0 {
+		seeds = 5
+	}
+	var rows []SeedRow
+	for _, name := range programs {
+		var gains []float64
+		for s := 0; s < seeds; s++ {
+			w, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed + int64(s)*1001})
+			if err != nil {
+				return nil, err
+			}
+			pf, origInstrs, err := w.CollectProfile()
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.AlignProgram(w.Prog, pf, core.Options{
+				Algorithm: core.AlgoTryN, Model: cost.FallthroughModel{},
+				Window: cfg.window(), MaxCombos: cfg.MaxCombos,
+			})
+			if err != nil {
+				return nil, err
+			}
+			simO, err := predict.NewSimulator(predict.ArchFallthrough, w.Prog, pf)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := w.Run(w.Prog, pf, simO, nil); err != nil {
+				return nil, err
+			}
+			simT, err := predict.NewSimulator(predict.ArchFallthrough, res.Prog, res.Prof)
+			if err != nil {
+				return nil, err
+			}
+			tryInstrs, err := w.Run(res.Prog, res.Prof, simT, nil)
+			if err != nil {
+				return nil, err
+			}
+			cpiO := metrics.RelativeCPI(origInstrs, origInstrs, metrics.BEPFromResult(simO.Result()))
+			cpiT := metrics.RelativeCPI(origInstrs, tryInstrs, metrics.BEPFromResult(simT.Result()))
+			gains = append(gains, 100*(1-cpiT/cpiO))
+		}
+		mean, std := meanStd(gains)
+		mn, mx := gains[0], gains[0]
+		for _, g := range gains {
+			mn = math.Min(mn, g)
+			mx = math.Max(mx, g)
+		}
+		rows = append(rows, SeedRow{
+			Program: name, Seeds: seeds,
+			MeanGainPct: mean, StdGainPct: std, MinGainPct: mn, MaxGainPct: mx,
+		})
+	}
+	return rows, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)-1))
+	return mean, std
+}
+
+// FormatSeedSweep renders the sweep.
+func FormatSeedSweep(rows []SeedRow) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 1, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Program\tseeds\tmean gain%\tstd\tmin\tmax\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
+			r.Program, r.Seeds, r.MeanGainPct, r.StdGainPct, r.MinGainPct, r.MaxGainPct)
+	}
+	tw.Flush()
+	return sb.String()
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"balign/internal/cost"
+	"balign/internal/metrics"
+	"balign/internal/predict"
+	"balign/internal/workload"
+)
+
+// Table1 renders the paper's Table 1: the branch cost model in cycles.
+func Table1() string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Branch\tCost (cycles)")
+	fmt.Fprintf(tw, "Unconditional branch\t%.0f\t(instruction + misfetch)\n", cost.CyclesUncond)
+	fmt.Fprintf(tw, "Correctly predicted fall-through\t%.0f\t(instruction)\n", cost.CyclesFall)
+	fmt.Fprintf(tw, "Correctly predicted taken\t%.0f\t(instruction + misfetch)\n", cost.CyclesTakenPred)
+	fmt.Fprintf(tw, "Mispredicted\t%.0f\t(instruction + mispredict)\n", cost.CyclesMispredict)
+	tw.Flush()
+	return sb.String()
+}
+
+// Table2Row is one program's measured attributes (paper Table 2).
+type Table2Row struct {
+	Program string
+	Class   workload.Class
+	Attr    metrics.Attributes
+}
+
+// Table2 traces every program in the configured suite and measures its
+// attributes.
+func Table2(cfg Config) ([]Table2Row, error) {
+	ws, err := cfg.workloads()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, 0, len(ws))
+	for _, w := range ws {
+		col := metrics.NewCollector()
+		instrs, err := w.Run(w.Prog, nil, col, nil)
+		if err != nil {
+			return nil, fmt.Errorf("table2: %s: %w", w.Name, err)
+		}
+		col.Instrs = instrs
+		rows = append(rows, Table2Row{Program: w.Name, Class: w.Class, Attr: col.Attributes(w.Prog)})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table 2 rows in the paper's column layout.
+func FormatTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 1, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "Program\tInsns\t%%Breaks\tQ-50\tQ-90\tQ-99\tQ-100\tStatic\t%%Taken\t%%CBr\t%%IJ\t%%Br\t%%Call\t%%Ret\t\n")
+	for _, r := range rows {
+		a := r.Attr
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%d\t%d\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
+			r.Program, a.Instrs, a.PctBreaks, a.Q50, a.Q90, a.Q99, a.Q100,
+			a.StaticSites, a.PctTaken, a.PctCBr, a.PctIJ, a.PctBr, a.PctCall, a.PctRet)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// Table3 evaluates the static prediction architectures (paper Table 3):
+// relative CPI under FALLTHROUGH, BT/FNT and LIKELY for the original,
+// Greedy-aligned and Try15-aligned program, plus fall-through percentages.
+func Table3(cfg Config) ([]*ProgramResult, error) {
+	return evaluateSuite(cfg, predict.StaticArchs())
+}
+
+// Table4 evaluates the dynamic prediction architectures (paper Table 4).
+func Table4(cfg Config) ([]*ProgramResult, error) {
+	return evaluateSuite(cfg, predict.DynamicArchs())
+}
+
+func evaluateSuite(cfg Config, archs []predict.ArchID) ([]*ProgramResult, error) {
+	ws, err := cfg.workloads()
+	if err != nil {
+		return nil, err
+	}
+	// Programs are independent; evaluate them concurrently. Results stay
+	// in suite order and every workload's RNGs are its own, so the output
+	// is identical to the serial evaluation.
+	results := make([]*ProgramResult, len(ws))
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w *workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Evaluate(w, archs, cfg)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := append([]*ProgramResult(nil), results...)
+	// Per-class averages, as the paper prints.
+	for _, class := range []workload.Class{workload.SPECfp, workload.SPECint, workload.Other} {
+		if hasClass(out, class) {
+			out = append(out, ClassAverage(out, class, archs))
+		}
+	}
+	return out, nil
+}
+
+func hasClass(rs []*ProgramResult, class workload.Class) bool {
+	for _, r := range rs {
+		if r.Class == class && !strings.HasPrefix(r.Program, "avg-") {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatCPITable renders Table 3/4-style results: one row per program,
+// arch x {Orig, Greedy, Try15} relative CPI columns, and (when
+// withFallPct) the fall-through percentage columns.
+func FormatCPITable(results []*ProgramResult, archs []predict.ArchID, withFallPct bool) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 4, 1, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "Program\t")
+	for _, arch := range archs {
+		fmt.Fprintf(tw, "%s:Orig\t%s:Greedy\t%s:Try15\t", arch, arch, arch)
+	}
+	if withFallPct {
+		fmt.Fprintf(tw, "%%FT:Orig\t%%FT:Greedy\t")
+		for _, arch := range archs {
+			fmt.Fprintf(tw, "%%FT:Try(%s)\t", arch)
+		}
+	}
+	fmt.Fprintln(tw)
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t", r.Program)
+		for _, arch := range archs {
+			for _, algo := range Algos() {
+				fmt.Fprintf(tw, "%.3f\t", r.Cells[arch][algo].CPI)
+			}
+		}
+		if withFallPct {
+			first := archs[0]
+			fmt.Fprintf(tw, "%.0f\t%.0f\t", r.Cells[first][AlgoOrig].FallPct, r.Cells[first][AlgoGreedy].FallPct)
+			for _, arch := range archs {
+				fmt.Fprintf(tw, "%.0f\t", r.Cells[arch][AlgoTry].FallPct)
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	return sb.String()
+}

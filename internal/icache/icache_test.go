@@ -1,0 +1,93 @@
+package icache
+
+import (
+	"testing"
+
+	"balign/internal/ir"
+	"balign/internal/trace"
+)
+
+func TestSequentialFetchTouchesEachLineOnce(t *testing.T) {
+	s := New(Config{LineBytes: 32, Sets: 8, Ways: 1})
+	// One event 64 instructions (256 bytes, 8 lines) past the start.
+	s.Event(trace.Event{PC: 0x1000, Kind: ir.Br, Taken: true, Target: 0x2000, Fall: 0x1004})
+	s.Event(trace.Event{PC: 0x2000 + 63*4, Kind: ir.Br, Taken: true, Target: 0x1000, Fall: 0x2000 + 64*4})
+	// First event: fetch just 0x1000 (1 line). Second: 0x2000..0x20fc = 8 lines.
+	if s.Accesses != 1+8 {
+		t.Errorf("Accesses = %d, want 9", s.Accesses)
+	}
+	if s.Fetches != 1+64 {
+		t.Errorf("Fetches = %d, want 65", s.Fetches)
+	}
+}
+
+func TestHitsAfterWarmup(t *testing.T) {
+	s := New(Config{LineBytes: 32, Sets: 8, Ways: 2})
+	ev := trace.Event{PC: 0x1000, Kind: ir.Br, Taken: true, Target: 0x1000, Fall: 0x1004}
+	for i := 0; i < 10; i++ {
+		s.Event(ev)
+	}
+	if s.Misses != 1 {
+		t.Errorf("Misses = %d, want 1 (cold miss only)", s.Misses)
+	}
+	if s.MissRate() >= 0.2 {
+		t.Errorf("MissRate = %v, want small", s.MissRate())
+	}
+}
+
+func TestConflictMisses(t *testing.T) {
+	// Direct-mapped, 4 sets of 32B: addresses 0 and 4*32 alias.
+	s := New(Config{LineBytes: 32, Sets: 4, Ways: 1})
+	a := trace.Event{PC: 0x0, Kind: ir.Br, Taken: true, Target: 0x80, Fall: 0x4}
+	b := trace.Event{PC: 0x80, Kind: ir.Br, Taken: true, Target: 0x0, Fall: 0x84}
+	for i := 0; i < 10; i++ {
+		s.Event(a)
+		s.Event(b)
+	}
+	if s.Misses < 18 {
+		t.Errorf("Misses = %d, want thrashing (~20)", s.Misses)
+	}
+}
+
+func TestNotTakenFollowsFall(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Event(trace.Event{PC: 0x1000, Kind: ir.CondBr, Taken: false, Target: 0x8000, Fall: 0x1004})
+	s.Event(trace.Event{PC: 0x1010, Kind: ir.CondBr, Taken: true, Target: 0x8000, Fall: 0x1014})
+	// The second event's sequential fetch must start at the first's fall
+	// address (0x1004), not its taken target.
+	if s.Fetches != 1+4 {
+		t.Errorf("Fetches = %d, want 5 (0x1000, then 0x1004..0x1010)", s.Fetches)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{LineBytes: 24, Sets: 8, Ways: 1},
+		{LineBytes: 32, Sets: 7, Ways: 1},
+		{LineBytes: 32, Sets: 8, Ways: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestResetAndMetrics(t *testing.T) {
+	s := New(DefaultConfig())
+	if s.SizeBytes() != 32*128*2 {
+		t.Errorf("SizeBytes = %d", s.SizeBytes())
+	}
+	s.Event(trace.Event{PC: 0x1000, Kind: ir.Br, Taken: true, Target: 0x2000, Fall: 0x1004})
+	if s.MPKI() == 0 {
+		t.Error("MPKI should be nonzero after a cold miss")
+	}
+	s.Reset()
+	if s.Fetches != 0 || s.Misses != 0 || s.MissRate() != 0 || s.MPKI() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}

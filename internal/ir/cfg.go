@@ -1,0 +1,118 @@
+package ir
+
+// EdgeKind classifies an intraprocedural CFG edge by how control traverses
+// it: as the fall-through path, the taken path of a conditional branch, the
+// target of an unconditional branch, or one arm of an indirect jump.
+type EdgeKind uint8
+
+const (
+	// EdgeFall is the not-taken path of a conditional branch or the
+	// implicit continuation of a block with no terminator.
+	EdgeFall EdgeKind = iota
+	// EdgeTaken is the taken path of a conditional branch.
+	EdgeTaken
+	// EdgeUncond is the target of an unconditional branch.
+	EdgeUncond
+	// EdgeIndirect is one possible arm of an indirect jump.
+	EdgeIndirect
+)
+
+// String returns a short name for the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeFall:
+		return "fall"
+	case EdgeTaken:
+		return "taken"
+	case EdgeUncond:
+		return "uncond"
+	case EdgeIndirect:
+		return "indirect"
+	default:
+		return "edge?"
+	}
+}
+
+// Edge is a directed intraprocedural CFG edge.
+type Edge struct {
+	From BlockID
+	To   BlockID
+	Kind EdgeKind
+}
+
+// OutEdges appends the classified outgoing edges of block id to dst and
+// returns it. Edge order is deterministic: taken/uncond/indirect edges
+// first, fall-through last.
+func (p *Proc) OutEdges(id BlockID, dst []Edge) []Edge {
+	b := p.Block(id)
+	if b == nil {
+		return dst
+	}
+	if t, ok := b.Terminator(); ok {
+		switch t.Kind() {
+		case CondBr:
+			dst = append(dst, Edge{From: id, To: t.TargetBlock, Kind: EdgeTaken})
+		case Br:
+			return append(dst, Edge{From: id, To: t.TargetBlock, Kind: EdgeUncond})
+		case IJump:
+			for _, tgt := range t.Targets {
+				dst = append(dst, Edge{From: id, To: tgt, Kind: EdgeIndirect})
+			}
+			return dst
+		case Ret, Halt:
+			return dst
+		}
+	}
+	if f := p.FallSucc(id); f != NoBlock {
+		dst = append(dst, Edge{From: id, To: f, Kind: EdgeFall})
+	}
+	return dst
+}
+
+// Edges returns all classified intraprocedural edges of the procedure in
+// deterministic order.
+func (p *Proc) Edges() []Edge {
+	var out []Edge
+	for id := range p.Blocks {
+		out = p.OutEdges(BlockID(id), out)
+	}
+	return out
+}
+
+// Preds returns, for each block, the list of predecessor block IDs, indexed
+// by BlockID.
+func (p *Proc) Preds() [][]BlockID {
+	preds := make([][]BlockID, len(p.Blocks))
+	var scratch []Edge
+	for id := range p.Blocks {
+		scratch = p.OutEdges(BlockID(id), scratch[:0])
+		for _, e := range scratch {
+			preds[e.To] = append(preds[e.To], e.From)
+		}
+	}
+	return preds
+}
+
+// Reachable returns the set of blocks reachable from the entry block,
+// indexed by BlockID.
+func (p *Proc) Reachable() []bool {
+	seen := make([]bool, len(p.Blocks))
+	if len(p.Blocks) == 0 {
+		return seen
+	}
+	stack := []BlockID{p.Entry()}
+	seen[p.Entry()] = true
+	var scratch []BlockID
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		scratch = p.Succs(id, scratch[:0])
+		for _, s := range scratch {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,189 @@
+package ir
+
+// Dominators computes the immediate dominator of every block reachable from
+// the procedure entry, using the Cooper–Harvey–Kennedy iterative algorithm
+// over a reverse postorder. Unreachable blocks get NoBlock. The entry block
+// is its own immediate dominator.
+//
+// Branch alignment uses dominance to recognize loop back edges precisely: a
+// CFG edge S -> T is a back edge of a natural loop exactly when T dominates
+// S, which is the right criterion for the BT/FNT cost model's
+// "taken-backward" question while chains are still being formed.
+func (p *Proc) Dominators() []BlockID {
+	n := len(p.Blocks)
+	idom := make([]BlockID, n)
+	for i := range idom {
+		idom[i] = NoBlock
+	}
+	if n == 0 {
+		return idom
+	}
+
+	// Reverse postorder over the CFG from the entry.
+	post := make([]BlockID, 0, n)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		id   BlockID
+		next int
+	}
+	var succScratch []BlockID
+	succs := make([][]BlockID, n)
+	for i := range succs {
+		succScratch = p.Succs(BlockID(i), succScratch[:0])
+		succs[i] = append([]BlockID(nil), succScratch...)
+	}
+	stack := []frame{{id: p.Entry()}}
+	state[p.Entry()] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(succs[f.id]) {
+			s := succs[f.id][f.next]
+			f.next++
+			if state[s] == 0 {
+				state[s] = 1
+				stack = append(stack, frame{id: s})
+			}
+			continue
+		}
+		state[f.id] = 2
+		post = append(post, f.id)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]BlockID, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+
+	// Predecessor lists restricted to reachable blocks.
+	preds := make([][]BlockID, n)
+	for _, b := range rpo {
+		for _, s := range succs[b] {
+			if rpoNum[s] >= 0 {
+				preds[s] = append(preds[s], b)
+			}
+		}
+	}
+
+	intersect := func(a, b BlockID) BlockID {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	entry := p.Entry()
+	idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom BlockID = NoBlock
+			for _, pr := range preds[b] {
+				if idom[pr] == NoBlock {
+					continue
+				}
+				if newIdom == NoBlock {
+					newIdom = pr
+				} else {
+					newIdom = intersect(pr, newIdom)
+				}
+			}
+			if newIdom != NoBlock && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b given an idom array
+// from Dominators. Every block dominates itself; unreachable blocks
+// dominate nothing and are dominated by nothing.
+func Dominates(idom []BlockID, a, b BlockID) bool {
+	if int(a) >= len(idom) || int(b) >= len(idom) || idom[b] == NoBlock {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == b || next == NoBlock {
+			return false
+		}
+		b = next
+	}
+}
+
+// Loop describes one natural loop: the header block and the set of blocks
+// in the loop body (including the header).
+type Loop struct {
+	Header BlockID
+	Blocks map[BlockID]bool
+}
+
+// NaturalLoops finds the procedure's natural loops: for every back edge
+// S -> H (H dominates S), the loop body is H plus all blocks that reach S
+// without passing through H. Loops sharing a header are merged.
+func (p *Proc) NaturalLoops() []Loop {
+	idom := p.Dominators()
+	byHeader := make(map[BlockID]*Loop)
+	var order []BlockID
+
+	var scratch []BlockID
+	for id := range p.Blocks {
+		s := BlockID(id)
+		if idom[s] == NoBlock {
+			continue // unreachable
+		}
+		scratch = p.Succs(s, scratch[:0])
+		for _, h := range scratch {
+			if !Dominates(idom, h, s) {
+				continue
+			}
+			lp := byHeader[h]
+			if lp == nil {
+				lp = &Loop{Header: h, Blocks: map[BlockID]bool{h: true}}
+				byHeader[h] = lp
+				order = append(order, h)
+			}
+			// Walk predecessors from S back to H.
+			if !lp.Blocks[s] {
+				stack := []BlockID{s}
+				lp.Blocks[s] = true
+				preds := p.Preds()
+				for len(stack) > 0 {
+					b := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, pr := range preds[b] {
+						if idom[pr] != NoBlock && !lp.Blocks[pr] {
+							lp.Blocks[pr] = true
+							stack = append(stack, pr)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	out := make([]Loop, 0, len(order))
+	for _, h := range order {
+		out = append(out, *byHeader[h])
+	}
+	return out
+}

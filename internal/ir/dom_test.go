@@ -1,0 +1,200 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamondLoopProc builds:
+//
+//	0 entry -> 1
+//	1 header: cond -> 5 (exit) / fall 2
+//	2 cond -> 3 / fall 4  (diamond)
+//	3 br 4? no: 3 falls to 4
+//	4 br 1 (back edge)
+//	5 halt
+func diamondLoopProc() *Proc {
+	return &Proc{Name: "d", Blocks: []*Block{
+		{Instrs: []Instr{{Op: OpLi, Rd: 1, Imm: 3}}},           // 0 -> 1
+		{Instrs: []Instr{{Op: OpBeqz, Rd: 1, TargetBlock: 5}}}, // 1: header
+		{Instrs: []Instr{{Op: OpBnez, Rd: 2, TargetBlock: 4}}}, // 2: diamond
+		{Instrs: []Instr{{Op: OpAddi, Rd: 3, Rs: 3, Imm: 1}}},  // 3 -> 4
+		{Instrs: []Instr{{Op: OpBr, TargetBlock: 1}}},          // 4: back edge
+		{Instrs: []Instr{{Op: OpHalt}}},                        // 5
+	}}
+}
+
+func TestDominatorsDiamondLoop(t *testing.T) {
+	p := diamondLoopProc()
+	idom := p.Dominators()
+	want := map[BlockID]BlockID{
+		0: 0, // entry
+		1: 0,
+		2: 1,
+		3: 2,
+		4: 2, // join of the diamond: idom is the branch block 2
+		5: 1,
+	}
+	for b, w := range want {
+		if idom[b] != w {
+			t.Errorf("idom[%d] = %d, want %d", b, idom[b], w)
+		}
+	}
+	if !Dominates(idom, 1, 4) {
+		t.Error("header 1 should dominate 4")
+	}
+	if Dominates(idom, 2, 5) {
+		t.Error("2 should not dominate exit 5")
+	}
+	if !Dominates(idom, 3, 3) {
+		t.Error("every block dominates itself")
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	p := &Proc{Name: "u", Blocks: []*Block{
+		{Instrs: []Instr{{Op: OpHalt}}},
+		{Instrs: []Instr{{Op: OpRet}}}, // unreachable
+	}}
+	idom := p.Dominators()
+	if idom[0] != 0 {
+		t.Errorf("idom[entry] = %d", idom[0])
+	}
+	if idom[1] != NoBlock {
+		t.Errorf("idom[unreachable] = %d, want NoBlock", idom[1])
+	}
+	if Dominates(idom, 0, 1) || Dominates(idom, 1, 0) {
+		t.Error("unreachable blocks should not participate in dominance")
+	}
+}
+
+func TestNaturalLoopsDiamondLoop(t *testing.T) {
+	p := diamondLoopProc()
+	loops := p.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	lp := loops[0]
+	if lp.Header != 1 {
+		t.Errorf("header = %d, want 1", lp.Header)
+	}
+	for _, b := range []BlockID{1, 2, 3, 4} {
+		if !lp.Blocks[b] {
+			t.Errorf("block %d missing from loop body", b)
+		}
+	}
+	for _, b := range []BlockID{0, 5} {
+		if lp.Blocks[b] {
+			t.Errorf("block %d wrongly in loop body", b)
+		}
+	}
+}
+
+func TestNaturalLoopsSelfLoop(t *testing.T) {
+	p := &Proc{Name: "s", Blocks: []*Block{
+		{Instrs: []Instr{{Op: OpLi, Rd: 1, Imm: 3}}},
+		{Instrs: []Instr{{Op: OpBnez, Rd: 1, TargetBlock: 1}}},
+		{Instrs: []Instr{{Op: OpHalt}}},
+	}}
+	loops := p.NaturalLoops()
+	if len(loops) != 1 || loops[0].Header != 1 {
+		t.Fatalf("loops = %+v, want one self loop at 1", loops)
+	}
+	if len(loops[0].Blocks) != 1 || !loops[0].Blocks[1] {
+		t.Errorf("self-loop body = %v, want {1}", loops[0].Blocks)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// 0 -> 1 (outer header cond->4) -> 2 (inner header cond->1? ...)
+	// outer: 1..3, inner: 2 self.
+	p := &Proc{Name: "n", Blocks: []*Block{
+		{Instrs: []Instr{{Op: OpLi, Rd: 1, Imm: 1}}},           // 0
+		{Instrs: []Instr{{Op: OpBeqz, Rd: 1, TargetBlock: 4}}}, // 1: outer header
+		{Instrs: []Instr{{Op: OpBnez, Rd: 2, TargetBlock: 2}}}, // 2: inner self loop
+		{Instrs: []Instr{{Op: OpBr, TargetBlock: 1}}},          // 3: outer back edge
+		{Instrs: []Instr{{Op: OpHalt}}},                        // 4
+	}}
+	loops := p.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2 (outer + inner)", len(loops))
+	}
+	var outer, inner *Loop
+	for i := range loops {
+		switch loops[i].Header {
+		case 1:
+			outer = &loops[i]
+		case 2:
+			inner = &loops[i]
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("headers = %v", loops)
+	}
+	if !outer.Blocks[2] || !outer.Blocks[3] {
+		t.Errorf("outer loop body %v should contain 2 and 3", outer.Blocks)
+	}
+	if len(inner.Blocks) != 1 {
+		t.Errorf("inner loop body %v should be just the self block", inner.Blocks)
+	}
+}
+
+// Property: dominance is reflexive and transitive through idom chains, and
+// the entry dominates every reachable block.
+func TestDominatorsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomValidProgram(rng)
+		for _, p := range prog.Procs {
+			idom := p.Dominators()
+			reach := p.Reachable()
+			for id := range p.Blocks {
+				b := BlockID(id)
+				if !reach[b] {
+					if idom[b] != NoBlock {
+						return false
+					}
+					continue
+				}
+				if !Dominates(idom, p.Entry(), b) {
+					return false
+				}
+				if !Dominates(idom, b, b) {
+					return false
+				}
+				// idom[b] must dominate b and be reachable.
+				if b != p.Entry() && !Dominates(idom, idom[b], b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every natural loop's blocks are dominated by its header, and
+// every back edge source is in the loop of its header.
+func TestNaturalLoopsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomValidProgram(rng)
+		for _, p := range prog.Procs {
+			idom := p.Dominators()
+			for _, lp := range p.NaturalLoops() {
+				for b := range lp.Blocks {
+					if !Dominates(idom, lp.Header, b) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

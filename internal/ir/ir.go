@@ -1,0 +1,244 @@
+// Package ir defines the intermediate representation used throughout the
+// branch-alignment system: a small RISC-like instruction set organised into
+// basic blocks, procedures and whole programs.
+//
+// The representation is deliberately close to what a link-time binary
+// rewriter (such as OM, used in the original paper) sees: every instruction
+// occupies one address slot, conditional branches have an explicit taken
+// target and an implicit fall-through to the next block in layout order, and
+// procedures are laid out contiguously. Branch alignment reorders the blocks
+// of each procedure and patches branches so that the program's semantics are
+// preserved while hot edges become fall-throughs.
+package ir
+
+import "fmt"
+
+// Kind classifies an instruction by its effect on control flow. The five
+// break kinds (CondBr, Br, Call, IJump, Ret) match the five break categories
+// the paper traces (CBr, Br, Call, IJ, Ret).
+type Kind uint8
+
+const (
+	// Op is an ordinary computational instruction with no control effect.
+	Op Kind = iota
+	// CondBr is a two-way conditional branch: taken edge to an explicit
+	// label, fall-through edge to the next block in layout order.
+	CondBr
+	// Br is an unconditional direct branch.
+	Br
+	// Call is a direct procedure call; control returns to the following
+	// instruction. Calls may appear in the middle of a basic block.
+	Call
+	// IJump is an indirect jump through a register (jump table / computed
+	// goto). Its possible destinations are listed statically so that the
+	// CFG stays complete, as a binary rewriter would recover them from
+	// relocation and jump-table analysis.
+	IJump
+	// Ret returns from the current procedure.
+	Ret
+	// Halt terminates the program.
+	Halt
+)
+
+// String returns the paper's abbreviation for the break kind.
+func (k Kind) String() string {
+	switch k {
+	case Op:
+		return "op"
+	case CondBr:
+		return "cbr"
+	case Br:
+		return "br"
+	case Call:
+		return "call"
+	case IJump:
+		return "ijump"
+	case Ret:
+		return "ret"
+	case Halt:
+		return "halt"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsBreak reports whether the kind breaks sequential control flow when
+// executed (taken or not); Op is the only non-break kind. Halt is counted as
+// a break for completeness but never appears in traces.
+func (k Kind) IsBreak() bool { return k != Op }
+
+// EndsBlock reports whether an instruction of this kind must be the last
+// instruction of its basic block. Calls and plain ops may appear mid-block.
+func (k Kind) EndsBlock() bool {
+	switch k {
+	case CondBr, Br, IJump, Ret, Halt:
+		return true
+	}
+	return false
+}
+
+// Opcode selects the operation a VM performs for an instruction. Opcodes are
+// grouped by Kind: arithmetic/memory opcodes belong to Kind Op, comparison
+// opcodes to Kind CondBr, and the control kinds each have a single opcode.
+type Opcode uint8
+
+const (
+	// Computational opcodes (Kind Op).
+	OpNop  Opcode = iota
+	OpLi          // rd = imm
+	OpMov         // rd = rs
+	OpAdd         // rd = rs + rt
+	OpSub         // rd = rs - rt
+	OpMul         // rd = rs * rt
+	OpDiv         // rd = rs / rt (rt==0 -> 0)
+	OpMod         // rd = rs % rt (rt==0 -> 0)
+	OpAnd         // rd = rs & rt
+	OpOr          // rd = rs | rt
+	OpXor         // rd = rs ^ rt
+	OpShl         // rd = rs << (rt & 63)
+	OpShr         // rd = rs >> (rt & 63), arithmetic
+	OpAddi        // rd = rs + imm
+	OpMuli        // rd = rs * imm
+	OpAndi        // rd = rs & imm
+	OpLd          // rd = mem[rs + imm]
+	OpSt          // mem[rs + imm] = rd
+	OpSlt         // rd = rs < rt ? 1 : 0
+	OpSlti        // rd = rs < imm ? 1 : 0
+
+	// Conditional branch opcodes (Kind CondBr). Each compares Rd against Rs
+	// (the Z-variants compare Rd against zero) and branches to the taken
+	// target when the relation holds.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBle
+	OpBgt
+	OpBge
+	OpBeqz
+	OpBnez
+	OpBltz
+	OpBgez
+
+	// Control opcodes with dedicated kinds.
+	OpBr    // Kind Br
+	OpCall  // Kind Call
+	OpIJump // Kind IJump: index register Rd selects Targets[Rd]
+	OpRet   // Kind Ret
+	OpHalt  // Kind Halt
+)
+
+var opcodeNames = map[Opcode]string{
+	OpNop: "nop", OpLi: "li", OpMov: "mov", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpMod: "mod", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpAddi: "addi", OpMuli: "muli",
+	OpAndi: "andi", OpLd: "ld", OpSt: "st", OpSlt: "slt", OpSlti: "slti",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBle: "ble", OpBgt: "bgt",
+	OpBge: "bge", OpBeqz: "beqz", OpBnez: "bnez", OpBltz: "bltz",
+	OpBgez: "bgez", OpBr: "br", OpCall: "call", OpIJump: "ijump",
+	OpRet: "ret", OpHalt: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Opcode) String() string {
+	if s, ok := opcodeNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("opcode(%d)", uint8(o))
+}
+
+// KindOf returns the control-flow kind implied by an opcode.
+func KindOf(o Opcode) Kind {
+	switch {
+	case o >= OpBeq && o <= OpBgez:
+		return CondBr
+	case o == OpBr:
+		return Br
+	case o == OpCall:
+		return Call
+	case o == OpIJump:
+		return IJump
+	case o == OpRet:
+		return Ret
+	case o == OpHalt:
+		return Halt
+	default:
+		return Op
+	}
+}
+
+// InvertBranch returns the opcode computing the negated condition of a
+// conditional branch opcode. It panics when o is not a CondBr opcode; branch
+// alignment uses it to flip the sense of a branch when the taken target
+// becomes the fall-through.
+func InvertBranch(o Opcode) Opcode {
+	switch o {
+	case OpBeq:
+		return OpBne
+	case OpBne:
+		return OpBeq
+	case OpBlt:
+		return OpBge
+	case OpBge:
+		return OpBlt
+	case OpBle:
+		return OpBgt
+	case OpBgt:
+		return OpBle
+	case OpBeqz:
+		return OpBnez
+	case OpBnez:
+		return OpBeqz
+	case OpBltz:
+		return OpBgez
+	case OpBgez:
+		return OpBltz
+	default:
+		panic(fmt.Sprintf("ir: InvertBranch of non-conditional opcode %v", o))
+	}
+}
+
+// NumRegs is the number of general-purpose registers in the VM. Register 0
+// is conventionally used as a scratch/zero register by generated code but is
+// not hardwired.
+const NumRegs = 32
+
+// InstrBytes is the size of one instruction slot in the address space. A
+// fixed 4-byte encoding mirrors the Alpha AXP the paper targets.
+const InstrBytes = 4
+
+// Instr is a single instruction. Operand meaning depends on the opcode:
+//
+//	computational: Rd, Rs, Rt registers, Imm immediate
+//	cond branch:   Rd (and Rs for two-register forms) compared; taken
+//	               target is TargetBlock (a block index within the proc)
+//	br:            TargetBlock
+//	call:          TargetProc (a procedure index within the program)
+//	ijump:         Rd indexes Targets (block indices within the proc)
+//	ret, halt:     no operands
+type Instr struct {
+	Op  Opcode
+	Rd  uint8
+	Rs  uint8
+	Rt  uint8
+	Imm int64
+
+	// TargetBlock is the taken target of a CondBr or Br, as a block index
+	// within the containing procedure.
+	TargetBlock BlockID
+	// TargetProc is the callee of a Call, as a procedure index.
+	TargetProc int
+	// Targets lists the possible destinations of an IJump.
+	Targets []BlockID
+}
+
+// Kind returns the control-flow kind of the instruction.
+func (in *Instr) Kind() Kind { return KindOf(in.Op) }
+
+// Clone returns a deep copy of the instruction.
+func (in *Instr) Clone() Instr {
+	out := *in
+	if in.Targets != nil {
+		out.Targets = append([]BlockID(nil), in.Targets...)
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindOf(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want Kind
+	}{
+		{OpAdd, Op}, {OpLi, Op}, {OpLd, Op}, {OpSt, Op}, {OpNop, Op},
+		{OpBeq, CondBr}, {OpBne, CondBr}, {OpBlt, CondBr}, {OpBgez, CondBr},
+		{OpBr, Br}, {OpCall, Call}, {OpIJump, IJump}, {OpRet, Ret}, {OpHalt, Halt},
+	}
+	for _, c := range cases {
+		if got := KindOf(c.op); got != c.want {
+			t.Errorf("KindOf(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if Op.IsBreak() {
+		t.Error("Op.IsBreak() = true, want false")
+	}
+	for _, k := range []Kind{CondBr, Br, Call, IJump, Ret, Halt} {
+		if !k.IsBreak() {
+			t.Errorf("%v.IsBreak() = false, want true", k)
+		}
+	}
+	for _, k := range []Kind{CondBr, Br, IJump, Ret, Halt} {
+		if !k.EndsBlock() {
+			t.Errorf("%v.EndsBlock() = false, want true", k)
+		}
+	}
+	for _, k := range []Kind{Op, Call} {
+		if k.EndsBlock() {
+			t.Errorf("%v.EndsBlock() = true, want false", k)
+		}
+	}
+}
+
+func TestInvertBranchIsInvolution(t *testing.T) {
+	conds := []Opcode{OpBeq, OpBne, OpBlt, OpBle, OpBgt, OpBge, OpBeqz, OpBnez, OpBltz, OpBgez}
+	for _, op := range conds {
+		inv := InvertBranch(op)
+		if KindOf(inv) != CondBr {
+			t.Errorf("InvertBranch(%v) = %v, not a conditional", op, inv)
+		}
+		if back := InvertBranch(inv); back != op {
+			t.Errorf("InvertBranch(InvertBranch(%v)) = %v, want %v", op, back, op)
+		}
+		if inv == op {
+			t.Errorf("InvertBranch(%v) = itself", op)
+		}
+	}
+}
+
+func TestInvertBranchPanicsOnNonConditional(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("InvertBranch(OpAdd) did not panic")
+		}
+	}()
+	InvertBranch(OpAdd)
+}
+
+// twoBlockProc builds: b0: li; beq -> b1 ; b1: halt.
+func twoBlockProc() *Proc {
+	return &Proc{
+		Name: "main",
+		Blocks: []*Block{
+			{Orig: 0, Instrs: []Instr{
+				{Op: OpLi, Rd: 1, Imm: 5},
+				{Op: OpBeq, Rd: 1, Rs: 1, TargetBlock: 1},
+			}},
+			{Orig: 1, Instrs: []Instr{{Op: OpHalt}}},
+		},
+	}
+}
+
+func TestTerminatorAndFallsThrough(t *testing.T) {
+	p := twoBlockProc()
+	term, ok := p.Blocks[0].Terminator()
+	if !ok || term.Op != OpBeq {
+		t.Fatalf("Terminator(b0) = %v, %v; want beq, true", term, ok)
+	}
+	if !p.Blocks[0].FallsThrough() {
+		t.Error("block ending in CondBr should fall through")
+	}
+	if p.Blocks[1].FallsThrough() {
+		t.Error("block ending in halt should not fall through")
+	}
+	empty := &Block{}
+	if _, ok := empty.Terminator(); ok {
+		t.Error("empty block reported a terminator")
+	}
+	if !empty.FallsThrough() {
+		t.Error("empty block should fall through")
+	}
+}
+
+func TestProgramValidateOK(t *testing.T) {
+	prog := &Program{Name: "t", Procs: []*Proc{twoBlockProc()}}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestProgramValidateErrors(t *testing.T) {
+	mk := func(mut func(*Program)) *Program {
+		prog := &Program{Name: "t", Procs: []*Proc{twoBlockProc()}}
+		mut(prog)
+		return prog
+	}
+	cases := []struct {
+		name string
+		prog *Program
+		want string
+	}{
+		{"bad entry proc", mk(func(p *Program) { p.EntryProc = 3 }), "entry proc"},
+		{"branch target out of range", mk(func(p *Program) {
+			p.Procs[0].Blocks[0].Instrs[1].TargetBlock = 9
+		}), "out of range"},
+		{"terminator mid-block", mk(func(p *Program) {
+			b := p.Procs[0].Blocks[0]
+			b.Instrs = []Instr{{Op: OpRet}, {Op: OpLi, Rd: 1}}
+		}), "not last"},
+		{"last block falls through", mk(func(p *Program) {
+			p.Procs[0].Blocks[1].Instrs = []Instr{{Op: OpLi, Rd: 1}}
+		}), "falls through"},
+		{"call target out of range", mk(func(p *Program) {
+			b := p.Procs[0].Blocks[0]
+			b.Instrs = append([]Instr{{Op: OpCall, TargetProc: 7}}, b.Instrs...)
+		}), "call target"},
+		{"ijump no targets", mk(func(p *Program) {
+			p.Procs[0].Blocks[0].Instrs[1] = Instr{Op: OpIJump, Rd: 1}
+		}), "no targets"},
+		{"empty proc", mk(func(p *Program) {
+			p.Procs = append(p.Procs, &Proc{Name: "empty"})
+		}), "no blocks"},
+	}
+	for _, c := range cases {
+		err := c.prog.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate() = %q, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestAssignAddressesAndBlockAt(t *testing.T) {
+	prog := &Program{Procs: []*Proc{twoBlockProc(), {
+		Name:   "f",
+		Blocks: []*Block{{Instrs: []Instr{{Op: OpRet}}}},
+	}}}
+	end := prog.AssignAddresses(0x1000)
+	wantEnd := uint64(0x1000 + 4*InstrBytes)
+	if end != wantEnd {
+		t.Fatalf("AssignAddresses end = %#x, want %#x", end, wantEnd)
+	}
+	if got := prog.Procs[0].Blocks[1].Addr; got != 0x1000+2*InstrBytes {
+		t.Errorf("b1 addr = %#x, want %#x", got, 0x1000+2*InstrBytes)
+	}
+	if got := prog.Procs[1].Blocks[0].Addr; got != 0x1000+3*InstrBytes {
+		t.Errorf("f.b0 addr = %#x, want %#x", got, 0x1000+3*InstrBytes)
+	}
+
+	cases := []struct {
+		addr  uint64
+		wantP int
+		wantB BlockID
+	}{
+		{0x1000, 0, 0},
+		{0x1000 + InstrBytes, 0, 0},
+		{0x1000 + 2*InstrBytes, 0, 1},
+		{0x1000 + 3*InstrBytes, 1, 0},
+	}
+	for _, c := range cases {
+		p, b := prog.BlockAt(c.addr)
+		if p != c.wantP || b != c.wantB {
+			t.Errorf("BlockAt(%#x) = (%d, %d), want (%d, %d)", c.addr, p, b, c.wantP, c.wantB)
+		}
+	}
+	if p, b := prog.BlockAt(0x500); p != -1 || b != NoBlock {
+		t.Errorf("BlockAt(below) = (%d, %d), want (-1, NoBlock)", p, b)
+	}
+	if p, b := prog.BlockAt(wantEnd); p != -1 || b != NoBlock {
+		t.Errorf("BlockAt(past end) = (%d, %d), want (-1, NoBlock)", p, b)
+	}
+}
+
+func TestTermAddr(t *testing.T) {
+	p := twoBlockProc()
+	prog := &Program{Procs: []*Proc{p}}
+	prog.AssignAddresses(0)
+	if got, want := p.Blocks[0].TermAddr(), uint64(InstrBytes); got != want {
+		t.Errorf("TermAddr(b0) = %d, want %d", got, want)
+	}
+}
+
+func TestOutEdgesClassification(t *testing.T) {
+	// b0: condbr->b2 (taken) + fall->b1; b1: br->b0; b2: ijump [b3, b2]; b3: ret
+	p := &Proc{Name: "p", Blocks: []*Block{
+		{Instrs: []Instr{{Op: OpBnez, Rd: 1, TargetBlock: 2}}},
+		{Instrs: []Instr{{Op: OpBr, TargetBlock: 0}}},
+		{Instrs: []Instr{{Op: OpIJump, Rd: 2, Targets: []BlockID{3, 2}}}},
+		{Instrs: []Instr{{Op: OpRet}}},
+	}}
+	edges := p.Edges()
+	want := []Edge{
+		{0, 2, EdgeTaken}, {0, 1, EdgeFall},
+		{1, 0, EdgeUncond},
+		{2, 3, EdgeIndirect}, {2, 2, EdgeIndirect},
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges() = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge[%d] = %v, want %v", i, edges[i], want[i])
+		}
+	}
+
+	preds := p.Preds()
+	if len(preds[0]) != 1 || preds[0][0] != 1 {
+		t.Errorf("preds[0] = %v, want [1]", preds[0])
+	}
+	if len(preds[2]) != 2 {
+		t.Errorf("preds[2] = %v, want two entries", preds[2])
+	}
+}
+
+func TestReachable(t *testing.T) {
+	// b0 -> b1 -> halt; b2 unreachable.
+	p := &Proc{Name: "p", Blocks: []*Block{
+		{Instrs: []Instr{{Op: OpBr, TargetBlock: 1}}},
+		{Instrs: []Instr{{Op: OpHalt}}},
+		{Instrs: []Instr{{Op: OpRet}}},
+	}}
+	r := p.Reachable()
+	if !r[0] || !r[1] {
+		t.Errorf("Reachable = %v, blocks 0 and 1 should be reachable", r)
+	}
+	if r[2] {
+		t.Errorf("Reachable = %v, block 2 should be unreachable", r)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	prog := &Program{Name: "t", MemWords: 8, Procs: []*Proc{twoBlockProc()}}
+	prog.Procs[0].Blocks[0].Instrs[1] = Instr{Op: OpIJump, Rd: 1, Targets: []BlockID{1}}
+	cl := prog.Clone()
+	cl.Procs[0].Blocks[0].Instrs[1].Targets[0] = 0
+	cl.Procs[0].Blocks[0].Instrs[0].Imm = 99
+	if prog.Procs[0].Blocks[0].Instrs[1].Targets[0] != 1 {
+		t.Error("Clone shares IJump target slice with original")
+	}
+	if prog.Procs[0].Blocks[0].Instrs[0].Imm != 5 {
+		t.Error("Clone shares instruction storage with original")
+	}
+}
+
+func TestProcByName(t *testing.T) {
+	prog := &Program{Procs: []*Proc{{Name: "a", Blocks: []*Block{{Instrs: []Instr{{Op: OpRet}}}}},
+		{Name: "b", Blocks: []*Block{{Instrs: []Instr{{Op: OpRet}}}}}}}
+	if i := prog.ProcByName("b"); i != 1 {
+		t.Errorf("ProcByName(b) = %d, want 1", i)
+	}
+	if i := prog.ProcByName("zzz"); i != -1 {
+		t.Errorf("ProcByName(zzz) = %d, want -1", i)
+	}
+	prog.Procs = append(prog.Procs, &Proc{Name: "c", Blocks: []*Block{{Instrs: []Instr{{Op: OpRet}}}}})
+	prog.InvalidateIndex()
+	if i := prog.ProcByName("c"); i != 2 {
+		t.Errorf("ProcByName(c) after InvalidateIndex = %d, want 2", i)
+	}
+}
+
+func TestFormatInstrCoverage(t *testing.T) {
+	p := twoBlockProc()
+	prog := &Program{Procs: []*Proc{p}}
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpLi, Rd: 3, Imm: -7}, "li r3, -7"},
+		{Instr{Op: OpMov, Rd: 1, Rs: 2}, "mov r1, r2"},
+		{Instr{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpAddi, Rd: 1, Rs: 2, Imm: 4}, "addi r1, r2, 4"},
+		{Instr{Op: OpLd, Rd: 1, Rs: 2, Imm: 8}, "ld r1, 8(r2)"},
+		{Instr{Op: OpSt, Rd: 1, Rs: 2, Imm: 8}, "st r1, 8(r2)"},
+		{Instr{Op: OpBeq, Rd: 1, Rs: 2, TargetBlock: 1}, "beq r1, r2, .b1"},
+		{Instr{Op: OpBnez, Rd: 1, TargetBlock: 0}, "bnez r1, .b0"},
+		{Instr{Op: OpBr, TargetBlock: 1}, "br .b1"},
+		{Instr{Op: OpCall, TargetProc: 0}, "call main"},
+		{Instr{Op: OpIJump, Rd: 2, Targets: []BlockID{0, 1}}, "ijump r2, [.b0, .b1]"},
+		{Instr{Op: OpRet}, "ret"},
+		{Instr{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := FormatInstr(prog, p, &c.in); got != c.want {
+			t.Errorf("FormatInstr(%v) = %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestFormatProgramMentionsStructure(t *testing.T) {
+	prog := &Program{Name: "t", MemWords: 16, Procs: []*Proc{twoBlockProc()}}
+	s := prog.Format()
+	for _, want := range []string{"mem 16", "proc main", "endproc", "halt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+// Property: for any generated (small) proc shape, every edge returned by
+// Edges has valid endpoints and every fall edge goes to the next block.
+func TestEdgesWellFormedProperty(t *testing.T) {
+	f := func(seedMask uint16) bool {
+		// Build a proc of 1..8 blocks whose terminators are driven by the
+		// bits of seedMask.
+		n := int(seedMask%8) + 1
+		p := &Proc{Name: "q"}
+		for i := 0; i < n; i++ {
+			var term Instr
+			tgt := BlockID(int(seedMask>>uint(i%13)) % n)
+			switch (int(seedMask) >> uint(2*i)) % 4 {
+			case 0:
+				term = Instr{Op: OpBnez, Rd: 1, TargetBlock: tgt}
+			case 1:
+				term = Instr{Op: OpBr, TargetBlock: tgt}
+			case 2:
+				term = Instr{Op: OpRet}
+			case 3:
+				term = Instr{Op: OpIJump, Rd: 1, Targets: []BlockID{tgt}}
+			}
+			b := &Block{Instrs: []Instr{{Op: OpNop}, term}}
+			p.Blocks = append(p.Blocks, b)
+		}
+		// Make the last block non-falling to satisfy Validate-style shape.
+		p.Blocks[n-1].Instrs = []Instr{{Op: OpRet}}
+		for _, e := range p.Edges() {
+			if p.Block(e.From) == nil || p.Block(e.To) == nil {
+				return false
+			}
+			if e.Kind == EdgeFall && e.To != e.From+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// blockName returns a printable name for a block reference within p.
+func blockName(p *Proc, id BlockID) string {
+	b := p.Block(id)
+	if b == nil {
+		return fmt.Sprintf("?%d", id)
+	}
+	if b.Label != "" {
+		return b.Label
+	}
+	return fmt.Sprintf(".b%d", id)
+}
+
+// FormatInstr renders one instruction in assembler syntax. prog may be nil
+// when the instruction contains no call; p may be nil when it contains no
+// branch.
+func FormatInstr(prog *Program, p *Proc, in *Instr) string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpLi:
+		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs)
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs, in.Rt)
+	case OpAddi, OpMuli, OpAndi, OpSlti:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpLd:
+		return fmt.Sprintf("ld r%d, %d(r%d)", in.Rd, in.Imm, in.Rs)
+	case OpSt:
+		return fmt.Sprintf("st r%d, %d(r%d)", in.Rd, in.Imm, in.Rs)
+	case OpBeq, OpBne, OpBlt, OpBle, OpBgt, OpBge:
+		return fmt.Sprintf("%s r%d, r%d, %s", in.Op, in.Rd, in.Rs, blockName(p, in.TargetBlock))
+	case OpBeqz, OpBnez, OpBltz, OpBgez:
+		return fmt.Sprintf("%s r%d, %s", in.Op, in.Rd, blockName(p, in.TargetBlock))
+	case OpBr:
+		return fmt.Sprintf("br %s", blockName(p, in.TargetBlock))
+	case OpCall:
+		name := fmt.Sprintf("?proc%d", in.TargetProc)
+		if prog != nil {
+			if cp := prog.Proc(in.TargetProc); cp != nil {
+				name = cp.Name
+			}
+		}
+		return fmt.Sprintf("call %s", name)
+	case OpIJump:
+		parts := make([]string, len(in.Targets))
+		for i, t := range in.Targets {
+			parts[i] = blockName(p, t)
+		}
+		return fmt.Sprintf("ijump r%d, [%s]", in.Rd, strings.Join(parts, ", "))
+	case OpRet:
+		return "ret"
+	case OpHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("%s ???", in.Op)
+	}
+}
+
+// FormatProc renders a procedure in assembler syntax.
+func FormatProc(prog *Program, p *Proc) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "proc %s\n", p.Name)
+	for id, b := range p.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", blockName(p, BlockID(id)))
+		for ii := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", FormatInstr(prog, p, &b.Instrs[ii]))
+		}
+	}
+	sb.WriteString("endproc\n")
+	return sb.String()
+}
+
+// Format renders the whole program in assembler syntax that the asm package
+// can parse back.
+func (pr *Program) Format() string {
+	var sb strings.Builder
+	if pr.Name != "" {
+		fmt.Fprintf(&sb, "; program %s\n", pr.Name)
+	}
+	if pr.MemWords > 0 {
+		fmt.Fprintf(&sb, "mem %d\n", pr.MemWords)
+	}
+	if pr.EntryProc != 0 && pr.Proc(pr.EntryProc) != nil {
+		fmt.Fprintf(&sb, "entry %s\n", pr.Procs[pr.EntryProc].Name)
+	}
+	for i, p := range pr.Procs {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(FormatProc(pr, p))
+	}
+	return sb.String()
+}

@@ -1,0 +1,176 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomValidProgram builds a structurally valid random program: every
+// block ends in a terminator or falls through to an existing next block,
+// last blocks never fall through, targets stay in range.
+func randomValidProgram(rng *rand.Rand) *Program {
+	nProcs := 1 + rng.Intn(3)
+	prog := &Program{Name: "rand", MemWords: 8}
+	for p := 0; p < nProcs; p++ {
+		proc := &Proc{Name: "p" + string(rune('a'+p))}
+		nBlocks := 1 + rng.Intn(6)
+		for b := 0; b < nBlocks; b++ {
+			blk := &Block{Orig: BlockID(b)}
+			for i := rng.Intn(4); i > 0; i-- {
+				blk.Instrs = append(blk.Instrs, Instr{Op: OpAddi, Rd: 1, Rs: 1, Imm: 1})
+			}
+			last := b == nBlocks-1
+			switch k := rng.Intn(5); {
+			case k == 0 && !last:
+				blk.Instrs = append(blk.Instrs, Instr{Op: OpBnez, Rd: 1,
+					TargetBlock: BlockID(rng.Intn(nBlocks))})
+			case k == 1:
+				blk.Instrs = append(blk.Instrs, Instr{Op: OpBr,
+					TargetBlock: BlockID(rng.Intn(nBlocks))})
+			case k == 2:
+				blk.Instrs = append(blk.Instrs, Instr{Op: OpRet})
+			case k == 3 || last:
+				blk.Instrs = append(blk.Instrs, Instr{Op: OpHalt})
+			default:
+				// fall-through block (only when not last)
+			}
+			proc.Blocks = append(proc.Blocks, blk)
+		}
+		prog.Procs = append(prog.Procs, proc)
+	}
+	prog.AssignAddresses(0x1000)
+	return prog
+}
+
+func TestBlockAtConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomValidProgram(rng)
+		if err := prog.Validate(); err != nil {
+			t.Logf("generator produced invalid program: %v", err)
+			return false
+		}
+		for pi, p := range prog.Procs {
+			for bi, b := range p.Blocks {
+				for ii := range b.Instrs {
+					addr := b.Addr + uint64(ii)*InstrBytes
+					gp, gb := prog.BlockAt(addr)
+					if gp != pi || gb != BlockID(bi) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddressesMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomValidProgram(rng)
+		var last uint64
+		first := true
+		for _, p := range prog.Procs {
+			for _, b := range p.Blocks {
+				if !first && b.Addr < last {
+					return false
+				}
+				first = false
+				last = b.Addr + uint64(len(b.Instrs))*InstrBytes
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuccsMatchEdgesProperty(t *testing.T) {
+	// For every block, Succs and OutEdges must agree on the successor set.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomValidProgram(rng)
+		for _, p := range prog.Procs {
+			var succs []BlockID
+			var edges []Edge
+			for id := range p.Blocks {
+				succs = p.Succs(BlockID(id), succs[:0])
+				edges = p.OutEdges(BlockID(id), edges[:0])
+				if len(succs) != len(edges) {
+					return false
+				}
+				for i := range succs {
+					if succs[i] != edges[i].To {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneEqualsFormatProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomValidProgram(rng)
+		return prog.Clone().Format() == prog.Format()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStringAll(t *testing.T) {
+	for k := Op; k <= Halt; k++ {
+		if s := k.String(); s == "" || s == "kind(255)" {
+			t.Errorf("Kind(%d).String() = %q", k, s)
+		}
+	}
+	if s := Kind(200).String(); s != "kind(200)" {
+		t.Errorf("unknown kind string = %q", s)
+	}
+	if s := Opcode(250).String(); s != "opcode(250)" {
+		t.Errorf("unknown opcode string = %q", s)
+	}
+}
+
+func TestBlockNameUsesLabels(t *testing.T) {
+	p := &Proc{Name: "p", Blocks: []*Block{
+		{Label: "start", Instrs: []Instr{{Op: OpBr, TargetBlock: 1}}},
+		{Instrs: []Instr{{Op: OpHalt}}},
+	}}
+	s := FormatProc(nil, p)
+	for _, want := range []string{"start:", ".b1:", "br .b1"} {
+		if !contains(s, want) {
+			t.Errorf("FormatProc missing %q:\n%s", want, s)
+		}
+	}
+	// Out-of-range references degrade gracefully.
+	in := Instr{Op: OpBr, TargetBlock: 99}
+	if got := FormatInstr(nil, p, &in); got != "br ?99" {
+		t.Errorf("FormatInstr out of range = %q", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"balign/internal/ir"
+	"balign/internal/predict"
+	"balign/internal/trace"
+)
+
+func TestSiteQuantiles(t *testing.T) {
+	sites := map[uint64]uint64{
+		1: 50, 2: 30, 3: 10, 4: 5, 5: 4, 6: 1,
+	} // total 100
+	qs := SiteQuantiles(sites, []float64{0.5, 0.9, 0.99, 1.0})
+	if qs[0] != 1 { // hottest site covers exactly 50
+		t.Errorf("Q50 = %d, want 1", qs[0])
+	}
+	if qs[1] != 3 { // 50+30+10 = 90
+		t.Errorf("Q90 = %d, want 3", qs[1])
+	}
+	if qs[2] != 5 { // 98 after 4 sites, 99 needs 5th
+		t.Errorf("Q99 = %d, want 5", qs[2])
+	}
+	if qs[3] != 6 {
+		t.Errorf("Q100 = %d, want 6", qs[3])
+	}
+	if got := SiteQuantiles(nil, []float64{0.5}); got[0] != 0 {
+		t.Errorf("empty quantiles = %v", got)
+	}
+}
+
+func TestCollectorAttributes(t *testing.T) {
+	prog := &ir.Program{Procs: []*ir.Proc{{Name: "m", Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{{Op: ir.OpBnez, Rd: 1, TargetBlock: 1}}},
+		{Instrs: []ir.Instr{{Op: ir.OpBeqz, Rd: 1, TargetBlock: 1}}},
+		{Instrs: []ir.Instr{{Op: ir.OpHalt}}},
+	}}}}
+	c := NewCollector()
+	c.Instrs = 100
+	// 6 conditionals (4 taken), 2 br, 1 call, 1 ret = 10 breaks.
+	for i := 0; i < 4; i++ {
+		c.Event(trace.Event{Kind: ir.CondBr, Taken: true, PC: 0x10})
+	}
+	c.Event(trace.Event{Kind: ir.CondBr, Taken: false, PC: 0x20})
+	c.Event(trace.Event{Kind: ir.CondBr, Taken: false, PC: 0x20})
+	c.Event(trace.Event{Kind: ir.Br, PC: 0x30, Taken: true})
+	c.Event(trace.Event{Kind: ir.Br, PC: 0x30, Taken: true})
+	c.Event(trace.Event{Kind: ir.Call, PC: 0x40, Taken: true})
+	c.Event(trace.Event{Kind: ir.Ret, PC: 0x50, Taken: true})
+
+	a := c.Attributes(prog)
+	if a.Instrs != 100 {
+		t.Errorf("Instrs = %d", a.Instrs)
+	}
+	if a.PctBreaks != 10 {
+		t.Errorf("PctBreaks = %v, want 10", a.PctBreaks)
+	}
+	if math.Abs(a.PctTaken-100*4.0/6.0) > 1e-9 {
+		t.Errorf("PctTaken = %v", a.PctTaken)
+	}
+	if a.PctCBr != 60 || a.PctBr != 20 || a.PctCall != 10 || a.PctRet != 10 || a.PctIJ != 0 {
+		t.Errorf("mix = %v/%v/%v/%v/%v", a.PctCBr, a.PctIJ, a.PctBr, a.PctCall, a.PctRet)
+	}
+	if a.StaticSites != 2 {
+		t.Errorf("StaticSites = %d, want 2", a.StaticSites)
+	}
+	if a.Q50 != 1 || a.Q100 != 2 {
+		t.Errorf("Q50/Q100 = %d/%d, want 1/2", a.Q50, a.Q100)
+	}
+}
+
+func TestRelativeCPI(t *testing.T) {
+	if got := RelativeCPI(1000, 1000, 375); got != 1.375 {
+		t.Errorf("RelativeCPI = %v, want 1.375", got)
+	}
+	// Aligned program with fewer instructions and same penalty.
+	if got := RelativeCPI(1000, 978, 347); got != 1.325 {
+		t.Errorf("RelativeCPI = %v, want 1.325", got)
+	}
+	if RelativeCPI(0, 10, 10) != 0 {
+		t.Error("zero-instr guard failed")
+	}
+}
+
+func TestBEPAndFallthroughPct(t *testing.T) {
+	r := predict.Result{Misfetches: 10, Mispredicts: 5, Cond: 100, CondTaken: 30}
+	if got := BEPFromResult(r); got != 10+20 {
+		t.Errorf("BEP = %d, want 30", got)
+	}
+	if got := FallthroughPct(r); got != 70 {
+		t.Errorf("FallthroughPct = %v, want 70", got)
+	}
+	if FallthroughPct(predict.Result{}) != 0 {
+		t.Error("zero-cond guard failed")
+	}
+}

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"testing"
+
+	"balign/internal/ir"
+	"balign/internal/trace"
+)
+
+func TestCyclesIssueTime(t *testing.T) {
+	s := New(DefaultConfig())
+	if got := s.Cycles(100); got != 50 {
+		t.Errorf("Cycles(100) = %v, want 50 (dual issue, no penalties)", got)
+	}
+	if got := s.Cycles(101); got != 51 {
+		t.Errorf("Cycles(101) = %v, want 51 (ceil)", got)
+	}
+}
+
+func TestLineBitInitializesBTFNT(t *testing.T) {
+	s := New(DefaultConfig())
+	// First encounter of a backward taken branch: BT/FNT predicts taken,
+	// so only a (squash-discounted) misfetch.
+	s.Event(trace.Event{Kind: ir.CondBr, Taken: true, PC: 100, Target: 40, TakenTarget: 40, Fall: 104})
+	if s.Mispredicts != 0 || s.Misfetches != 1 {
+		t.Errorf("backward first encounter: mp/mf = %d/%d, want 0/1", s.Mispredicts, s.Misfetches)
+	}
+	// First encounter of a forward taken branch: predicted not taken.
+	s.Event(trace.Event{Kind: ir.CondBr, Taken: true, PC: 200, Target: 400, TakenTarget: 400, Fall: 204})
+	if s.Mispredicts != 1 {
+		t.Errorf("forward taken first encounter: mispredicts = %d, want 1", s.Mispredicts)
+	}
+	// Second encounter: history bit now set from the last outcome.
+	s.Event(trace.Event{Kind: ir.CondBr, Taken: true, PC: 200, Target: 400, TakenTarget: 400, Fall: 204})
+	if s.Mispredicts != 1 {
+		t.Errorf("history bit not learned: mispredicts = %d, want 1", s.Mispredicts)
+	}
+}
+
+func TestSquashRateDiscountsMisfetch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SquashRate = 0.30
+	s := New(cfg)
+	for i := 0; i < 10; i++ {
+		s.Event(trace.Event{Kind: ir.Br, Taken: true, PC: 100, Target: 40, Fall: 104})
+	}
+	want := 10 * 1 * 0.7
+	if got := s.PenaltyCycles(); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("penalty = %v, want %v", got, want)
+	}
+}
+
+func TestReturnStackInPipeline(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Event(trace.Event{Kind: ir.Call, Taken: true, PC: 100, Target: 400, Fall: 104})
+	s.Event(trace.Event{Kind: ir.Ret, Taken: true, PC: 440, Target: 104, Fall: 444})
+	if s.Mispredicts != 0 {
+		t.Errorf("correct return mispredicted")
+	}
+	s.Event(trace.Event{Kind: ir.Ret, Taken: true, PC: 440, Target: 104, Fall: 444})
+	if s.Mispredicts != 1 {
+		t.Errorf("empty-stack return: mispredicts = %d, want 1", s.Mispredicts)
+	}
+}
+
+func TestIJumpAlwaysMispredicts(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Event(trace.Event{Kind: ir.IJump, Taken: true, PC: 100, Target: 400, Fall: 104})
+	if s.Mispredicts != 1 {
+		t.Errorf("ijump: mispredicts = %d, want 1", s.Mispredicts)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Event(trace.Event{Kind: ir.Br, Taken: true, PC: 100, Target: 40, Fall: 104})
+	s.Reset()
+	if s.PenaltyCycles() != 0 || s.Events != 0 || s.Misfetches != 0 {
+		t.Error("Reset did not clear accumulators")
+	}
+}
+
+func TestBadLineBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two LineBits did not panic")
+		}
+	}()
+	New(Config{IssueWidth: 2, LineBits: 100})
+}

@@ -1,0 +1,256 @@
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"balign/internal/ir"
+	"balign/internal/profile"
+	"balign/internal/trace"
+)
+
+// ReturnStackDepth is the return stack size simulated in every architecture,
+// per the paper.
+const ReturnStackDepth = 32
+
+// StaticSim simulates the static and PHT architectures: a direction
+// predictor handles conditional branches, a return stack handles returns,
+// and the charging rules follow the paper:
+//
+//   - unconditional branches, correctly predicted *taken* conditional
+//     branches and direct calls incur a misfetch (the fall-through was
+//     fetched while the branch decoded);
+//   - mispredicted conditional branches, mispredicted returns and all
+//     indirect jumps incur a mispredict;
+//   - correctly predicted not-taken conditionals and correctly predicted
+//     returns are free.
+type StaticSim struct {
+	dir DirectionPredictor
+	ras *ReturnStack
+	res Result
+}
+
+// NewStaticSim returns a simulator around the given direction predictor.
+func NewStaticSim(dir DirectionPredictor) *StaticSim {
+	return &StaticSim{dir: dir, ras: NewReturnStack(ReturnStackDepth)}
+}
+
+// Name implements Simulator.
+func (s *StaticSim) Name() string { return s.dir.Name() }
+
+// Result implements Simulator.
+func (s *StaticSim) Result() Result { return s.res }
+
+// Reset implements Simulator.
+func (s *StaticSim) Reset() {
+	s.dir.Reset()
+	s.ras.Reset()
+	s.res = Result{}
+}
+
+// Event implements trace.Sink.
+func (s *StaticSim) Event(ev trace.Event) {
+	s.res.Events++
+	s.res.ByKind[ev.Kind]++
+	switch ev.Kind {
+	case ir.CondBr:
+		s.res.Cond++
+		if ev.Taken {
+			s.res.CondTaken++
+		}
+		pred := s.dir.Predict(ev)
+		s.dir.Update(ev)
+		if pred == ev.Taken {
+			s.res.CondCorrect++
+			if ev.Taken {
+				s.res.Misfetches++
+			}
+		} else {
+			s.res.Mispredicts++
+		}
+	case ir.Br:
+		s.res.Misfetches++
+	case ir.Call:
+		s.res.Misfetches++
+		s.ras.Push(ev.Fall)
+	case ir.IJump:
+		s.res.Mispredicts++
+	case ir.Ret:
+		s.res.Rets++
+		pred, ok := s.ras.Pop()
+		if ok && pred == ev.Target {
+			s.res.RetsCorrect++
+		} else {
+			s.res.Mispredicts++
+		}
+	}
+}
+
+// BTBSim simulates a branch target buffer architecture. The BTB predicts
+// every break kind except returns, which go through the return stack. Only
+// taken branches are inserted; a miss predicts fall-through. Charging rules:
+//
+//   - conditional: hit with correct direction is free (the BTB supplies the
+//     target before fetch); wrong direction is a mispredict; miss on a taken
+//     conditional is a mispredict (fall-through was predicted), miss on a
+//     not-taken conditional is free;
+//   - unconditional branch / direct call: hit is free, miss is a misfetch
+//     (the decoder computes the target one stage later);
+//   - indirect jump: hit with matching target is free, otherwise a
+//     mispredict;
+//   - return: correct return-stack prediction is free, otherwise a
+//     mispredict.
+type BTBSim struct {
+	btb  *BTB
+	ras  *ReturnStack
+	res  Result
+	name string
+}
+
+// NewBTBSim returns a BTB architecture simulator with the given BTB
+// geometry.
+func NewBTBSim(entries, ways int) *BTBSim {
+	return &BTBSim{
+		btb:  NewBTB(entries, ways),
+		ras:  NewReturnStack(ReturnStackDepth),
+		name: fmt.Sprintf("btb-%d-%dway", entries, ways),
+	}
+}
+
+// Name implements Simulator.
+func (s *BTBSim) Name() string { return s.name }
+
+// Result implements Simulator.
+func (s *BTBSim) Result() Result { return s.res }
+
+// BTB exposes the underlying buffer (for tests and hit-rate reporting).
+func (s *BTBSim) BTB() *BTB { return s.btb }
+
+// Reset implements Simulator.
+func (s *BTBSim) Reset() {
+	s.btb.Reset()
+	s.ras.Reset()
+	s.res = Result{}
+}
+
+// Event implements trace.Sink.
+func (s *BTBSim) Event(ev trace.Event) {
+	s.res.Events++
+	s.res.ByKind[ev.Kind]++
+	switch ev.Kind {
+	case ir.CondBr:
+		s.res.Cond++
+		if ev.Taken {
+			s.res.CondTaken++
+		}
+		entry := s.btb.Lookup(ev.PC)
+		if entry != nil {
+			predTaken := entry.PredictTaken()
+			if predTaken == ev.Taken {
+				s.res.CondCorrect++
+				// Taken and correctly predicted: the stored target of a
+				// direct conditional is always right, so no penalty.
+			} else {
+				s.res.Mispredicts++
+			}
+			entry.Update(ev.Taken, ev.Target)
+		} else {
+			if ev.Taken {
+				s.res.Mispredicts++
+				s.btb.Insert(ev.PC, ev.Target)
+			} else {
+				s.res.CondCorrect++
+			}
+		}
+	case ir.Br:
+		if s.btb.Lookup(ev.PC) == nil {
+			s.res.Misfetches++
+			s.btb.Insert(ev.PC, ev.Target)
+		}
+	case ir.Call:
+		if s.btb.Lookup(ev.PC) == nil {
+			s.res.Misfetches++
+			s.btb.Insert(ev.PC, ev.Target)
+		}
+		s.ras.Push(ev.Fall)
+	case ir.IJump:
+		entry := s.btb.Lookup(ev.PC)
+		if entry != nil && entry.Target() == ev.Target {
+			// hit with the right target: free
+		} else {
+			s.res.Mispredicts++
+			if entry != nil {
+				entry.Update(true, ev.Target)
+			} else {
+				s.btb.Insert(ev.PC, ev.Target)
+			}
+		}
+	case ir.Ret:
+		s.res.Rets++
+		pred, ok := s.ras.Pop()
+		if ok && pred == ev.Target {
+			s.res.RetsCorrect++
+		} else {
+			s.res.Mispredicts++
+		}
+	}
+}
+
+// ArchID names one of the simulated architectures.
+type ArchID string
+
+// The architectures evaluated in the paper's Tables 3 and 4.
+const (
+	ArchFallthrough ArchID = "fallthrough"
+	ArchBTFNT       ArchID = "btfnt"
+	ArchLikely      ArchID = "likely"
+	ArchPHTDirect   ArchID = "pht-direct"
+	ArchPHTGshare   ArchID = "pht-gshare"
+	ArchBTB64       ArchID = "btb64"
+	ArchBTB256      ArchID = "btb256"
+)
+
+// StaticArchs lists the static architectures (Table 3) in paper order.
+func StaticArchs() []ArchID { return []ArchID{ArchFallthrough, ArchBTFNT, ArchLikely} }
+
+// DynamicArchs lists the dynamic architectures (Table 4) in paper order.
+func DynamicArchs() []ArchID {
+	return []ArchID{ArchPHTDirect, ArchPHTGshare, ArchBTB64, ArchBTB256}
+}
+
+// AllArchs lists every architecture in paper order.
+func AllArchs() []ArchID { return append(StaticArchs(), DynamicArchs()...) }
+
+// NewSimulator constructs the named architecture simulator. The LIKELY
+// architecture needs the program layout and a profile of it to derive the
+// per-site hint bits; the other architectures ignore both arguments.
+func NewSimulator(id ArchID, prog *ir.Program, prof *profile.Profile) (Simulator, error) {
+	switch id {
+	case ArchFallthrough:
+		return NewStaticSim(Fallthrough{}), nil
+	case ArchBTFNT:
+		return NewStaticSim(BTFNT{}), nil
+	case ArchLikely:
+		if prog == nil || prof == nil {
+			return nil, fmt.Errorf("predict: LIKELY architecture requires a program and profile")
+		}
+		return NewStaticSim(NewLikely(prog, prof)), nil
+	case ArchPHTDirect:
+		return NewStaticSim(NewDirectPHT(4096)), nil
+	case ArchPHTGshare:
+		return NewStaticSim(NewGsharePHT(4096)), nil
+	case ArchPHTLocal:
+		return NewStaticSim(NewLocalPHT(1024, 4096)), nil
+	case ArchBTB64:
+		return NewBTBSim(64, 2), nil
+	case ArchBTB256:
+		return NewBTBSim(256, 4), nil
+	default:
+		ids := make([]string, 0, len(AllArchs()))
+		for _, a := range AllArchs() {
+			ids = append(ids, string(a))
+		}
+		sort.Strings(ids)
+		return nil, fmt.Errorf("predict: unknown architecture %q (known: %v)", id, ids)
+	}
+}

@@ -1,0 +1,134 @@
+package predict_test
+
+// Statistical validation of the predictor simulators against programs with
+// known branch behaviour. Lives in an external test package because it
+// drives the predictors through the workload diagnostics corpus and the VM.
+
+import (
+	"testing"
+
+	"balign/internal/predict"
+	"balign/internal/vm"
+	"balign/internal/workload"
+)
+
+// accuracy runs one diagnostic program against a direction predictor
+// wrapped in a static simulator and returns conditional accuracy.
+func accuracy(t *testing.T, diagName string, dir predict.DirectionPredictor) float64 {
+	t.Helper()
+	d, err := workload.DiagnosticByName(diagName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := predict.NewStaticSim(dir)
+	machine := vm.New(d.Prog)
+	if d.Setup != nil {
+		d.Setup(machine)
+	}
+	if _, err := machine.Run(sim, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := sim.Result()
+	if r.Cond == 0 {
+		t.Fatalf("%s: no conditional branches executed", diagName)
+	}
+	return r.CondAccuracy()
+}
+
+func TestAlternatingDefeatsCountersNotHistory(t *testing.T) {
+	gshare := accuracy(t, "alternating", predict.NewGsharePHT(4096))
+	local := accuracy(t, "alternating", predict.NewLocalPHT(1024, 4096))
+	direct := accuracy(t, "alternating", predict.NewDirectPHT(4096))
+	if gshare < 0.95 {
+		t.Errorf("gshare on alternating = %.3f, want near-perfect", gshare)
+	}
+	if local < 0.95 {
+		t.Errorf("local on alternating = %.3f, want near-perfect", local)
+	}
+	if direct > gshare {
+		t.Errorf("direct (%.3f) should not beat gshare (%.3f) on alternation", direct, gshare)
+	}
+}
+
+func TestBiasedBranchEveryoneDoesWell(t *testing.T) {
+	for _, p := range []predict.DirectionPredictor{
+		predict.NewDirectPHT(4096),
+		predict.NewGsharePHT(4096),
+		predict.NewLocalPHT(1024, 4096),
+	} {
+		if acc := accuracy(t, "biased", p); acc < 0.85 {
+			t.Errorf("%s on biased = %.3f, want >= 0.85", p.Name(), acc)
+		}
+	}
+	// Profile-style LIKELY also handles bias; BT/FNT depends on layout.
+	if acc := accuracy(t, "biased", predict.BTFNT{}); acc < 0.4 {
+		t.Errorf("btfnt on biased = %.3f, implausibly low", acc)
+	}
+}
+
+func TestCorrelationNeedsGlobalHistory(t *testing.T) {
+	gshare := accuracy(t, "correlated", predict.NewGsharePHT(4096))
+	direct := accuracy(t, "correlated", predict.NewDirectPHT(4096))
+	// The corpus interleaves two data-random correlated branches with a
+	// predictable loop branch; gshare should clearly beat the direct PHT,
+	// which can do no better than ~50% on the two random sites.
+	if gshare <= direct+0.05 {
+		t.Errorf("gshare (%.3f) should clearly beat direct PHT (%.3f) on correlation", gshare, direct)
+	}
+}
+
+func TestRandomBranchBoundsEveryone(t *testing.T) {
+	// With one random 50/50 branch and one predictable loop branch, no
+	// predictor should exceed ~(0.5 + 1.0)/2 = 0.78 by much, and none
+	// should collapse below ~0.45.
+	for _, p := range []predict.DirectionPredictor{
+		predict.NewDirectPHT(4096),
+		predict.NewGsharePHT(4096),
+		predict.NewLocalPHT(1024, 4096),
+		predict.BTFNT{},
+	} {
+		acc := accuracy(t, "random", p)
+		if acc > 0.85 {
+			t.Errorf("%s on random = %.3f: suspiciously high (data leak?)", p.Name(), acc)
+		}
+		if acc < 0.40 {
+			t.Errorf("%s on random = %.3f: suspiciously low", p.Name(), acc)
+		}
+	}
+}
+
+func TestNestedLoopsFavourTakenBias(t *testing.T) {
+	btfnt := accuracy(t, "nested", predict.BTFNT{})
+	direct := accuracy(t, "nested", predict.NewDirectPHT(4096))
+	ft := accuracy(t, "nested", predict.Fallthrough{})
+	if btfnt < 0.95 || direct < 0.9 {
+		t.Errorf("nested loops: btfnt %.3f / direct %.3f, want high", btfnt, direct)
+	}
+	if ft > 0.1 {
+		t.Errorf("FALLTHROUGH on nested loops = %.3f, want near zero (all back edges taken)", ft)
+	}
+}
+
+func TestDiagnosticsCorpusComplete(t *testing.T) {
+	ds := workload.Diagnostics()
+	if len(ds) < 5 {
+		t.Fatalf("corpus has %d programs, want >= 5", len(ds))
+	}
+	for _, d := range ds {
+		if err := d.Prog.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", d.Name, err)
+		}
+		if d.Description == "" {
+			t.Errorf("%s: missing description", d.Name)
+		}
+	}
+	if _, err := workload.DiagnosticByName("nope"); err == nil {
+		t.Error("unknown diagnostic should error")
+	}
+	// Determinism: same accuracy twice.
+	a := accuracy(t, "correlated", predict.NewGsharePHT(4096))
+	b := accuracy(t, "correlated", predict.NewGsharePHT(4096))
+	if a != b {
+		t.Errorf("diagnostic accuracy not deterministic: %v vs %v", a, b)
+	}
+}

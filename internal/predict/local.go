@@ -1,0 +1,89 @@
+package predict
+
+import (
+	"fmt"
+
+	"balign/internal/ir"
+	"balign/internal/trace"
+)
+
+// LocalPHT is a two-level predictor with per-branch history (Yeh & Patt's
+// PAg): a branch history table keyed by the site address records the last
+// historyBits outcomes of that branch, and the pattern selects a 2-bit
+// counter in a shared pattern table. The paper cites this family of
+// predictors; it is provided as an extension architecture beyond the two
+// PHTs of Table 4 and is useful for checking that alignment keeps helping
+// as the direction predictor gets stronger.
+type LocalPHT struct {
+	histories []uint16
+	counters  []Counter2
+	histMask  uint16
+	idxMask   uint64
+	bits      uint
+}
+
+// NewLocalPHT returns a PAg predictor with the given history-table and
+// pattern-table sizes (both powers of two) and history length
+// log2(patternEntries).
+func NewLocalPHT(historyEntries, patternEntries int) *LocalPHT {
+	checkPow2(historyEntries, "local history entries")
+	checkPow2(patternEntries, "pattern entries")
+	bits := uint(0)
+	for 1<<bits < patternEntries {
+		bits++
+	}
+	if bits > 16 {
+		panic("predict: local history length limited to 16 bits")
+	}
+	p := &LocalPHT{
+		histories: make([]uint16, historyEntries),
+		counters:  make([]Counter2, patternEntries),
+		histMask:  uint16(patternEntries - 1),
+		idxMask:   uint64(historyEntries - 1),
+		bits:      bits,
+	}
+	p.Reset()
+	return p
+}
+
+func (p *LocalPHT) slot(pc uint64) uint64 { return (pc / ir.InstrBytes) & p.idxMask }
+
+// Predict implements DirectionPredictor.
+func (p *LocalPHT) Predict(ev trace.Event) bool {
+	h := p.histories[p.slot(ev.PC)] & p.histMask
+	return p.counters[h].Taken()
+}
+
+// Update implements DirectionPredictor.
+func (p *LocalPHT) Update(ev trace.Event) {
+	s := p.slot(ev.PC)
+	h := p.histories[s] & p.histMask
+	p.counters[h] = p.counters[h].Update(ev.Taken)
+	bit := uint16(0)
+	if ev.Taken {
+		bit = 1
+	}
+	p.histories[s] = ((p.histories[s] << 1) | bit) & p.histMask
+}
+
+// Name implements DirectionPredictor.
+func (p *LocalPHT) Name() string {
+	return fmt.Sprintf("pht-local-%dx%d", len(p.histories), len(p.counters))
+}
+
+// Reset implements DirectionPredictor.
+func (p *LocalPHT) Reset() {
+	for i := range p.histories {
+		p.histories[i] = 0
+	}
+	for i := range p.counters {
+		p.counters[i] = Counter2Init
+	}
+}
+
+// ArchPHTLocal is the extension PAg architecture (1024-entry history table,
+// 4096-entry pattern table).
+const ArchPHTLocal ArchID = "pht-local"
+
+// ExtensionArchs lists architectures beyond the paper's tables.
+func ExtensionArchs() []ArchID { return []ArchID{ArchPHTLocal} }

@@ -1,0 +1,72 @@
+package predict
+
+import (
+	"testing"
+
+	"balign/internal/trace"
+)
+
+func TestLocalPHTLearnsPerBranchPattern(t *testing.T) {
+	// Two branches with opposite strict alternation: per-branch history
+	// predicts both near-perfectly; a shared global history would alias.
+	p := NewLocalPHT(1024, 4096)
+	a := true
+	correct := 0
+	total := 0
+	for i := 0; i < 2000; i++ {
+		a = !a
+		evA := trace.Event{PC: 0x1000, Taken: a}
+		evB := trace.Event{PC: 0x2000, Taken: !a}
+		for _, ev := range []trace.Event{evA, evB} {
+			if p.Predict(ev) == ev.Taken {
+				correct++
+			}
+			p.Update(ev)
+			total++
+		}
+	}
+	if float64(correct)/float64(total) < 0.95 {
+		t.Errorf("local PHT correct = %d/%d, want near-perfect on alternation", correct, total)
+	}
+}
+
+func TestLocalPHTReset(t *testing.T) {
+	p := NewLocalPHT(64, 256)
+	ev := trace.Event{PC: 0x1000, Taken: true}
+	p.Update(ev)
+	p.Update(ev)
+	p.Reset()
+	if p.Predict(ev) {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestLocalPHTGeometryValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewLocalPHT(100, 256) },
+		func() { NewLocalPHT(64, 100) },
+		func() { NewLocalPHT(64, 1<<17) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestArchPHTLocalRegistered(t *testing.T) {
+	sim, err := NewSimulator(ArchPHTLocal, nil, nil)
+	if err != nil {
+		t.Fatalf("NewSimulator(pht-local): %v", err)
+	}
+	if sim.Name() == "" {
+		t.Error("empty name")
+	}
+	if len(ExtensionArchs()) == 0 {
+		t.Error("no extension architectures listed")
+	}
+}

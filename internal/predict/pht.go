@@ -1,0 +1,103 @@
+package predict
+
+import (
+	"fmt"
+
+	"balign/internal/ir"
+	"balign/internal/trace"
+)
+
+// DirectPHT is a direct-mapped pattern history table: an array of 2-bit
+// saturating counters indexed by the branch site address. The paper
+// simulates a 4096-entry table (1 KB of counters).
+type DirectPHT struct {
+	counters []Counter2
+	mask     uint64
+}
+
+// NewDirectPHT returns a direct-mapped PHT with the given number of entries
+// (a power of two).
+func NewDirectPHT(entries int) *DirectPHT {
+	checkPow2(entries, "PHT entries")
+	p := &DirectPHT{counters: make([]Counter2, entries), mask: uint64(entries - 1)}
+	p.Reset()
+	return p
+}
+
+func (p *DirectPHT) index(pc uint64) uint64 { return (pc / ir.InstrBytes) & p.mask }
+
+// Predict implements DirectionPredictor.
+func (p *DirectPHT) Predict(ev trace.Event) bool { return p.counters[p.index(ev.PC)].Taken() }
+
+// Update implements DirectionPredictor.
+func (p *DirectPHT) Update(ev trace.Event) {
+	i := p.index(ev.PC)
+	p.counters[i] = p.counters[i].Update(ev.Taken)
+}
+
+// Name implements DirectionPredictor.
+func (p *DirectPHT) Name() string { return fmt.Sprintf("pht-direct-%d", len(p.counters)) }
+
+// Reset implements DirectionPredictor.
+func (p *DirectPHT) Reset() {
+	for i := range p.counters {
+		p.counters[i] = Counter2Init
+	}
+}
+
+// GsharePHT is the degenerate two-level correlation predictor of Pan et al.
+// in the variant McFarling found most accurate: the global history register
+// is XORed with the branch address to index the counter table. The paper
+// simulates 4096 entries with a 12-bit history register.
+type GsharePHT struct {
+	counters []Counter2
+	mask     uint64
+	histBits uint
+	ghr      uint64
+}
+
+// NewGsharePHT returns a gshare PHT with the given number of entries (a
+// power of two); the history register is log2(entries) bits wide.
+func NewGsharePHT(entries int) *GsharePHT {
+	checkPow2(entries, "PHT entries")
+	bits := uint(0)
+	for 1<<bits < entries {
+		bits++
+	}
+	p := &GsharePHT{counters: make([]Counter2, entries), mask: uint64(entries - 1), histBits: bits}
+	p.Reset()
+	return p
+}
+
+func (p *GsharePHT) index(pc uint64) uint64 { return ((pc / ir.InstrBytes) ^ p.ghr) & p.mask }
+
+// Predict implements DirectionPredictor.
+func (p *GsharePHT) Predict(ev trace.Event) bool { return p.counters[p.index(ev.PC)].Taken() }
+
+// Update implements DirectionPredictor.
+func (p *GsharePHT) Update(ev trace.Event) {
+	i := p.index(ev.PC)
+	p.counters[i] = p.counters[i].Update(ev.Taken)
+	p.ghr = ((p.ghr << 1) | b2u(ev.Taken)) & p.mask
+}
+
+// History returns the current global history register value (for tests).
+func (p *GsharePHT) History() uint64 { return p.ghr }
+
+// Name implements DirectionPredictor.
+func (p *GsharePHT) Name() string { return fmt.Sprintf("pht-gshare-%d", len(p.counters)) }
+
+// Reset implements DirectionPredictor.
+func (p *GsharePHT) Reset() {
+	p.ghr = 0
+	for i := range p.counters {
+		p.counters[i] = Counter2Init
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,449 @@
+package predict
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"balign/internal/ir"
+	"balign/internal/profile"
+	"balign/internal/trace"
+)
+
+func TestCounter2(t *testing.T) {
+	c := Counter2Init // 1: weakly not taken
+	if c.Taken() {
+		t.Error("initial counter predicts taken")
+	}
+	c = c.Update(true) // 2
+	if !c.Taken() {
+		t.Error("counter at 2 should predict taken")
+	}
+	c = c.Update(true).Update(true).Update(true) // saturate at 3
+	if c != 3 {
+		t.Errorf("counter = %d, want saturation at 3", c)
+	}
+	c = c.Update(false).Update(false).Update(false).Update(false)
+	if c != 0 {
+		t.Errorf("counter = %d, want saturation at 0", c)
+	}
+}
+
+func TestCounter2SaturationProperty(t *testing.T) {
+	f := func(updates []bool) bool {
+		c := Counter2Init
+		for _, u := range updates {
+			c = c.Update(u)
+			if c > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFallthroughPredictor(t *testing.T) {
+	var p Fallthrough
+	if p.Predict(trace.Event{Taken: true}) {
+		t.Error("fallthrough predicted taken")
+	}
+	if p.Name() != "fallthrough" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestBTFNTPredictor(t *testing.T) {
+	var p BTFNT
+	if !p.Predict(trace.Event{PC: 100, TakenTarget: 40}) {
+		t.Error("backward branch not predicted taken")
+	}
+	if !p.Predict(trace.Event{PC: 100, TakenTarget: 100}) {
+		t.Error("self branch not predicted taken")
+	}
+	if p.Predict(trace.Event{PC: 100, TakenTarget: 200}) {
+		t.Error("forward branch predicted taken")
+	}
+	// A not-taken event still predicts from the static taken target.
+	if !p.Predict(trace.Event{PC: 100, Taken: false, Target: 104, TakenTarget: 40}) {
+		t.Error("BT/FNT must inspect the static taken target, not the outcome")
+	}
+}
+
+func likelyFixture() (*ir.Program, *profile.Profile) {
+	p := &ir.Proc{Name: "main", Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{{Op: ir.OpBnez, Rd: 1, TargetBlock: 2}}}, // mostly taken
+		{Instrs: []ir.Instr{{Op: ir.OpBnez, Rd: 2, TargetBlock: 3}}}, // mostly not
+		{Instrs: []ir.Instr{{Op: ir.OpBnez, Rd: 3, TargetBlock: 3}}}, // never executed
+		{Instrs: []ir.Instr{{Op: ir.OpHalt}}},
+	}}
+	prog := &ir.Program{Name: "lk", Procs: []*ir.Proc{p}}
+	prog.AssignAddresses(0x1000)
+	pf := profile.New("lk")
+	pf.Proc("main").Branches[0] = profile.BranchCount{Taken: 90, Fall: 10}
+	pf.Proc("main").Branches[1] = profile.BranchCount{Taken: 5, Fall: 95}
+	return prog, pf
+}
+
+func TestLikelyPredictor(t *testing.T) {
+	prog, pf := likelyFixture()
+	l := NewLikely(prog, pf)
+	if l.Sites() != 2 {
+		t.Errorf("Sites = %d, want 2 (unexecuted branch has no hint)", l.Sites())
+	}
+	b0 := prog.Procs[0].Blocks[0].TermAddr()
+	b1 := prog.Procs[0].Blocks[1].TermAddr()
+	if !l.Predict(trace.Event{PC: b0}) {
+		t.Error("hot-taken site predicted not taken")
+	}
+	if l.Predict(trace.Event{PC: b1}) {
+		t.Error("hot-fall site predicted taken")
+	}
+	if l.Predict(trace.Event{PC: 0xdead}) {
+		t.Error("unknown site should default to not taken")
+	}
+}
+
+func TestDirectPHTLearns(t *testing.T) {
+	p := NewDirectPHT(64)
+	ev := trace.Event{PC: 0x1000, Taken: true}
+	// Train taken twice; should then predict taken.
+	p.Update(ev)
+	p.Update(ev)
+	if !p.Predict(ev) {
+		t.Error("PHT did not learn taken bias")
+	}
+	// Different index must be independent.
+	other := trace.Event{PC: 0x1004, Taken: true}
+	if p.Predict(other) {
+		t.Error("untrained entry predicts taken")
+	}
+	p.Reset()
+	if p.Predict(ev) {
+		t.Error("Reset did not clear training")
+	}
+}
+
+func TestDirectPHTAliasing(t *testing.T) {
+	p := NewDirectPHT(16)
+	a := trace.Event{PC: 0, Taken: true}
+	b := trace.Event{PC: 16 * ir.InstrBytes, Taken: true} // same index mod 16
+	p.Update(a)
+	p.Update(a)
+	if !p.Predict(b) {
+		t.Error("aliased sites should share a counter in a direct-mapped PHT")
+	}
+}
+
+func TestGshareUsesHistory(t *testing.T) {
+	p := NewGsharePHT(64)
+	if p.History() != 0 {
+		t.Fatalf("initial history = %d", p.History())
+	}
+	ev := trace.Event{PC: 0x1000, Taken: true}
+	p.Update(ev)
+	if p.History() != 1 {
+		t.Errorf("history after taken = %d, want 1", p.History())
+	}
+	p.Update(trace.Event{PC: 0x1000, Taken: false})
+	if p.History() != 2 {
+		t.Errorf("history = %d, want 2 (shifted)", p.History())
+	}
+}
+
+func TestGshareLearnsAlternatingPattern(t *testing.T) {
+	// A strictly alternating branch defeats a direct-mapped PHT's 2-bit
+	// counter but is perfectly predictable with history correlation.
+	gshare := NewGsharePHT(4096)
+	direct := NewDirectPHT(4096)
+	var gOK, dOK int
+	taken := false
+	for i := 0; i < 4000; i++ {
+		taken = !taken
+		ev := trace.Event{PC: 0x2000, Taken: taken}
+		if gshare.Predict(ev) == taken {
+			gOK++
+		}
+		if direct.Predict(ev) == taken {
+			dOK++
+		}
+		gshare.Update(ev)
+		direct.Update(ev)
+	}
+	if gOK < 3800 {
+		t.Errorf("gshare correct = %d/4000, want near-perfect on alternation", gOK)
+	}
+	if dOK > 3000 {
+		t.Errorf("direct PHT correct = %d/4000; expected it to struggle on alternation", dOK)
+	}
+}
+
+func TestBTBInsertLookupEvict(t *testing.T) {
+	b := NewBTB(4, 2) // 2 sets x 2 ways
+	if b.Lookup(0x1000) != nil {
+		t.Error("lookup in empty BTB hit")
+	}
+	b.Insert(0x1000, 0x2000)
+	e := b.Lookup(0x1000)
+	if e == nil || e.Target() != 0x2000 {
+		t.Fatalf("lookup after insert = %+v", e)
+	}
+	if !e.PredictTaken() {
+		t.Error("fresh entry should predict taken")
+	}
+	// Fill the same set (set index = (pc/4) % 2): pc 0x1000 and 0x1008 share set 0.
+	b.Insert(0x1008, 0xaaaa)
+	// Touch 0x1000 so 0x1008 is LRU, then insert a third conflicting entry.
+	b.Lookup(0x1000)
+	b.Insert(0x1010, 0xbbbb)
+	if b.Lookup(0x1008) != nil {
+		t.Error("LRU entry not evicted")
+	}
+	if b.Lookup(0x1000) == nil {
+		t.Error("MRU entry evicted")
+	}
+	b.Reset()
+	if b.Lookup(0x1000) != nil {
+		t.Error("Reset did not clear entries")
+	}
+}
+
+func TestBTBGeometryValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBTB(64, 3) }, // not divisible
+		func() { NewBTB(24, 2) }, // sets not power of two
+		func() { NewBTB(64, 0) }, // zero ways
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad BTB geometry did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReturnStack(t *testing.T) {
+	s := NewReturnStack(2)
+	if _, ok := s.Pop(); ok {
+		t.Error("pop of empty stack returned ok")
+	}
+	s.Push(10)
+	s.Push(20)
+	if a, _ := s.Pop(); a != 20 {
+		t.Errorf("pop = %d, want 20", a)
+	}
+	if a, _ := s.Pop(); a != 10 {
+		t.Errorf("pop = %d, want 10", a)
+	}
+	// Overflow wraps: deepest entry lost.
+	s.Push(1)
+	s.Push(2)
+	s.Push(3)
+	if s.Depth() != 2 {
+		t.Errorf("depth = %d, want capacity 2", s.Depth())
+	}
+	if a, _ := s.Pop(); a != 3 {
+		t.Errorf("pop = %d, want 3", a)
+	}
+	if a, _ := s.Pop(); a != 2 {
+		t.Errorf("pop = %d, want 2", a)
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("entry 1 should have been overwritten by wraparound")
+	}
+}
+
+func TestStaticSimChargingRules(t *testing.T) {
+	s := NewStaticSim(Fallthrough{})
+	// Not-taken conditional, correctly predicted: free.
+	s.Event(trace.Event{Kind: ir.CondBr, Taken: false, PC: 4, Target: 100, Fall: 8})
+	// Taken conditional under FALLTHROUGH: mispredict.
+	s.Event(trace.Event{Kind: ir.CondBr, Taken: true, PC: 8, Target: 0, Fall: 12})
+	// Unconditional: misfetch.
+	s.Event(trace.Event{Kind: ir.Br, Taken: true, PC: 12, Target: 0, Fall: 16})
+	// Call: misfetch, pushes return stack.
+	s.Event(trace.Event{Kind: ir.Call, Taken: true, PC: 16, Target: 400, Fall: 20})
+	// Indirect jump: always mispredict.
+	s.Event(trace.Event{Kind: ir.IJump, Taken: true, PC: 404, Target: 500, Fall: 408})
+	// Correct return: free.
+	s.Event(trace.Event{Kind: ir.Ret, Taken: true, PC: 500, Target: 20, Fall: 504})
+	// Return with empty stack: mispredict.
+	s.Event(trace.Event{Kind: ir.Ret, Taken: true, PC: 504, Target: 20, Fall: 508})
+
+	r := s.Result()
+	if r.Events != 7 {
+		t.Errorf("Events = %d, want 7", r.Events)
+	}
+	if r.Misfetches != 2 {
+		t.Errorf("Misfetches = %d, want 2 (br + call)", r.Misfetches)
+	}
+	if r.Mispredicts != 3 {
+		t.Errorf("Mispredicts = %d, want 3 (taken cond + ijump + bad ret)", r.Mispredicts)
+	}
+	if r.Cond != 2 || r.CondCorrect != 1 || r.CondTaken != 1 {
+		t.Errorf("cond stats = %d/%d/%d, want 2/1/1", r.Cond, r.CondCorrect, r.CondTaken)
+	}
+	if r.Rets != 2 || r.RetsCorrect != 1 {
+		t.Errorf("ret stats = %d/%d, want 2/1", r.Rets, r.RetsCorrect)
+	}
+	if got := r.BEP(1, 4); got != 2*1+3*4 {
+		t.Errorf("BEP = %d, want 14", got)
+	}
+}
+
+func TestStaticSimBTFNTMisfetchOnCorrectTaken(t *testing.T) {
+	s := NewStaticSim(BTFNT{})
+	// Backward taken branch: predicted correctly but still a misfetch.
+	s.Event(trace.Event{Kind: ir.CondBr, Taken: true, PC: 100, Target: 50, TakenTarget: 50, Fall: 104})
+	r := s.Result()
+	if r.Misfetches != 1 || r.Mispredicts != 0 {
+		t.Errorf("misfetch/mispredict = %d/%d, want 1/0", r.Misfetches, r.Mispredicts)
+	}
+}
+
+func TestBTBSimConditional(t *testing.T) {
+	s := NewBTBSim(64, 2)
+	ev := trace.Event{Kind: ir.CondBr, Taken: true, PC: 0x1000, Target: 0x800, Fall: 0x1004}
+	// First encounter: miss, taken -> mispredict + insert.
+	s.Event(ev)
+	r := s.Result()
+	if r.Mispredicts != 1 {
+		t.Fatalf("first taken cond: mispredicts = %d, want 1", r.Mispredicts)
+	}
+	// Second encounter: hit, counter predicts taken, target correct -> free.
+	s.Event(ev)
+	r = s.Result()
+	if r.Mispredicts != 1 || r.Misfetches != 0 {
+		t.Errorf("second taken cond: mf/mp = %d/%d, want 0/1", r.Misfetches, r.Mispredicts)
+	}
+	if r.CondCorrect != 1 {
+		t.Errorf("CondCorrect = %d, want 1", r.CondCorrect)
+	}
+	// Not-taken now: hit but counter says taken -> mispredict.
+	s.Event(trace.Event{Kind: ir.CondBr, Taken: false, PC: 0x1000, Target: 0x800, Fall: 0x1004})
+	if got := s.Result().Mispredicts; got != 2 {
+		t.Errorf("mispredicts = %d, want 2", got)
+	}
+}
+
+func TestBTBSimNotTakenMissIsFree(t *testing.T) {
+	s := NewBTBSim(64, 2)
+	s.Event(trace.Event{Kind: ir.CondBr, Taken: false, PC: 0x1000, Target: 0x800, Fall: 0x1004})
+	r := s.Result()
+	if r.Misfetches != 0 || r.Mispredicts != 0 {
+		t.Errorf("mf/mp = %d/%d, want 0/0", r.Misfetches, r.Mispredicts)
+	}
+	// Not-taken branches are not inserted.
+	if s.BTB().Hits != 0 || s.BTB().Lookups != 1 {
+		t.Errorf("lookups/hits = %d/%d, want 1/0", s.BTB().Lookups, s.BTB().Hits)
+	}
+}
+
+func TestBTBSimUncondAndCall(t *testing.T) {
+	s := NewBTBSim(64, 2)
+	br := trace.Event{Kind: ir.Br, Taken: true, PC: 0x2000, Target: 0x3000, Fall: 0x2004}
+	s.Event(br) // miss: misfetch
+	s.Event(br) // hit: free
+	r := s.Result()
+	if r.Misfetches != 1 {
+		t.Errorf("misfetches = %d, want 1", r.Misfetches)
+	}
+	call := trace.Event{Kind: ir.Call, Taken: true, PC: 0x2004, Target: 0x4000, Fall: 0x2008}
+	s.Event(call) // miss: misfetch, push
+	s.Event(trace.Event{Kind: ir.Ret, Taken: true, PC: 0x4004, Target: 0x2008, Fall: 0x4008})
+	r = s.Result()
+	if r.Misfetches != 2 {
+		t.Errorf("misfetches = %d, want 2", r.Misfetches)
+	}
+	if r.RetsCorrect != 1 {
+		t.Errorf("RetsCorrect = %d, want 1", r.RetsCorrect)
+	}
+}
+
+func TestBTBSimIndirect(t *testing.T) {
+	s := NewBTBSim(64, 2)
+	ij := trace.Event{Kind: ir.IJump, Taken: true, PC: 0x5000, Target: 0x6000, Fall: 0x5004}
+	s.Event(ij) // miss -> mispredict
+	s.Event(ij) // hit, same target -> free
+	r := s.Result()
+	if r.Mispredicts != 1 {
+		t.Errorf("mispredicts = %d, want 1", r.Mispredicts)
+	}
+	// Target changes -> mispredict, entry retargeted.
+	s.Event(trace.Event{Kind: ir.IJump, Taken: true, PC: 0x5000, Target: 0x7000, Fall: 0x5004})
+	s.Event(trace.Event{Kind: ir.IJump, Taken: true, PC: 0x5000, Target: 0x7000, Fall: 0x5004})
+	r = s.Result()
+	if r.Mispredicts != 2 {
+		t.Errorf("mispredicts = %d, want 2 after retarget", r.Mispredicts)
+	}
+}
+
+func TestNewSimulatorRegistry(t *testing.T) {
+	prog, pf := likelyFixture()
+	for _, id := range AllArchs() {
+		sim, err := NewSimulator(id, prog, pf)
+		if err != nil {
+			t.Errorf("NewSimulator(%s): %v", id, err)
+			continue
+		}
+		if sim.Name() == "" {
+			t.Errorf("%s: empty name", id)
+		}
+		sim.Event(trace.Event{Kind: ir.CondBr, Taken: true, PC: 0x1000, Target: 0x800, Fall: 0x1004})
+		if sim.Result().Events != 1 {
+			t.Errorf("%s: event not counted", id)
+		}
+		sim.Reset()
+		if sim.Result().Events != 0 {
+			t.Errorf("%s: Reset did not clear result", id)
+		}
+	}
+	if _, err := NewSimulator("nonsense", nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown architecture") {
+		t.Errorf("unknown arch error = %v", err)
+	}
+	if _, err := NewSimulator(ArchLikely, nil, nil); err == nil {
+		t.Error("LIKELY without profile should error")
+	}
+}
+
+func TestResultCondAccuracy(t *testing.T) {
+	r := Result{Cond: 10, CondCorrect: 9}
+	if got := r.CondAccuracy(); got != 0.9 {
+		t.Errorf("CondAccuracy = %v, want 0.9", got)
+	}
+	var zero Result
+	if zero.CondAccuracy() != 0 {
+		t.Error("zero CondAccuracy should be 0")
+	}
+}
+
+func TestHeuristicLikely(t *testing.T) {
+	// Backward branch -> taken; bne -> taken; beq -> not taken.
+	p := &ir.Proc{Name: "m", Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{{Op: ir.OpBeq, Rd: 1, Rs: 2, TargetBlock: 2}}},
+		{Instrs: []ir.Instr{{Op: ir.OpBne, Rd: 1, Rs: 2, TargetBlock: 2}}},
+		{Instrs: []ir.Instr{{Op: ir.OpBeqz, Rd: 1, TargetBlock: 0}}}, // backward
+		{Instrs: []ir.Instr{{Op: ir.OpHalt}}},
+	}}
+	prog := &ir.Program{Name: "h", Procs: []*ir.Proc{p}}
+	prog.AssignAddresses(0x1000)
+	l := NewHeuristicLikely(prog)
+	if l.Sites() != 3 {
+		t.Fatalf("Sites = %d, want 3", l.Sites())
+	}
+	if l.Predict(trace.Event{PC: p.Blocks[0].TermAddr()}) {
+		t.Error("forward beq should be predicted not taken")
+	}
+	if !l.Predict(trace.Event{PC: p.Blocks[1].TermAddr()}) {
+		t.Error("bne should be predicted taken")
+	}
+	if !l.Predict(trace.Event{PC: p.Blocks[2].TermAddr()}) {
+		t.Error("backward branch should be predicted taken")
+	}
+}

@@ -1,0 +1,129 @@
+package predict
+
+import (
+	"balign/internal/ir"
+	"balign/internal/profile"
+	"balign/internal/trace"
+)
+
+// Fallthrough is the FALLTHROUGH static architecture's direction predictor:
+// every conditional branch is predicted not taken, so every taken branch is
+// mispredicted. No longer realistic on its own, but it is the behaviour of a
+// BTB architecture on a BTB miss, and it is the model under which branch
+// alignment has the most room to help.
+type Fallthrough struct{}
+
+// Predict implements DirectionPredictor.
+func (Fallthrough) Predict(trace.Event) bool { return false }
+
+// Update implements DirectionPredictor.
+func (Fallthrough) Update(trace.Event) {}
+
+// Name implements DirectionPredictor.
+func (Fallthrough) Name() string { return "fallthrough" }
+
+// Reset implements DirectionPredictor.
+func (Fallthrough) Reset() {}
+
+// BTFNT is the backward-taken/forward-not-taken static predictor used by the
+// HP PA-RISC and the Alpha AXP 21064: a branch whose encoded (taken) target
+// precedes it is predicted taken (loops), otherwise not taken. The decision
+// depends only on the instruction's displacement sign, never on the
+// outcome, so it inspects the event's static TakenTarget.
+type BTFNT struct{}
+
+// Predict implements DirectionPredictor.
+func (BTFNT) Predict(ev trace.Event) bool { return ev.TakenTarget <= ev.PC }
+
+// Update implements DirectionPredictor.
+func (BTFNT) Update(trace.Event) {}
+
+// Name implements DirectionPredictor.
+func (BTFNT) Name() string { return "btfnt" }
+
+// Reset implements DirectionPredictor.
+func (BTFNT) Reset() {}
+
+// Likely is the LIKELY static architecture: each branch instruction carries
+// a compiler-set likely/unlikely hint. As in the paper, the hint is set from
+// profile information: the branch is predicted in its majority direction.
+// Branch sites absent from the profile predict not taken.
+type Likely struct {
+	table map[uint64]bool // site PC -> predicted taken
+}
+
+// NewLikely builds the per-site hint table for prog from a profile gathered
+// on that same program layout (hints are attached to site addresses).
+func NewLikely(prog *ir.Program, prof *profile.Profile) *Likely {
+	l := &Likely{table: make(map[uint64]bool)}
+	for _, p := range prog.Procs {
+		pp, ok := prof.Procs[p.Name]
+		if !ok {
+			continue
+		}
+		for id, b := range p.Blocks {
+			term, ok := b.Terminator()
+			if !ok || term.Kind() != ir.CondBr {
+				continue
+			}
+			c := pp.Branches[ir.BlockID(id)]
+			if c.Total() == 0 {
+				continue
+			}
+			l.table[b.TermAddr()] = c.Taken > c.Fall
+		}
+	}
+	return l
+}
+
+// Predict implements DirectionPredictor.
+func (l *Likely) Predict(ev trace.Event) bool { return l.table[ev.PC] }
+
+// Update implements DirectionPredictor.
+func (l *Likely) Update(trace.Event) {}
+
+// Name implements DirectionPredictor.
+func (l *Likely) Name() string { return "likely" }
+
+// Reset implements DirectionPredictor. The hint table is static state, so
+// Reset keeps it.
+func (l *Likely) Reset() {}
+
+// Sites returns the number of branch sites with hints (for tests).
+func (l *Likely) Sites() int { return len(l.table) }
+
+// NewHeuristicLikely builds LIKELY hint bits from compile-time heuristics
+// instead of a profile — the paper's other option for setting the likely
+// flag ("compile-time estimates", citing Ball & Larus-style rules), which
+// it rejects as much less accurate than profiles. Rules, in order:
+//
+//   - a backward branch is likely taken (loops);
+//   - equality tests against zero or another register are likely NOT taken
+//     (pointer/sentinel checks fail rarely);
+//   - inequality tests (bne/bnez) are likely taken for the same reason;
+//   - everything else defaults to not taken.
+//
+// The experiments use it to reproduce the paper's remark that profile
+// hints are "much more accurate and simple to gather".
+func NewHeuristicLikely(prog *ir.Program) *Likely {
+	l := &Likely{table: make(map[uint64]bool)}
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			term, ok := b.Terminator()
+			if !ok || term.Kind() != ir.CondBr {
+				continue
+			}
+			site := b.TermAddr()
+			target := p.Block(term.TargetBlock)
+			switch {
+			case target != nil && target.Addr <= site:
+				l.table[site] = true // backward: loop, likely taken
+			case term.Op == ir.OpBne || term.Op == ir.OpBnez:
+				l.table[site] = true
+			default:
+				l.table[site] = false
+			}
+		}
+	}
+	return l
+}

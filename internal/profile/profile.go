@@ -1,0 +1,368 @@
+// Package profile implements edge execution profiles: how many times each
+// intraprocedural CFG edge was traversed and how each conditional branch
+// resolved. Profiles drive branch alignment (edge weights), the LIKELY
+// static predictor (majority outcome per branch site) and the synthetic
+// walker (profile-faithful trace regeneration).
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"balign/internal/ir"
+	"balign/internal/trace"
+)
+
+// Edge identifies an intraprocedural CFG edge by block IDs.
+type Edge struct {
+	From ir.BlockID
+	To   ir.BlockID
+}
+
+// BranchCount records the dynamic outcomes of one conditional branch site.
+type BranchCount struct {
+	Taken uint64
+	Fall  uint64
+}
+
+// Total returns the branch's execution count.
+func (b BranchCount) Total() uint64 { return b.Taken + b.Fall }
+
+// TakenProb returns the empirical probability the branch is taken; an
+// unexecuted branch reports 0.
+func (b BranchCount) TakenProb() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Taken) / float64(t)
+}
+
+// ProcProfile holds the profile of one procedure.
+type ProcProfile struct {
+	Edges    map[Edge]uint64
+	Branches map[ir.BlockID]BranchCount
+}
+
+// NewProcProfile returns an empty procedure profile.
+func NewProcProfile() *ProcProfile {
+	return &ProcProfile{
+		Edges:    make(map[Edge]uint64),
+		Branches: make(map[ir.BlockID]BranchCount),
+	}
+}
+
+// Weight returns the traversal count of the edge from -> to.
+func (p *ProcProfile) Weight(from, to ir.BlockID) uint64 {
+	return p.Edges[Edge{from, to}]
+}
+
+// BlockWeight returns the execution count of a block: the sum of its
+// incoming edge weights. The entry block additionally counts one execution
+// per procedure invocation only if callers recorded it; within this system
+// block weights are used for relative ordering so the missing entry
+// increment is immaterial.
+func (p *ProcProfile) BlockWeight(id ir.BlockID) uint64 {
+	var n uint64
+	for e, w := range p.Edges {
+		if e.To == id {
+			n += w
+		}
+	}
+	return n
+}
+
+// Profile is a whole-program profile keyed by procedure name (names are
+// stable across alignment rewrites, unlike block IDs).
+type Profile struct {
+	Program string
+	// Instrs is the total number of instructions executed while profiling.
+	Instrs uint64
+	Procs  map[string]*ProcProfile
+}
+
+// New returns an empty profile for the named program.
+func New(program string) *Profile {
+	return &Profile{Program: program, Procs: make(map[string]*ProcProfile)}
+}
+
+// Proc returns the profile for the named procedure, creating it on demand.
+func (pf *Profile) Proc(name string) *ProcProfile {
+	pp, ok := pf.Procs[name]
+	if !ok {
+		pp = NewProcProfile()
+		pf.Procs[name] = pp
+	}
+	return pp
+}
+
+// Merge adds other's counts into pf.
+func (pf *Profile) Merge(other *Profile) {
+	pf.Instrs += other.Instrs
+	for name, opp := range other.Procs {
+		pp := pf.Proc(name)
+		for e, w := range opp.Edges {
+			pp.Edges[e] += w
+		}
+		for b, c := range opp.Branches {
+			cur := pp.Branches[b]
+			cur.Taken += c.Taken
+			cur.Fall += c.Fall
+			pp.Branches[b] = cur
+		}
+	}
+}
+
+// Scale multiplies every count by num/den, rounding down but never turning a
+// nonzero count into zero (alignment treats weight ≥ 1 as "executed").
+func (pf *Profile) Scale(num, den uint64) {
+	if den == 0 {
+		return
+	}
+	sc := func(v uint64) uint64 {
+		if v == 0 {
+			return 0
+		}
+		s := v * num / den
+		if s == 0 {
+			s = 1
+		}
+		return s
+	}
+	pf.Instrs = sc(pf.Instrs)
+	for _, pp := range pf.Procs {
+		for e, w := range pp.Edges {
+			pp.Edges[e] = sc(w)
+		}
+		for b, c := range pp.Branches {
+			pp.Branches[b] = BranchCount{Taken: sc(c.Taken), Fall: sc(c.Fall)}
+		}
+	}
+}
+
+// TotalEdgeWeight returns the sum of all edge weights in the profile.
+func (pf *Profile) TotalEdgeWeight() uint64 {
+	var n uint64
+	for _, pp := range pf.Procs {
+		for _, w := range pp.Edges {
+			n += w
+		}
+	}
+	return n
+}
+
+// Collector adapts a Profile to the trace.EdgeSink interface for a specific
+// program (needed to map procedure indices to stable names).
+type Collector struct {
+	prog *ir.Program
+	prof *Profile
+}
+
+// NewCollector returns a collector that accumulates into a fresh Profile.
+func NewCollector(prog *ir.Program) *Collector {
+	return &Collector{prog: prog, prof: New(prog.Name)}
+}
+
+// Profile returns the accumulated profile.
+func (c *Collector) Profile() *Profile { return c.prof }
+
+// Edge implements trace.EdgeSink.
+func (c *Collector) Edge(procIdx int, from, to ir.BlockID) {
+	c.prof.Proc(c.prog.Procs[procIdx].Name).Edges[Edge{from, to}]++
+}
+
+// Branch implements trace.EdgeSink.
+func (c *Collector) Branch(procIdx int, block ir.BlockID, taken bool) {
+	pp := c.prof.Proc(c.prog.Procs[procIdx].Name)
+	cur := pp.Branches[block]
+	if taken {
+		cur.Taken++
+	} else {
+		cur.Fall++
+	}
+	pp.Branches[block] = cur
+}
+
+// Instrs implements trace.EdgeSink.
+func (c *Collector) Instrs(n uint64) { c.prof.Instrs += n }
+
+var _ trace.EdgeSink = (*Collector)(nil)
+
+// Model returns a trace.Model that reproduces the profiled branch behaviour
+// of prog: conditional branches take with their profiled probability and
+// indirect jumps follow the profiled target distribution. Branches never
+// executed in the profile default to not-taken.
+func (pf *Profile) Model(prog *ir.Program) trace.Model {
+	return &profileModel{prog: prog, prof: pf}
+}
+
+type profileModel struct {
+	prog *ir.Program
+	prof *Profile
+}
+
+// TakenProb implements trace.Model.
+func (m *profileModel) TakenProb(procIdx int, block ir.BlockID) float64 {
+	pp, ok := m.prof.Procs[m.prog.Procs[procIdx].Name]
+	if !ok {
+		return 0
+	}
+	return pp.Branches[block].TakenProb()
+}
+
+// IJumpWeights implements trace.Model.
+func (m *profileModel) IJumpWeights(procIdx int, block ir.BlockID) []float64 {
+	p := m.prog.Procs[procIdx]
+	pp, ok := m.prof.Procs[p.Name]
+	if !ok {
+		return nil
+	}
+	term, ok := p.Blocks[block].Terminator()
+	if !ok || term.Kind() != ir.IJump {
+		return nil
+	}
+	out := make([]float64, len(term.Targets))
+	any := false
+	for i, t := range term.Targets {
+		w := pp.Edges[Edge{block, t}]
+		out[i] = float64(w)
+		if w > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// WriteTo serializes the profile in a stable line-oriented text format.
+func (pf *Profile) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(m int, err error) error {
+		n += int64(m)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "program %s\ninstrs %d\n", pf.Program, pf.Instrs)); err != nil {
+		return n, err
+	}
+	names := make([]string, 0, len(pf.Procs))
+	for name := range pf.Procs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pp := pf.Procs[name]
+		if err := count(fmt.Fprintf(bw, "proc %s\n", name)); err != nil {
+			return n, err
+		}
+		edges := make([]Edge, 0, len(pp.Edges))
+		for e := range pp.Edges {
+			edges = append(edges, e)
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].From != edges[j].From {
+				return edges[i].From < edges[j].From
+			}
+			return edges[i].To < edges[j].To
+		})
+		for _, e := range edges {
+			if err := count(fmt.Fprintf(bw, "edge %d %d %d\n", e.From, e.To, pp.Edges[e])); err != nil {
+				return n, err
+			}
+		}
+		blocks := make([]ir.BlockID, 0, len(pp.Branches))
+		for b := range pp.Branches {
+			blocks = append(blocks, b)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, b := range blocks {
+			c := pp.Branches[b]
+			if err := count(fmt.Fprintf(bw, "branch %d %d %d\n", b, c.Taken, c.Fall)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a profile previously written by WriteTo.
+func Read(r io.Reader) (*Profile, error) {
+	pf := New("")
+	var cur *ProcProfile
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		bad := func(msg string) error {
+			return fmt.Errorf("profile: line %d: %s: %q", line, msg, sc.Text())
+		}
+		switch fields[0] {
+		case "program":
+			if len(fields) == 2 {
+				pf.Program = fields[1]
+			}
+		case "instrs":
+			if len(fields) != 2 {
+				return nil, bad("instrs takes one value")
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, bad("bad instruction count")
+			}
+			pf.Instrs = v
+		case "proc":
+			if len(fields) != 2 {
+				return nil, bad("proc takes one name")
+			}
+			cur = pf.Proc(fields[1])
+		case "edge":
+			if cur == nil {
+				return nil, bad("edge before proc")
+			}
+			if len(fields) != 4 {
+				return nil, bad("edge takes from to weight")
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseUint(fields[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, bad("bad edge numbers")
+			}
+			cur.Edges[Edge{ir.BlockID(from), ir.BlockID(to)}] += w
+		case "branch":
+			if cur == nil {
+				return nil, bad("branch before proc")
+			}
+			if len(fields) != 4 {
+				return nil, bad("branch takes block taken fall")
+			}
+			b, err1 := strconv.Atoi(fields[1])
+			taken, err2 := strconv.ParseUint(fields[2], 10, 64)
+			fall, err3 := strconv.ParseUint(fields[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, bad("bad branch numbers")
+			}
+			cc := cur.Branches[ir.BlockID(b)]
+			cc.Taken += taken
+			cc.Fall += fall
+			cur.Branches[ir.BlockID(b)] = cc
+		default:
+			return nil, bad("unknown record")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return pf, nil
+}

@@ -1,0 +1,116 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"balign/internal/ir"
+)
+
+// buildProfile constructs a profile from generated raw data.
+func buildProfile(edges []uint16, weights []uint16) *Profile {
+	pf := New("q")
+	pp := pf.Proc("main")
+	for i, e := range edges {
+		w := uint64(1)
+		if len(weights) > 0 {
+			w = uint64(weights[i%len(weights)])%1000 + 1
+		}
+		from := ir.BlockID(e % 31)
+		to := ir.BlockID((e / 31) % 31)
+		pp.Edges[Edge{From: from, To: to}] += w
+		pf.Instrs += w
+	}
+	return pf
+}
+
+func TestMergeIsCommutativeProperty(t *testing.T) {
+	f := func(ea, eb []uint16, wa, wb []uint16) bool {
+		a1 := buildProfile(ea, wa)
+		b1 := buildProfile(eb, wb)
+		a2 := buildProfile(ea, wa)
+		b2 := buildProfile(eb, wb)
+
+		a1.Merge(b1) // a + b
+		b2.Merge(a2) // b + a
+
+		if a1.Instrs != b2.Instrs {
+			return false
+		}
+		pa, pb := a1.Procs["main"], b2.Procs["main"]
+		if (pa == nil) != (pb == nil) {
+			return false
+		}
+		if pa == nil {
+			return true
+		}
+		if len(pa.Edges) != len(pb.Edges) {
+			return false
+		}
+		for e, w := range pa.Edges {
+			if pb.Edges[e] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleNeverZeroesProperty(t *testing.T) {
+	f := func(edges []uint16, weights []uint16, num, den uint8) bool {
+		pf := buildProfile(edges, weights)
+		n := uint64(num)%8 + 1
+		d := uint64(den)%64 + 1
+		before := len(pf.Procs["main"].Edges)
+		pf.Scale(n, d)
+		pp := pf.Procs["main"]
+		if len(pp.Edges) != before {
+			return false
+		}
+		for _, w := range pp.Edges {
+			if w == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializationRoundTripProperty(t *testing.T) {
+	f := func(edges []uint16, weights []uint16) bool {
+		pf := buildProfile(edges, weights)
+		var buf bytes.Buffer
+		if _, err := pf.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Instrs != pf.Instrs {
+			return false
+		}
+		for name, pp := range pf.Procs {
+			gp := got.Procs[name]
+			if gp == nil {
+				return len(pp.Edges) == 0 && len(pp.Branches) == 0
+			}
+			for e, w := range pp.Edges {
+				if gp.Edges[e] != w {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

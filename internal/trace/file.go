@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"balign/internal/ir"
+)
+
+// File format: the magic header followed by one varint-packed record per
+// event. Fall is always PC+4 and is not stored; PC is delta-encoded against
+// the previous event's PC and Target against the event's own PC (branch
+// displacements are short), so typical events take 3-6 bytes instead of 26.
+var fileMagic = []byte("BATRACE1")
+
+// FileWriter streams events to an io.Writer in the balign trace format. It
+// implements Sink; call Flush when done.
+type FileWriter struct {
+	w           *bufio.Writer
+	lastPC      uint64
+	count       uint64
+	wroteHeader bool
+	err         error
+}
+
+// NewFileWriter returns a writer targeting w.
+func NewFileWriter(w io.Writer) *FileWriter {
+	return &FileWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Event implements Sink. Encoding errors are sticky and reported by Flush.
+func (fw *FileWriter) Event(e Event) {
+	if fw.err != nil {
+		return
+	}
+	if !fw.wroteHeader {
+		if _, err := fw.w.Write(fileMagic); err != nil {
+			fw.err = err
+			return
+		}
+		fw.wroteHeader = true
+	}
+	var buf [3*binary.MaxVarintLen64 + 1]byte
+	n := binary.PutVarint(buf[:], int64(e.PC)-int64(fw.lastPC))
+	fw.lastPC = e.PC
+	// Kind in the low 3 bits, taken flag in bit 3.
+	meta := byte(e.Kind) & 0x7
+	if e.Taken {
+		meta |= 0x8
+	}
+	buf[n] = meta
+	n++
+	n += binary.PutVarint(buf[n:], int64(e.Target)-int64(e.PC))
+	if e.Kind == ir.CondBr {
+		// Conditionals also carry their static taken target (what BT/FNT
+		// inspects); for the other kinds it equals Target.
+		n += binary.PutVarint(buf[n:], int64(e.TakenTarget)-int64(e.PC))
+	}
+	if _, err := fw.w.Write(buf[:n]); err != nil {
+		fw.err = err
+		return
+	}
+	fw.count++
+}
+
+// Count returns the number of events written.
+func (fw *FileWriter) Count() uint64 { return fw.count }
+
+// Flush writes buffered data and returns the first error encountered.
+func (fw *FileWriter) Flush() error {
+	if fw.err != nil {
+		return fw.err
+	}
+	if !fw.wroteHeader {
+		if _, err := fw.w.Write(fileMagic); err != nil {
+			return err
+		}
+		fw.wroteHeader = true
+	}
+	return fw.w.Flush()
+}
+
+// ReadFile replays a trace file, invoking fn for every event in order. It
+// stops early if fn returns an error.
+func ReadFile(r io.Reader, fn func(Event) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != string(fileMagic) {
+		return fmt.Errorf("trace: bad magic %q", head)
+	}
+	var lastPC uint64
+	for {
+		dpc, err := binary.ReadVarint(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("trace: reading pc: %w", err)
+		}
+		meta, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: reading meta: %w", err)
+		}
+		dt, err := binary.ReadVarint(br)
+		if err != nil {
+			return fmt.Errorf("trace: reading target: %w", err)
+		}
+		pc := uint64(int64(lastPC) + dpc)
+		lastPC = pc
+		kind := ir.Kind(meta & 0x7)
+		if kind == ir.Op || kind > ir.Halt {
+			return fmt.Errorf("trace: invalid event kind %d", kind)
+		}
+		ev := Event{
+			PC:     pc,
+			Kind:   kind,
+			Taken:  meta&0x8 != 0,
+			Target: uint64(int64(pc) + dt),
+			Fall:   pc + ir.InstrBytes,
+		}
+		if kind == ir.CondBr {
+			dtt, err := binary.ReadVarint(br)
+			if err != nil {
+				return fmt.Errorf("trace: reading taken target: %w", err)
+			}
+			ev.TakenTarget = uint64(int64(pc) + dtt)
+		} else {
+			ev.TakenTarget = ev.Target
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+}
+
+// Replay feeds every event of a trace file to a sink.
+func Replay(r io.Reader, sink Sink) (uint64, error) {
+	var n uint64
+	err := ReadFile(r, func(e Event) error {
+		sink.Event(e)
+		n++
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"balign/internal/ir"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	events := []Event{
+		{PC: 0x1000, Kind: ir.CondBr, Taken: true, Target: 0x0f00, TakenTarget: 0x0f00, Fall: 0x1004},
+		{PC: 0x1010, Kind: ir.CondBr, Taken: false, Target: 0x2000, TakenTarget: 0x0800, Fall: 0x1014},
+		{PC: 0x1014, Kind: ir.Br, Taken: true, Target: 0x1020, TakenTarget: 0x1020, Fall: 0x1018},
+		{PC: 0x1020, Kind: ir.Call, Taken: true, Target: 0x8000, TakenTarget: 0x8000, Fall: 0x1024},
+		{PC: 0x8004, Kind: ir.Ret, Taken: true, Target: 0x1024, TakenTarget: 0x1024, Fall: 0x8008},
+		{PC: 0x1030, Kind: ir.IJump, Taken: true, Target: 0x4000, TakenTarget: 0x4000, Fall: 0x1034},
+	}
+	var buf bytes.Buffer
+	fw := NewFileWriter(&buf)
+	for _, e := range events {
+		fw.Event(e)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if fw.Count() != uint64(len(events)) {
+		t.Errorf("Count = %d, want %d", fw.Count(), len(events))
+	}
+
+	var got []Event
+	if err := ReadFile(&buf, func(e Event) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestFileEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFileWriter(&buf)
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Replay(&buf, SinkFunc(func(Event) {}))
+	if err != nil || n != 0 {
+		t.Errorf("Replay(empty) = %d, %v", n, err)
+	}
+}
+
+func TestFileBadMagic(t *testing.T) {
+	err := ReadFile(strings.NewReader("NOTATRACEFILE"), func(Event) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("err = %v, want bad magic", err)
+	}
+}
+
+func TestFileTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFileWriter(&buf)
+	fw.Event(Event{PC: 0x1000, Kind: ir.Br, Taken: true, Target: 0x2000, TakenTarget: 0x2000, Fall: 0x1004})
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	err := ReadFile(bytes.NewReader(data[:len(data)-1]), func(Event) error { return nil })
+	if err == nil {
+		t.Error("truncated trace read without error")
+	}
+}
+
+func TestFileInvalidKind(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(fileMagic)
+	// dpc=0 varint, meta=0 (Op: invalid in a break trace), dt=0.
+	buf.Write([]byte{0, 0, 0})
+	err := ReadFile(&buf, func(Event) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Errorf("err = %v, want invalid kind", err)
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(pcs []uint32, kinds []uint8) bool {
+		var events []Event
+		for i, pc := range pcs {
+			k := ir.CondBr
+			if len(kinds) > 0 {
+				switch kinds[i%len(kinds)] % 5 {
+				case 0:
+					k = ir.CondBr
+				case 1:
+					k = ir.Br
+				case 2:
+					k = ir.Call
+				case 3:
+					k = ir.IJump
+				case 4:
+					k = ir.Ret
+				}
+			}
+			p := uint64(pc &^ 3)
+			tgt := uint64((pc * 7) &^ 3)
+			events = append(events, Event{
+				PC: p, Kind: k, Taken: pc%2 == 0 || k != ir.CondBr,
+				Target: tgt, TakenTarget: tgt, Fall: p + ir.InstrBytes,
+			})
+		}
+		var buf bytes.Buffer
+		fw := NewFileWriter(&buf)
+		for _, e := range events {
+			fw.Event(e)
+		}
+		if fw.Flush() != nil {
+			return false
+		}
+		var got []Event
+		if ReadFile(&buf, func(e Event) error { got = append(got, e); return nil }) != nil {
+			return false
+		}
+		if len(got) != len(events) {
+			return false
+		}
+		for i := range events {
+			want := events[i]
+			if want.Kind != ir.CondBr {
+				want.Taken = true
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileCompactness(t *testing.T) {
+	// Sequential branch events should encode in only a few bytes each.
+	var buf bytes.Buffer
+	fw := NewFileWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		pc := 0x1000 + uint64(i)*8
+		fw.Event(Event{PC: pc, Kind: ir.CondBr, Taken: i%2 == 0, Target: pc - 64, TakenTarget: pc - 64, Fall: pc + 4})
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if per := float64(buf.Len()) / 1000; per > 8 {
+		t.Errorf("encoding uses %.1f bytes/event, want compact (< 8)", per)
+	}
+}

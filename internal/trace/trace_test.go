@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"testing"
+
+	"balign/internal/ir"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Event(Event{Kind: ir.CondBr, Taken: true})
+	c.Event(Event{Kind: ir.CondBr, Taken: false})
+	c.Event(Event{Kind: ir.Br, Taken: true})
+	c.Event(Event{Kind: ir.Call, Taken: true})
+	c.Event(Event{Kind: ir.Ret, Taken: true})
+	c.Event(Event{Kind: ir.IJump, Taken: true})
+	if c.Total != 6 {
+		t.Errorf("Total = %d, want 6", c.Total)
+	}
+	if c.ByKind[ir.CondBr] != 2 || c.ByKind[ir.Br] != 1 || c.ByKind[ir.Call] != 1 ||
+		c.ByKind[ir.Ret] != 1 || c.ByKind[ir.IJump] != 1 {
+		t.Errorf("ByKind = %v", c.ByKind)
+	}
+	if c.CondTaken != 1 || c.CondFall != 1 {
+		t.Errorf("CondTaken/Fall = %d/%d, want 1/1", c.CondTaken, c.CondFall)
+	}
+}
+
+func TestMultiSinkAndRecorder(t *testing.T) {
+	var a, b Recorder
+	m := MultiSink{&a, &b}
+	m.Event(Event{PC: 4})
+	m.Event(Event{PC: 8})
+	if len(a.Events) != 2 || len(b.Events) != 2 {
+		t.Fatalf("recorders got %d/%d events, want 2/2", len(a.Events), len(b.Events))
+	}
+	if a.Events[1].PC != 8 {
+		t.Errorf("recorded PC = %d, want 8", a.Events[1].PC)
+	}
+}
+
+// loopProgram builds: main: b0 (li, li) ; b1 loop body ends bnez->b1 ; b2 halt.
+func loopProgram() *ir.Program {
+	p := &ir.Proc{Name: "main", Blocks: []*ir.Block{
+		{Orig: 0, Instrs: []ir.Instr{{Op: ir.OpLi, Rd: 1, Imm: 5}}},
+		{Orig: 1, Instrs: []ir.Instr{
+			{Op: ir.OpAddi, Rd: 2, Rs: 2, Imm: 1},
+			{Op: ir.OpBnez, Rd: 1, TargetBlock: 1},
+		}},
+		{Orig: 2, Instrs: []ir.Instr{{Op: ir.OpHalt}}},
+	}}
+	prog := &ir.Program{Name: "loop", Procs: []*ir.Proc{p}, MemWords: 4}
+	prog.AssignAddresses(0x1000)
+	return prog
+}
+
+func TestWalkerDeterministic(t *testing.T) {
+	prog := loopProgram()
+	run := func() []Event {
+		var rec Recorder
+		w := &Walker{Prog: prog, Model: UniformModel{P: 0.9}, Seed: 42, MaxInstrs: 500}
+		w.Run(&rec, nil)
+		return rec.Events
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("walker produced no events")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWalkerRespectsBudgetAndRestarts(t *testing.T) {
+	prog := loopProgram()
+	w := &Walker{Prog: prog, Model: UniformModel{P: 0.0}, Seed: 1, MaxInstrs: 100}
+	var c Counter
+	instrs, runs := w.Run(&c, nil)
+	if instrs < 100 {
+		t.Errorf("instrs = %d, want >= 100", instrs)
+	}
+	// P=0 means each run executes li, addi, bnez (not taken), halt = 4
+	// instructions and restarts; expect many runs.
+	if runs < 10 {
+		t.Errorf("runs = %d, want many restarts", runs)
+	}
+	if c.CondTaken != 0 {
+		t.Errorf("CondTaken = %d, want 0 with P=0", c.CondTaken)
+	}
+}
+
+func TestWalkerTakenProbability(t *testing.T) {
+	prog := loopProgram()
+	w := &Walker{Prog: prog, Model: UniformModel{P: 0.8}, Seed: 7, MaxInstrs: 200_000}
+	var c Counter
+	w.Run(&c, nil)
+	total := c.CondTaken + c.CondFall
+	if total == 0 {
+		t.Fatal("no conditional events")
+	}
+	rate := float64(c.CondTaken) / float64(total)
+	if rate < 0.77 || rate > 0.83 {
+		t.Errorf("taken rate = %.3f, want ~0.80", rate)
+	}
+}
+
+func TestWalkerCallsAndReturns(t *testing.T) {
+	callee := &ir.Proc{Name: "f", Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{{Op: ir.OpAddi, Rd: 3, Rs: 3, Imm: 1}, {Op: ir.OpRet}}},
+	}}
+	main := &ir.Proc{Name: "main", Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{{Op: ir.OpCall, TargetProc: 1}, {Op: ir.OpHalt}}},
+	}}
+	prog := &ir.Program{Name: "c", Procs: []*ir.Proc{main, callee}}
+	prog.AssignAddresses(0x1000)
+	var rec Recorder
+	w := &Walker{Prog: prog, Model: UniformModel{}, Seed: 3, MaxInstrs: 4}
+	w.Run(&rec, nil)
+	if len(rec.Events) != 2 {
+		t.Fatalf("events = %d, want 2 (call, ret): %+v", len(rec.Events), rec.Events)
+	}
+	call, ret := rec.Events[0], rec.Events[1]
+	if call.Kind != ir.Call || ret.Kind != ir.Ret {
+		t.Fatalf("kinds = %v, %v; want call, ret", call.Kind, ret.Kind)
+	}
+	if ret.Target != call.Fall {
+		t.Errorf("ret target %#x != call fall %#x", ret.Target, call.Fall)
+	}
+	if call.Target != callee.Blocks[0].Addr {
+		t.Errorf("call target %#x != callee entry %#x", call.Target, callee.Blocks[0].Addr)
+	}
+}
+
+func TestWalkerIJumpWeights(t *testing.T) {
+	p := &ir.Proc{Name: "main", Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{{Op: ir.OpIJump, Rd: 1, Targets: []ir.BlockID{1, 2}}}},
+		{Instrs: []ir.Instr{{Op: ir.OpHalt}}},
+		{Instrs: []ir.Instr{{Op: ir.OpHalt}}},
+	}}
+	prog := &ir.Program{Name: "ij", Procs: []*ir.Proc{p}}
+	prog.AssignAddresses(0x1000)
+
+	// Weight target index 1 (block 2) at 100%.
+	model := weightedModel{weights: []float64{0, 1}}
+	var rec Recorder
+	w := &Walker{Prog: prog, Model: model, Seed: 5, MaxInstrs: 50}
+	w.Run(&rec, nil)
+	if len(rec.Events) == 0 {
+		t.Fatal("no events")
+	}
+	for _, e := range rec.Events {
+		if e.Kind != ir.IJump {
+			continue
+		}
+		if e.Target != p.Blocks[2].Addr {
+			t.Errorf("ijump went to %#x, want always block 2 (%#x)", e.Target, p.Blocks[2].Addr)
+		}
+	}
+}
+
+type weightedModel struct{ weights []float64 }
+
+func (m weightedModel) TakenProb(int, ir.BlockID) float64      { return 0.5 }
+func (m weightedModel) IJumpWeights(int, ir.BlockID) []float64 { return m.weights }
+
+func TestWalkerDepthCap(t *testing.T) {
+	// Mutually recursive: main calls f, f calls f. Depth cap must keep the
+	// walk alive and terminate at the budget.
+	f := &ir.Proc{Name: "f", Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{{Op: ir.OpCall, TargetProc: 1}, {Op: ir.OpRet}}},
+	}}
+	main := &ir.Proc{Name: "main", Blocks: []*ir.Block{
+		{Instrs: []ir.Instr{{Op: ir.OpCall, TargetProc: 1}, {Op: ir.OpHalt}}},
+	}}
+	prog := &ir.Program{Name: "rec", Procs: []*ir.Proc{main, f}}
+	prog.AssignAddresses(0x1000)
+	w := &Walker{Prog: prog, Model: UniformModel{}, Seed: 1, MaxInstrs: 1000, MaxDepth: 8}
+	instrs, _ := w.Run(nil, nil)
+	if instrs < 1000 {
+		t.Errorf("instrs = %d, want budget reached despite recursion", instrs)
+	}
+}
+
+func TestWalkerMaxRuns(t *testing.T) {
+	prog := loopProgram()
+	w := &Walker{Prog: prog, Model: UniformModel{P: 0.0}, Seed: 1,
+		MaxInstrs: 1 << 30, MaxRuns: 7}
+	instrs, runs := w.Run(nil, nil)
+	if runs != 7 {
+		t.Errorf("runs = %d, want exactly MaxRuns", runs)
+	}
+	// P=0: each run is li + addi + bnez(fall) + halt = 4 instructions.
+	if instrs != 7*4 {
+		t.Errorf("instrs = %d, want 28", instrs)
+	}
+}
+
+func TestWalkerTakenTargetStatic(t *testing.T) {
+	// Not-taken conditional events must still carry the static taken
+	// target (what a BT/FNT predictor inspects).
+	prog := loopProgram()
+	var rec Recorder
+	w := &Walker{Prog: prog, Model: UniformModel{P: 0.0}, Seed: 1, MaxInstrs: 10}
+	w.Run(&rec, nil)
+	loopAddr := prog.Procs[0].Blocks[1].Addr
+	found := false
+	for _, e := range rec.Events {
+		if e.Kind == ir.CondBr && !e.Taken {
+			found = true
+			if e.TakenTarget != loopAddr {
+				t.Errorf("not-taken event TakenTarget = %#x, want static target %#x", e.TakenTarget, loopAddr)
+			}
+			if e.Target == e.TakenTarget {
+				t.Errorf("not-taken event's actual target should differ from the taken target here")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no not-taken conditional events recorded")
+	}
+}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"balign/internal/ir"
+)
+
+// Model supplies the stochastic behaviour of a program's data-dependent
+// control flow: the probability that each conditional branch is taken and
+// the distribution over each indirect jump's targets. A Model plus a CFG is
+// exactly the information an edge profile captures, so walks driven by a
+// profile-derived model reproduce the profiled behaviour statistically.
+type Model interface {
+	// TakenProb returns the probability in [0,1] that the conditional
+	// branch terminating the given block is taken.
+	TakenProb(procIdx int, block ir.BlockID) float64
+	// IJumpWeights returns relative weights over the indirect jump's
+	// Targets slice (same length and order). A nil return means uniform.
+	IJumpWeights(procIdx int, block ir.BlockID) []float64
+}
+
+// UniformModel is a Model that takes every conditional branch with a fixed
+// probability and selects indirect targets uniformly. Useful for tests.
+type UniformModel struct{ P float64 }
+
+// TakenProb implements Model.
+func (u UniformModel) TakenProb(int, ir.BlockID) float64 { return u.P }
+
+// IJumpWeights implements Model.
+func (u UniformModel) IJumpWeights(int, ir.BlockID) []float64 { return nil }
+
+// DefaultMaxDepth is the walker's default call-stack depth cap.
+const DefaultMaxDepth = 64
+
+// Walker performs a seeded random walk over a program's control flow graph,
+// emitting the same event stream real execution would produce. It stands in
+// for tracing workloads whose data we do not have: the walk respects block
+// sizes, call structure and the Model's branch statistics, which is all the
+// branch-prediction simulators observe.
+//
+// When the walked program halts or its entry procedure returns, the walk
+// restarts from the entry point (a fresh "run") until MaxInstrs have been
+// executed, so short programs still produce long traces.
+type Walker struct {
+	Prog      *ir.Program
+	Model     Model
+	Seed      int64
+	MaxInstrs uint64
+	// MaxRuns, when positive, stops the walk after that many complete
+	// program runs even if MaxInstrs has not been reached. Comparing an
+	// original and an aligned program over the same number of runs makes
+	// the comparison work-equivalent: the aligned program is allowed to
+	// finish the same work in fewer instructions.
+	MaxRuns int
+	// MaxDepth caps the call stack; calls at the cap are executed as
+	// straight-line instructions (the callee is skipped). Zero means
+	// DefaultMaxDepth.
+	MaxDepth int
+}
+
+type frame struct {
+	proc  int
+	block ir.BlockID
+	index int
+}
+
+// Run walks the program, sending break events to sink and CFG observations
+// to edges (either may be nil). It returns the number of instructions
+// executed and the number of complete program runs.
+func (w *Walker) Run(sink Sink, edges EdgeSink) (instrs uint64, runs int) {
+	if sink == nil {
+		sink = SinkFunc(func(Event) {})
+	}
+	if edges == nil {
+		edges = NopEdgeSink{}
+	}
+	maxDepth := w.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+
+	var stack []frame
+	proc := w.Prog.EntryProc
+	block := w.Prog.Procs[proc].Entry()
+	index := 0
+
+	restart := func() bool {
+		runs++
+		if instrs >= w.MaxInstrs {
+			return false
+		}
+		if w.MaxRuns > 0 && runs >= w.MaxRuns {
+			return false
+		}
+		stack = stack[:0]
+		proc = w.Prog.EntryProc
+		block = w.Prog.Procs[proc].Entry()
+		index = 0
+		return true
+	}
+
+	for {
+		p := w.Prog.Procs[proc]
+		b := p.Blocks[block]
+		if index >= len(b.Instrs) {
+			// Empty block or resumed past the end: fall through.
+			next := block + 1
+			if int(next) >= len(p.Blocks) {
+				// Malformed layout; treat as program end.
+				if !restart() {
+					return instrs, runs
+				}
+				continue
+			}
+			edges.Edge(proc, block, next)
+			block, index = next, 0
+			continue
+		}
+		in := &b.Instrs[index]
+		pc := b.Addr + uint64(index)*ir.InstrBytes
+		instrs++
+		edges.Instrs(1)
+
+		switch in.Kind() {
+		case ir.Op:
+			index++
+
+		case ir.Call:
+			callee := w.Prog.Procs[in.TargetProc]
+			calleeAddr := callee.Blocks[callee.Entry()].Addr
+			sink.Event(Event{
+				PC: pc, Kind: ir.Call, Taken: true,
+				Target: calleeAddr, TakenTarget: calleeAddr,
+				Fall: pc + ir.InstrBytes,
+			})
+			if len(stack) >= maxDepth {
+				index++ // depth cap: skip the callee body
+				continue
+			}
+			stack = append(stack, frame{proc, block, index + 1})
+			proc, block, index = in.TargetProc, callee.Entry(), 0
+
+		case ir.CondBr:
+			taken := rng.Float64() < w.Model.TakenProb(proc, block)
+			var dest ir.BlockID
+			if taken {
+				dest = in.TargetBlock
+			} else {
+				dest = block + 1
+				if int(dest) >= len(p.Blocks) {
+					// Fall off the end; treat as not possible -> force taken.
+					dest, taken = in.TargetBlock, true
+				}
+			}
+			sink.Event(Event{
+				PC: pc, Kind: ir.CondBr, Taken: taken,
+				Target:      p.Blocks[dest].Addr,
+				TakenTarget: p.Blocks[in.TargetBlock].Addr,
+				Fall:        pc + ir.InstrBytes,
+			})
+			edges.Branch(proc, block, taken)
+			edges.Edge(proc, block, dest)
+			block, index = dest, 0
+
+		case ir.Br:
+			dest := in.TargetBlock
+			sink.Event(Event{
+				PC: pc, Kind: ir.Br, Taken: true,
+				Target: p.Blocks[dest].Addr, TakenTarget: p.Blocks[dest].Addr,
+				Fall: pc + ir.InstrBytes,
+			})
+			edges.Edge(proc, block, dest)
+			block, index = dest, 0
+
+		case ir.IJump:
+			dest := in.Targets[w.pickTarget(rng, proc, block, len(in.Targets))]
+			sink.Event(Event{
+				PC: pc, Kind: ir.IJump, Taken: true,
+				Target: p.Blocks[dest].Addr, TakenTarget: p.Blocks[dest].Addr,
+				Fall: pc + ir.InstrBytes,
+			})
+			edges.Edge(proc, block, dest)
+			block, index = dest, 0
+
+		case ir.Ret:
+			if len(stack) == 0 {
+				if !restart() {
+					return instrs, runs
+				}
+				continue
+			}
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			retP := w.Prog.Procs[fr.proc]
+			retB := retP.Blocks[fr.block]
+			retAddr := retB.Addr + uint64(fr.index)*ir.InstrBytes
+			sink.Event(Event{
+				PC: pc, Kind: ir.Ret, Taken: true,
+				Target: retAddr, TakenTarget: retAddr,
+				Fall: pc + ir.InstrBytes,
+			})
+			proc, block, index = fr.proc, fr.block, fr.index
+
+		case ir.Halt:
+			if !restart() {
+				return instrs, runs
+			}
+
+		default:
+			panic(fmt.Sprintf("trace: walker hit unknown kind %v", in.Kind()))
+		}
+
+		if instrs >= w.MaxInstrs {
+			return instrs, runs
+		}
+	}
+}
+
+// pickTarget samples an indirect-jump target index using the model weights.
+func (w *Walker) pickTarget(rng *rand.Rand, proc int, block ir.BlockID, n int) int {
+	weights := w.Model.IJumpWeights(proc, block)
+	if len(weights) != n {
+		return rng.Intn(n)
+	}
+	total := 0.0
+	for _, wt := range weights {
+		if wt > 0 {
+			total += wt
+		}
+	}
+	if total <= 0 {
+		return rng.Intn(n)
+	}
+	x := rng.Float64() * total
+	for i, wt := range weights {
+		if wt <= 0 {
+			continue
+		}
+		x -= wt
+		if x < 0 {
+			return i
+		}
+	}
+	return n - 1
+}

@@ -1,0 +1,299 @@
+// Package vm interprets ir.Programs, producing the dynamic control-transfer
+// event stream and edge profile that real instrumented execution (ATOM in
+// the paper) would produce. The VM is the ground truth for workload kernels
+// with real semantics: the same program aligned two different ways must
+// compute the same result, and the VM's traces are what the predictor
+// simulators consume.
+package vm
+
+import (
+	"fmt"
+
+	"balign/internal/ir"
+	"balign/internal/trace"
+)
+
+// DefaultMaxSteps bounds execution to catch runaway programs.
+const DefaultMaxSteps = 1 << 32
+
+// Result summarizes one execution.
+type Result struct {
+	// Instrs is the number of instructions executed.
+	Instrs uint64
+	// Halted is true when the program executed a halt (as opposed to the
+	// entry procedure returning).
+	Halted bool
+}
+
+// VM executes a program. The zero value is not usable; call New.
+type VM struct {
+	prog     *ir.Program
+	regs     [ir.NumRegs]int64
+	mem      []int64
+	MaxSteps uint64
+}
+
+// New returns a VM for prog with zeroed registers and memory of
+// prog.MemWords words. The program must have addresses assigned.
+func New(prog *ir.Program) *VM {
+	return &VM{
+		prog:     prog,
+		mem:      make([]int64, prog.MemWords),
+		MaxSteps: DefaultMaxSteps,
+	}
+}
+
+// Reg returns the value of register r.
+func (vm *VM) Reg(r int) int64 { return vm.regs[r] }
+
+// SetReg sets register r to v (useful for passing inputs to kernels).
+func (vm *VM) SetReg(r int, v int64) { vm.regs[r] = v }
+
+// Mem returns the VM's data memory.
+func (vm *VM) Mem() []int64 { return vm.mem }
+
+// SetMem stores words into memory starting at the given word offset.
+func (vm *VM) SetMem(offset int, words []int64) {
+	copy(vm.mem[offset:], words)
+}
+
+type frame struct {
+	proc  int
+	block ir.BlockID
+	index int
+}
+
+// Run executes the program from its entry procedure until halt, return from
+// the entry procedure, or an execution error. Break events go to sink and
+// CFG observations to edges; either may be nil.
+func (vm *VM) Run(sink trace.Sink, edges trace.EdgeSink) (Result, error) {
+	if sink == nil {
+		sink = trace.SinkFunc(func(trace.Event) {})
+	}
+	if edges == nil {
+		edges = trace.NopEdgeSink{}
+	}
+	var res Result
+	var stack []frame
+	proc := vm.prog.EntryProc
+	block := vm.prog.Procs[proc].Entry()
+	index := 0
+
+	for {
+		if res.Instrs >= vm.MaxSteps {
+			return res, fmt.Errorf("vm: exceeded %d steps (runaway program?)", vm.MaxSteps)
+		}
+		p := vm.prog.Procs[proc]
+		b := p.Blocks[block]
+		if index >= len(b.Instrs) {
+			next := block + 1
+			if int(next) >= len(p.Blocks) {
+				return res, fmt.Errorf("vm: proc %q: fell off the end from block %d", p.Name, block)
+			}
+			edges.Edge(proc, block, next)
+			block, index = next, 0
+			continue
+		}
+		in := &b.Instrs[index]
+		pc := b.Addr + uint64(index)*ir.InstrBytes
+		res.Instrs++
+		edges.Instrs(1)
+
+		switch in.Op {
+		case ir.OpNop:
+			index++
+		case ir.OpLi:
+			vm.regs[in.Rd] = in.Imm
+			index++
+		case ir.OpMov:
+			vm.regs[in.Rd] = vm.regs[in.Rs]
+			index++
+		case ir.OpAdd:
+			vm.regs[in.Rd] = vm.regs[in.Rs] + vm.regs[in.Rt]
+			index++
+		case ir.OpSub:
+			vm.regs[in.Rd] = vm.regs[in.Rs] - vm.regs[in.Rt]
+			index++
+		case ir.OpMul:
+			vm.regs[in.Rd] = vm.regs[in.Rs] * vm.regs[in.Rt]
+			index++
+		case ir.OpDiv:
+			if vm.regs[in.Rt] == 0 {
+				vm.regs[in.Rd] = 0
+			} else {
+				vm.regs[in.Rd] = vm.regs[in.Rs] / vm.regs[in.Rt]
+			}
+			index++
+		case ir.OpMod:
+			if vm.regs[in.Rt] == 0 {
+				vm.regs[in.Rd] = 0
+			} else {
+				vm.regs[in.Rd] = vm.regs[in.Rs] % vm.regs[in.Rt]
+			}
+			index++
+		case ir.OpAnd:
+			vm.regs[in.Rd] = vm.regs[in.Rs] & vm.regs[in.Rt]
+			index++
+		case ir.OpOr:
+			vm.regs[in.Rd] = vm.regs[in.Rs] | vm.regs[in.Rt]
+			index++
+		case ir.OpXor:
+			vm.regs[in.Rd] = vm.regs[in.Rs] ^ vm.regs[in.Rt]
+			index++
+		case ir.OpShl:
+			vm.regs[in.Rd] = vm.regs[in.Rs] << (uint64(vm.regs[in.Rt]) & 63)
+			index++
+		case ir.OpShr:
+			vm.regs[in.Rd] = vm.regs[in.Rs] >> (uint64(vm.regs[in.Rt]) & 63)
+			index++
+		case ir.OpAddi:
+			vm.regs[in.Rd] = vm.regs[in.Rs] + in.Imm
+			index++
+		case ir.OpMuli:
+			vm.regs[in.Rd] = vm.regs[in.Rs] * in.Imm
+			index++
+		case ir.OpAndi:
+			vm.regs[in.Rd] = vm.regs[in.Rs] & in.Imm
+			index++
+		case ir.OpSlt:
+			vm.regs[in.Rd] = b2i(vm.regs[in.Rs] < vm.regs[in.Rt])
+			index++
+		case ir.OpSlti:
+			vm.regs[in.Rd] = b2i(vm.regs[in.Rs] < in.Imm)
+			index++
+		case ir.OpLd:
+			addr := vm.regs[in.Rs] + in.Imm
+			if addr < 0 || addr >= int64(len(vm.mem)) {
+				return res, fmt.Errorf("vm: proc %q pc %#x: load out of bounds: %d (mem %d words)",
+					p.Name, pc, addr, len(vm.mem))
+			}
+			vm.regs[in.Rd] = vm.mem[addr]
+			index++
+		case ir.OpSt:
+			addr := vm.regs[in.Rs] + in.Imm
+			if addr < 0 || addr >= int64(len(vm.mem)) {
+				return res, fmt.Errorf("vm: proc %q pc %#x: store out of bounds: %d (mem %d words)",
+					p.Name, pc, addr, len(vm.mem))
+			}
+			vm.mem[addr] = vm.regs[in.Rd]
+			index++
+
+		case ir.OpBeq, ir.OpBne, ir.OpBlt, ir.OpBle, ir.OpBgt, ir.OpBge,
+			ir.OpBeqz, ir.OpBnez, ir.OpBltz, ir.OpBgez:
+			taken := vm.evalCond(in)
+			var dest ir.BlockID
+			if taken {
+				dest = in.TargetBlock
+			} else {
+				dest = block + 1
+				if int(dest) >= len(p.Blocks) {
+					return res, fmt.Errorf("vm: proc %q: conditional fall-through off the end of block %d",
+						p.Name, block)
+				}
+			}
+			sink.Event(trace.Event{
+				PC: pc, Kind: ir.CondBr, Taken: taken,
+				Target:      p.Blocks[dest].Addr,
+				TakenTarget: p.Blocks[in.TargetBlock].Addr,
+				Fall:        pc + ir.InstrBytes,
+			})
+			edges.Branch(proc, block, taken)
+			edges.Edge(proc, block, dest)
+			block, index = dest, 0
+
+		case ir.OpBr:
+			dest := in.TargetBlock
+			sink.Event(trace.Event{
+				PC: pc, Kind: ir.Br, Taken: true,
+				Target: p.Blocks[dest].Addr, TakenTarget: p.Blocks[dest].Addr,
+				Fall: pc + ir.InstrBytes,
+			})
+			edges.Edge(proc, block, dest)
+			block, index = dest, 0
+
+		case ir.OpCall:
+			callee := vm.prog.Procs[in.TargetProc]
+			calleeAddr := callee.Blocks[callee.Entry()].Addr
+			sink.Event(trace.Event{
+				PC: pc, Kind: ir.Call, Taken: true,
+				Target: calleeAddr, TakenTarget: calleeAddr,
+				Fall: pc + ir.InstrBytes,
+			})
+			stack = append(stack, frame{proc, block, index + 1})
+			proc, block, index = in.TargetProc, callee.Entry(), 0
+
+		case ir.OpIJump:
+			sel := vm.regs[in.Rd]
+			if sel < 0 || sel >= int64(len(in.Targets)) {
+				return res, fmt.Errorf("vm: proc %q pc %#x: ijump index %d out of range [0,%d)",
+					p.Name, pc, sel, len(in.Targets))
+			}
+			dest := in.Targets[sel]
+			sink.Event(trace.Event{
+				PC: pc, Kind: ir.IJump, Taken: true,
+				Target: p.Blocks[dest].Addr, TakenTarget: p.Blocks[dest].Addr,
+				Fall: pc + ir.InstrBytes,
+			})
+			edges.Edge(proc, block, dest)
+			block, index = dest, 0
+
+		case ir.OpRet:
+			if len(stack) == 0 {
+				return res, nil // entry procedure returned: normal exit
+			}
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			retP := vm.prog.Procs[fr.proc]
+			retB := retP.Blocks[fr.block]
+			retAddr := retB.Addr + uint64(fr.index)*ir.InstrBytes
+			sink.Event(trace.Event{
+				PC: pc, Kind: ir.Ret, Taken: true,
+				Target: retAddr, TakenTarget: retAddr,
+				Fall: pc + ir.InstrBytes,
+			})
+			proc, block, index = fr.proc, fr.block, fr.index
+
+		case ir.OpHalt:
+			res.Halted = true
+			return res, nil
+
+		default:
+			return res, fmt.Errorf("vm: proc %q pc %#x: unknown opcode %v", p.Name, pc, in.Op)
+		}
+	}
+}
+
+func (vm *VM) evalCond(in *ir.Instr) bool {
+	a := vm.regs[in.Rd]
+	switch in.Op {
+	case ir.OpBeq:
+		return a == vm.regs[in.Rs]
+	case ir.OpBne:
+		return a != vm.regs[in.Rs]
+	case ir.OpBlt:
+		return a < vm.regs[in.Rs]
+	case ir.OpBle:
+		return a <= vm.regs[in.Rs]
+	case ir.OpBgt:
+		return a > vm.regs[in.Rs]
+	case ir.OpBge:
+		return a >= vm.regs[in.Rs]
+	case ir.OpBeqz:
+		return a == 0
+	case ir.OpBnez:
+		return a != 0
+	case ir.OpBltz:
+		return a < 0
+	case ir.OpBgez:
+		return a >= 0
+	default:
+		panic(fmt.Sprintf("vm: evalCond on %v", in.Op))
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

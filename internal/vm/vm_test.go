@@ -1,0 +1,421 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"balign/internal/asm"
+	"balign/internal/ir"
+	"balign/internal/profile"
+	"balign/internal/trace"
+)
+
+func mustRun(t *testing.T, src string, setup func(*VM)) (*VM, Result, *trace.Recorder) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	vm := New(prog)
+	if setup != nil {
+		setup(vm)
+	}
+	var rec trace.Recorder
+	res, err := vm.Run(&rec, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return vm, res, &rec
+}
+
+func TestArithmetic(t *testing.T) {
+	vm, _, _ := mustRun(t, `
+proc main
+    li   r1, 6
+    li   r2, 7
+    mul  r3, r1, r2      ; 42
+    addi r4, r3, -2      ; 40
+    sub  r5, r4, r1      ; 34
+    div  r6, r4, r2      ; 5
+    mod  r7, r4, r2      ; 5
+    and  r8, r1, r2      ; 6
+    or   r9, r1, r2      ; 7
+    xor  r10, r1, r2     ; 1
+    li   r11, 2
+    shl  r12, r1, r11    ; 24
+    shr  r13, r12, r11   ; 6
+    slt  r14, r1, r2     ; 1
+    slti r15, r2, 3      ; 0
+    muli r16, r1, 10     ; 60
+    andi r17, r2, 3      ; 3
+    mov  r18, r16
+    halt
+endproc
+`, nil)
+	want := map[int]int64{3: 42, 4: 40, 5: 34, 6: 5, 7: 5, 8: 6, 9: 7, 10: 1,
+		12: 24, 13: 6, 14: 1, 15: 0, 16: 60, 17: 3, 18: 60}
+	for r, v := range want {
+		if got := vm.Reg(r); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestDivModByZero(t *testing.T) {
+	vm, _, _ := mustRun(t, `
+proc main
+    li r1, 10
+    li r2, 0
+    div r3, r1, r2
+    mod r4, r1, r2
+    halt
+endproc
+`, nil)
+	if vm.Reg(3) != 0 || vm.Reg(4) != 0 {
+		t.Errorf("div/mod by zero = %d/%d, want 0/0", vm.Reg(3), vm.Reg(4))
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	vm, _, _ := mustRun(t, `
+mem 16
+proc main
+    li r1, 3
+    li r2, 99
+    st r2, 2(r1)    ; mem[5] = 99
+    ld r3, 2(r1)
+    halt
+endproc
+`, nil)
+	if vm.Mem()[5] != 99 || vm.Reg(3) != 99 {
+		t.Errorf("mem[5] = %d, r3 = %d, want 99/99", vm.Mem()[5], vm.Reg(3))
+	}
+}
+
+func TestMemoryBoundsErrors(t *testing.T) {
+	for _, src := range []string{
+		"mem 4\nproc main\n li r1, 100\n ld r2, 0(r1)\n halt\nendproc",
+		"mem 4\nproc main\n li r1, -1\n st r1, 0(r1)\n halt\nendproc",
+	} {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		if _, err := New(prog).Run(nil, nil); err == nil ||
+			!strings.Contains(err.Error(), "out of bounds") {
+			t.Errorf("Run = %v, want out-of-bounds error", err)
+		}
+	}
+}
+
+func TestLoopCountsAndTrace(t *testing.T) {
+	// Sum 1..10: loop executes 10 times, bnez taken 9 times, fall once.
+	_, res, rec := mustRun(t, `
+proc main
+    li r1, 10
+    li r2, 0
+loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`, nil)
+	var taken, fall int
+	for _, e := range rec.Events {
+		if e.Kind != ir.CondBr {
+			continue
+		}
+		if e.Taken {
+			taken++
+		} else {
+			fall++
+		}
+	}
+	if taken != 9 || fall != 1 {
+		t.Errorf("taken/fall = %d/%d, want 9/1", taken, fall)
+	}
+	// 2 setup + 10 * 3 loop + 1 halt = 33 instructions.
+	if res.Instrs != 33 {
+		t.Errorf("Instrs = %d, want 33", res.Instrs)
+	}
+	if !res.Halted {
+		t.Error("Halted = false, want true")
+	}
+}
+
+func TestCallRetEvents(t *testing.T) {
+	_, _, rec := mustRun(t, `
+proc main
+    call f
+    call f
+    halt
+endproc
+proc f
+    addi r1, r1, 1
+    ret
+endproc
+`, nil)
+	var kinds []ir.Kind
+	for _, e := range rec.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []ir.Kind{ir.Call, ir.Ret, ir.Call, ir.Ret}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	// Each ret must target the instruction after its call.
+	if rec.Events[1].Target != rec.Events[0].Fall {
+		t.Errorf("first ret target %#x != call fall %#x", rec.Events[1].Target, rec.Events[0].Fall)
+	}
+	if rec.Events[3].Target != rec.Events[2].Fall {
+		t.Errorf("second ret target %#x != call fall %#x", rec.Events[3].Target, rec.Events[2].Fall)
+	}
+}
+
+func TestEntryProcReturnEndsProgram(t *testing.T) {
+	_, res, _ := mustRun(t, `
+proc main
+    li r1, 1
+    ret
+endproc
+`, nil)
+	if res.Halted {
+		t.Error("Halted = true for entry-proc return, want false")
+	}
+	if res.Instrs != 2 {
+		t.Errorf("Instrs = %d, want 2", res.Instrs)
+	}
+}
+
+func TestIJumpDispatch(t *testing.T) {
+	src := `
+mem 8
+proc main
+    ld r1, 0(r0)        ; selector from memory
+    ijump r1, [case0, case1, case2]
+case0:
+    li r2, 100
+    halt
+case1:
+    li r2, 200
+    halt
+case2:
+    li r2, 300
+    halt
+endproc
+`
+	for sel, want := range map[int64]int64{0: 100, 1: 200, 2: 300} {
+		vm, _, rec := mustRun(t, src, func(v *VM) { v.SetMem(0, []int64{sel}) })
+		if vm.Reg(2) != want {
+			t.Errorf("sel %d: r2 = %d, want %d", sel, vm.Reg(2), want)
+		}
+		found := false
+		for _, e := range rec.Events {
+			if e.Kind == ir.IJump {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("sel %d: no IJump event", sel)
+		}
+	}
+}
+
+func TestIJumpOutOfRange(t *testing.T) {
+	prog, err := asm.Assemble(`
+proc main
+    li r1, 5
+    ijump r1, [a]
+a:
+    halt
+endproc
+`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if _, err := New(prog).Run(nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("Run = %v, want ijump range error", err)
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	prog, err := asm.Assemble(`
+proc main
+spin:
+    br spin
+endproc
+`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	vm := New(prog)
+	vm.MaxSteps = 100
+	if _, err := vm.Run(nil, nil); err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Errorf("Run = %v, want step-limit error", err)
+	}
+}
+
+func TestAllConditionalOps(t *testing.T) {
+	// Each branch below is taken; landing at fail sets r9=1.
+	_, _, _ = mustRun(t, "proc main\n halt\nendproc", nil) // keep imports honest
+	src := `
+proc main
+    li r1, 1
+    li r2, 2
+    beq r1, r1, t1
+    br fail
+t1: bne r1, r2, t2
+    br fail
+t2: blt r1, r2, t3
+    br fail
+t3: ble r1, r1, t4
+    br fail
+t4: bgt r2, r1, t5
+    br fail
+t5: bge r2, r2, t6
+    br fail
+t6: li r3, 0
+    beqz r3, t7
+    br fail
+t7: bnez r1, t8
+    br fail
+t8: li r4, -1
+    bltz r4, t9
+    br fail
+t9: bgez r3, done
+    br fail
+fail:
+    li r9, 1
+    halt
+done:
+    li r9, 0
+    halt
+endproc
+`
+	vm, _, _ := mustRun(t, src, nil)
+	if vm.Reg(9) != 0 {
+		t.Error("a conditional branch evaluated incorrectly (reached fail)")
+	}
+}
+
+func TestVMEdgeProfileMatchesTrace(t *testing.T) {
+	prog, err := asm.Assemble(`
+proc main
+    li r1, 5
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	col := profile.NewCollector(prog)
+	var c trace.Counter
+	res, err := New(prog).Run(&c, col)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pf := col.Profile()
+	if pf.Instrs != res.Instrs {
+		t.Errorf("profile instrs %d != result instrs %d", pf.Instrs, res.Instrs)
+	}
+	pp := pf.Procs["main"]
+	if pp.Weight(1, 1) != 4 {
+		t.Errorf("loop back edge weight = %d, want 4", pp.Weight(1, 1))
+	}
+	if pp.Weight(1, 2) != 1 {
+		t.Errorf("exit edge weight = %d, want 1", pp.Weight(1, 2))
+	}
+	if c.CondTaken != 4 || c.CondFall != 1 {
+		t.Errorf("trace taken/fall = %d/%d, want 4/1", c.CondTaken, c.CondFall)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	src := `
+mem 32
+proc main
+    li r1, 17
+    li r3, 0
+loop:
+    mod r2, r1, r3
+    addi r3, r3, 1
+    blt r3, r1, loop
+    halt
+endproc
+`
+	run := func() []trace.Event {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		var rec trace.Recorder
+		if _, err := New(prog).Run(&rec, nil); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return rec.Events
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestVMTakenTargetStatic(t *testing.T) {
+	// The VM must report the static taken target on both outcomes of a
+	// conditional branch.
+	prog, err := asm.Assemble(`
+proc main
+    li r1, 2
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec trace.Recorder
+	if _, err := New(prog).Run(&rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	loopAddr := prog.Procs[0].Blocks[1].Addr
+	var sawTaken, sawFall bool
+	for _, e := range rec.Events {
+		if e.Kind != ir.CondBr {
+			continue
+		}
+		if e.TakenTarget != loopAddr {
+			t.Errorf("TakenTarget = %#x, want %#x (taken=%v)", e.TakenTarget, loopAddr, e.Taken)
+		}
+		if e.Taken {
+			sawTaken = true
+			if e.Target != loopAddr {
+				t.Errorf("taken event Target = %#x, want %#x", e.Target, loopAddr)
+			}
+		} else {
+			sawFall = true
+			if e.Target == loopAddr {
+				t.Error("fall event Target should be the next block")
+			}
+		}
+	}
+	if !sawTaken || !sawFall {
+		t.Fatalf("need both outcomes: taken=%v fall=%v", sawTaken, sawFall)
+	}
+}

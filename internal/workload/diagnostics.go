@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+
+	"balign/internal/asm"
+	"balign/internal/ir"
+	"balign/internal/vm"
+)
+
+// Diagnostic is a small program with a known, characteristic branch
+// behaviour, used to validate the predictor simulators: each predictor
+// family has patterns it must handle well and patterns that defeat it.
+type Diagnostic struct {
+	Name string
+	Prog *ir.Program
+	// Setup initializes VM state; may be nil.
+	Setup func(*vm.VM)
+	// Description states the expected behaviour.
+	Description string
+}
+
+// Diagnostics returns the corpus.
+func Diagnostics() []Diagnostic {
+	mk := func(name, desc, src string, setup func(*vm.VM)) Diagnostic {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			panic(fmt.Sprintf("workload: diagnostic %s: %v", name, err))
+		}
+		prog.Name = "diag-" + name
+		return Diagnostic{Name: name, Prog: prog, Setup: setup, Description: desc}
+	}
+	return []Diagnostic{
+		mk("alternating",
+			"one branch strictly alternating T/N/T/N: near-perfect for "+
+				"history predictors (gshare, local), ~50% for 2-bit counters",
+			`
+proc main
+    li r1, 4000       ; iterations
+loop:
+    andi r2, r1, 1
+    beqz r2, even     ; alternates every iteration
+    addi r3, r3, 1
+even:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`, nil),
+		mk("biased",
+			"a branch taken ~94% of the time: every predictor should reach "+
+				"its bias rate or better",
+			`
+mem 8
+proc main
+    li r1, 4000
+loop:
+    li r4, 16
+    mod r2, r1, r4
+    beqz r2, rare     ; 1 in 16
+    addi r3, r3, 1
+    br next
+rare:
+    addi r5, r5, 1
+next:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`, nil),
+		mk("correlated",
+			"the second branch's outcome equals the first's: global history "+
+				"(gshare) predicts it near-perfectly, a direct-mapped PHT "+
+				"cannot when the first is data-random",
+			`
+mem 4096
+proc main
+    li r1, 4000
+loop:
+    ld r2, 0(r10)     ; pseudo-random bit from memory
+    addi r10, r10, 1
+    andi r10, r10, 2047
+    beqz r2, skipa    ; branch A: data random
+    addi r3, r3, 1
+skipa:
+    beqz r2, skipb    ; branch B: perfectly correlated with A
+    addi r4, r4, 1
+skipb:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`, func(v *vm.VM) {
+				words := make([]int64, 2048)
+				x := int64(777)
+				for i := range words {
+					x = x*6364136223846793005 + 1442695040888963407
+					words[i] = (x >> 62) & 1
+				}
+				v.SetMem(0, words)
+			}),
+		mk("random",
+			"a data-random 50/50 branch: no predictor should do much better "+
+				"than 50% on it (history predictors find no signal)",
+			`
+mem 4096
+proc main
+    li r1, 4000
+loop:
+    ld r2, 0(r10)
+    addi r10, r10, 1
+    andi r10, r10, 2047
+    beqz r2, skip
+    addi r3, r3, 1
+skip:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`, func(v *vm.VM) {
+				words := make([]int64, 2048)
+				x := int64(31415)
+				for i := range words {
+					x = x*6364136223846793005 + 1442695040888963407
+					words[i] = (x >> 62) & 1
+				}
+				v.SetMem(0, words)
+			}),
+		mk("nested",
+			"nested counted loops: BT/FNT and 2-bit counters both excel "+
+				"(back edges are taken except on exit)",
+			`
+proc main
+    li r1, 64         ; outer
+outer:
+    li r2, 64         ; inner
+inner:
+    addi r3, r3, 1
+    addi r2, r2, -1
+    bnez r2, inner
+    addi r1, r1, -1
+    bnez r1, outer
+    halt
+endproc
+`, nil),
+	}
+}
+
+// DiagnosticByName returns the named diagnostic program.
+func DiagnosticByName(name string) (Diagnostic, error) {
+	for _, d := range Diagnostics() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Diagnostic{}, fmt.Errorf("workload: unknown diagnostic %q", name)
+}

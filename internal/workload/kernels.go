@@ -1,0 +1,442 @@
+package workload
+
+import (
+	"balign/internal/asm"
+	"balign/internal/ir"
+	"balign/internal/vm"
+)
+
+// The kernels below are real programs executed by the VM. Each stands in
+// for one paper benchmark, reproducing the control-flow character the paper
+// attributes to it (ALVINN's single-block inner loops, ESPRESSO's irregular
+// bit-set conditionals, LI's dispatch indirection, ...). Their data is
+// synthesized deterministically in the setup hooks.
+
+// alvinnKernel models the neural-net forward passes the paper singles out:
+// input_hidden and hidden_output are tight matrix-vector loops; the paper
+// notes ~6% of all ALVINN branches come from the single 11-instruction
+// inner-loop block of input_hidden (Figure 2).
+func alvinnKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	const src = `
+mem 8192
+proc main
+    li r20, 24         ; passes
+pass:
+    call input_hidden
+    call hidden_output
+    addi r20, r20, -1
+    bnez r20, pass
+    halt
+endproc
+
+; hidden[j] = sum_i in[i]*w[j][i]; in at 0, w at 128, hidden at 4000
+proc input_hidden
+    li r1, 0           ; j
+    li r10, 24         ; NH
+hloop:
+    li r2, 0           ; i
+    li r11, 96         ; NI
+    li r3, 0           ; acc
+    muli r4, r1, 96
+    addi r4, r4, 128
+iloop:
+    ld r5, 0(r2)
+    add r6, r4, r2
+    ld r7, 0(r6)
+    mul r8, r5, r7
+    add r3, r3, r8
+    addi r8, r8, 0
+    mov r12, r3
+    add r13, r12, r5
+    xor r13, r13, r7
+    addi r2, r2, 1
+    blt r2, r11, iloop ; 11-instruction loop block, as in the paper
+    addi r9, r1, 4000
+    st r3, 0(r9)
+    addi r1, r1, 1
+    blt r1, r10, hloop
+    ret
+endproc
+
+; out[k] = sum_j hidden[j]*w2[k][j]; w2 at 4100, out at 4400
+proc hidden_output
+    li r1, 0           ; k
+    li r10, 4          ; NO
+oloop:
+    li r2, 0           ; j
+    li r11, 24         ; NH
+    li r3, 0
+    muli r4, r1, 24
+    addi r4, r4, 4100
+jloop:
+    addi r5, r2, 4000
+    ld r5, 0(r5)
+    add r6, r4, r2
+    ld r7, 0(r6)
+    mul r8, r5, r7
+    add r3, r3, r8
+    addi r2, r2, 1
+    blt r2, r11, jloop
+    addi r9, r1, 4400
+    st r3, 0(r9)
+    addi r1, r1, 1
+    blt r1, r10, oloop
+    ret
+endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	setup := func(v *vm.VM) {
+		words := make([]int64, 4100)
+		x := int64(12345) + cfg.InputSeed*2654435761
+		for i := range words {
+			x = x*6364136223846793005 + 1442695040888963407
+			words[i] = (x >> 33) % 100
+		}
+		v.SetMem(0, words)
+	}
+	return prog, setup, 1, nil
+}
+
+// tomcatvKernel models the vectorizable FORTRAN mesh relaxation: regular
+// nested loops over a 2D grid, branches almost always taken.
+func tomcatvKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	const src = `
+mem 8192
+proc main
+    li r20, 6          ; sweeps
+sweep:
+    call relax
+    addi r20, r20, -1
+    bnez r20, sweep
+    halt
+endproc
+
+; 4-point stencil over a 64x64 grid at 0..4095
+proc relax
+    li r1, 1           ; i
+    li r10, 63
+irow:
+    li r2, 1           ; j
+    muli r3, r1, 64
+jcol:
+    add r4, r3, r2     ; idx
+    addi r5, r4, -64
+    ld r6, 0(r5)       ; up
+    addi r5, r4, 64
+    ld r7, 0(r5)       ; down
+    ld r8, -1(r4)      ; left
+    ld r9, 1(r4)       ; right
+    add r6, r6, r7
+    add r6, r6, r8
+    add r6, r6, r9
+    li r7, 4
+    div r6, r6, r7
+    st r6, 0(r4)
+    addi r2, r2, 1
+    blt r2, r10, jcol
+    addi r1, r1, 1
+    blt r1, r10, irow
+    ret
+endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	setup := func(v *vm.VM) {
+		words := make([]int64, 4096)
+		for i := range words {
+			words[i] = int64((i*37 + i/64*11 + int(cfg.InputSeed)*13) % 997)
+		}
+		v.SetMem(0, words)
+	}
+	return prog, setup, 1, nil
+}
+
+// compressKernel models the SPECint compress loop: a run-length encoder
+// whose branch behaviour is driven by the data's run structure.
+func compressKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	const src = `
+mem 16384
+; input bytes at 0..4095, output pairs written from 8192
+proc main
+    li r20, 20         ; repetitions
+rep:
+    call rle
+    addi r20, r20, -1
+    bnez r20, rep
+    halt
+endproc
+
+proc rle
+    li r1, 0           ; read index
+    li r2, 8192        ; write index
+    li r10, 4096       ; n
+    ld r3, 0(r1)       ; current value
+    li r4, 1           ; run length
+    addi r1, r1, 1
+scan:
+    bge r1, r10, flushlast
+    ld r5, 0(r1)
+    addi r1, r1, 1
+    add r11, r11, r5   ; running checksum, as compress's hashing would
+    xor r12, r12, r5
+    shl r13, r5, r5
+    add r12, r12, r13
+    beq r5, r3, extend
+    st r3, 0(r2)       ; emit (value, runlen)
+    st r4, 1(r2)
+    addi r2, r2, 2
+    mov r3, r5
+    li r4, 1
+    br scan
+extend:
+    addi r4, r4, 1
+    br scan
+flushlast:
+    st r3, 0(r2)
+    st r4, 1(r2)
+    ret
+endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	setup := func(v *vm.VM) {
+		words := make([]int64, 4096)
+		x := int64(99) + cfg.InputSeed*2654435761
+		run := 0
+		var val int64
+		for i := range words {
+			if run == 0 {
+				x = x*6364136223846793005 + 1442695040888963407
+				val = (x >> 40) % 6
+				run = int((x>>20)%7) + 1
+			}
+			words[i] = val
+			run--
+		}
+		v.SetMem(0, words)
+	}
+	return prog, setup, 1, nil
+}
+
+// eqntottKernel models eqntott's dominant cost: comparison sorting of bit
+// vectors (the famous cmppt inner loop). An insertion sort over 600 keys
+// with a called comparator.
+func eqntottKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	const src = `
+mem 4096
+; keys at 0..599
+proc main
+    li r20, 1
+rep:
+    call isort
+    addi r20, r20, -1
+    bnez r20, rep
+    halt
+endproc
+
+proc isort
+    li r1, 1           ; i
+    li r10, 600        ; n
+outer:
+    ld r2, 0(r1)       ; key
+    mov r3, r1         ; j
+inner:
+    beqz r3, place
+    addi r4, r3, -1
+    ld r5, 0(r4)
+    ble r5, r2, place
+    st r5, 0(r3)
+    mov r3, r4
+    br inner
+place:
+    st r2, 0(r3)
+    addi r1, r1, 1
+    blt r1, r10, outer
+    ret
+endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	setup := func(v *vm.VM) {
+		words := make([]int64, 600)
+		x := int64(7) + cfg.InputSeed*2654435761
+		for i := range words {
+			x = x*6364136223846793005 + 1442695040888963407
+			words[i] = (x >> 30) % 10000
+		}
+		v.SetMem(0, words)
+	}
+	return prog, setup, 1, nil
+}
+
+// espressoKernel models espresso's cube/cover bit-set manipulation:
+// word-wise set operations with irregular, data-dependent conditionals
+// (the routine shown in the paper's Figure 1 is of this kind).
+func espressoKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	const src = `
+mem 8192
+; set A at 0..511, set B at 512..1023, result at 1024..1535
+proc main
+    li r20, 120
+rep:
+    call cover
+    addi r20, r20, -1
+    bnez r20, rep
+    halt
+endproc
+
+; for each word: intersect; if empty, skip; else merge and count bits
+proc cover
+    li r1, 0           ; index
+    li r10, 512
+    li r15, 0          ; nonempty count
+wloop:
+    ld r2, 0(r1)
+    addi r3, r1, 512
+    ld r3, 0(r3)
+    and r4, r2, r3
+    beqz r4, skip
+    or r5, r2, r3
+    addi r6, r1, 1024
+    st r5, 0(r6)
+    addi r15, r15, 1
+    ; count low 8 bits of the intersection
+    li r7, 8
+bits:
+    andi r8, r4, 1
+    beqz r8, nobit
+    addi r15, r15, 1
+nobit:
+    li r9, 1
+    shr r4, r4, r9
+    addi r7, r7, -1
+    bnez r7, bits
+skip:
+    addi r1, r1, 1
+    blt r1, r10, wloop
+    st r15, 2000(r0)
+    ret
+endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	setup := func(v *vm.VM) {
+		words := make([]int64, 1024)
+		x := int64(31337) + cfg.InputSeed*2654435761
+		for i := range words {
+			x = x*6364136223846793005 + 1442695040888963407
+			if (x>>45)%3 == 0 {
+				words[i] = 0 // sparse sets: many empty intersections
+			} else {
+				words[i] = (x >> 17) & 0xffff
+			}
+		}
+		v.SetMem(0, words)
+	}
+	return prog, setup, 1, nil
+}
+
+// liKernel models the Lisp interpreter: a fetch-decode-execute loop whose
+// decode mixes conditional chains with an indirect dispatch table, running
+// a small bytecode program (iterated arithmetic with a bytecode-level loop).
+//
+// Bytecode (one word per cell, at 3000): opcode, operand pairs.
+//
+//	0 HALT | 1 PUSHI k | 2 ADD | 3 SUB | 4 DUP | 5 JNZ addr | 6 STORE a
+func liKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	const src = `
+mem 8192
+; bytecode at 3000, value stack at 4000 (r21 = sp), pc = r20
+proc main
+    li r22, 200        ; outer repetitions of the bytecode program
+outer:
+    li r20, 3000
+    li r21, 4000
+floop:
+    ld r1, 0(r20)      ; opcode
+    ld r2, 1(r20)      ; operand
+    addi r20, r20, 2
+    beqz r1, fdone     ; HALT
+    li r3, 1
+    beq r1, r3, push
+    li r3, 2
+    beq r1, r3, doadd
+    addi r4, r1, -3    ; 0:SUB 1:DUP 2:JNZ 3:STORE
+    ijump r4, [dosub, dodup, dojnz, dostore]
+push:
+    st r2, 0(r21)
+    addi r21, r21, 1
+    br floop
+doadd:
+    addi r21, r21, -2
+    ld r5, 0(r21)
+    ld r6, 1(r21)
+    add r5, r5, r6
+    st r5, 0(r21)
+    addi r21, r21, 1
+    br floop
+dosub:
+    addi r21, r21, -2
+    ld r5, 0(r21)
+    ld r6, 1(r21)
+    sub r5, r5, r6
+    st r5, 0(r21)
+    addi r21, r21, 1
+    br floop
+dodup:
+    addi r7, r21, -1
+    ld r5, 0(r7)
+    st r5, 0(r21)
+    addi r21, r21, 1
+    br floop
+dojnz:
+    addi r21, r21, -1
+    ld r5, 0(r21)
+    beqz r5, floop
+    mov r20, r2        ; branch taken in the bytecode
+    br floop
+dostore:
+    addi r21, r21, -1
+    ld r5, 0(r21)
+    st r5, 0(r2)
+    br floop
+fdone:
+    addi r22, r22, -1
+    bnez r22, outer
+    halt
+endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	setup := func(v *vm.VM) {
+		// Bytecode: push 40; loop: dup, push 1, sub, dup, jnz loop; store; halt.
+		// Computes a countdown from 40 and stores the final 0.
+		n := int64(40 + (cfg.InputSeed%7+7)%7)
+		bc := []int64{
+			1, n, // PUSHI n
+			// loop at 3004:
+			4, 0, // DUP
+			1, 1, // PUSHI 1
+			3, 0, // SUB  (n-1 ... wait order: stack [n, n, 1] -> SUB -> n, n-1)
+			4, 0, // DUP
+			5, 3004, // JNZ loop
+			6, 100, // STORE mem[100]
+			0, 0, // HALT
+		}
+		v.SetMem(3000, bc)
+	}
+	return prog, setup, 1, nil
+}

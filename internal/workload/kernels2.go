@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"balign/internal/asm"
+	"balign/internal/ir"
+	"balign/internal/vm"
+)
+
+// earKernel models the EAR auditory model: a cascade of FIR filters run per
+// channel over a sample stream — highly regular floating-point-style loops
+// whose branches are nearly always taken.
+func earKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	const src = `
+mem 16384
+; samples at 0..2047, coefficients at 4096 (8 per channel), outputs at 8192
+proc main
+    li r20, 3          ; passes
+pass:
+    li r19, 0          ; channel
+    li r18, 8          ; channels
+chan:
+    call filter
+    addi r19, r19, 1
+    blt r19, r18, chan
+    addi r20, r20, -1
+    bnez r20, pass
+    halt
+endproc
+
+; FIR: out[n] = sum_k c[ch][k] * x[n-k], taps = 8
+proc filter
+    li r1, 8           ; n starts past the taps
+    li r10, 2048
+    muli r11, r19, 8
+    addi r11, r11, 4096 ; coefficient base for this channel
+sample:
+    li r2, 0           ; k
+    li r3, 0           ; acc
+    li r12, 8          ; taps
+tap:
+    sub r4, r1, r2     ; n-k
+    ld r5, 0(r4)
+    add r6, r11, r2
+    ld r7, 0(r6)
+    mul r8, r5, r7
+    add r3, r3, r8
+    addi r2, r2, 1
+    blt r2, r12, tap
+    muli r9, r19, 2048
+    add r9, r9, r1
+    andi r9, r9, 8191
+    st r3, 8192(r9)
+    addi r1, r1, 1
+    blt r1, r10, sample
+    ret
+endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	setup := func(v *vm.VM) {
+		words := make([]int64, 4160)
+		x := int64(271828) + cfg.InputSeed*2654435761
+		for i := range words {
+			x = x*6364136223846793005 + 1442695040888963407
+			words[i] = (x >> 40) % 256
+		}
+		v.SetMem(0, words)
+	}
+	return prog, setup, 1, nil
+}
+
+// scKernel models the sc spreadsheet recalculation loop: a grid of cells,
+// each with a formula type dispatched through a jump table, recomputed over
+// several passes — the integer-code blend of conditionals, indirection and
+// calls the paper's SPECint set shows.
+func scKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	const src = `
+mem 8192
+; cell values at 0..999 (40x25), formula kinds at 1024..2023, scratch at 4096
+proc main
+    li r20, 25         ; recalculation passes
+pass:
+    call recalc
+    addi r20, r20, -1
+    bnez r20, pass
+    halt
+endproc
+
+proc recalc
+    li r1, 1           ; cell index (skip col 0)
+    li r10, 1000
+cell:
+    addi r2, r1, 1024
+    ld r3, 0(r2)       ; formula kind 0..3
+    ijump r3, [kconst, ksum, kprod, kmax]
+kconst:
+    br next
+ksum:
+    addi r4, r1, -1
+    ld r5, 0(r4)
+    ld r6, 0(r1)
+    add r6, r6, r5
+    st r6, 0(r1)
+    br next
+kprod:
+    addi r4, r1, -1
+    ld r5, 0(r4)
+    ld r6, 0(r1)
+    mul r6, r6, r5
+    andi r6, r6, 65535
+    st r6, 0(r1)
+    br next
+kmax:
+    addi r4, r1, -1
+    ld r5, 0(r4)
+    ld r6, 0(r1)
+    bge r6, r5, next   ; keep current if already the max
+    st r5, 0(r1)
+next:
+    addi r1, r1, 1
+    blt r1, r10, cell
+    call audit
+    ret
+endproc
+
+; audit pass: count nonzero cells (branchy scan)
+proc audit
+    li r1, 0
+    li r10, 1000
+    li r15, 0
+aloop:
+    ld r2, 0(r1)
+    beqz r2, azero
+    addi r15, r15, 1
+azero:
+    addi r1, r1, 1
+    blt r1, r10, aloop
+    st r15, 4096(r0)
+    ret
+endproc
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	setup := func(v *vm.VM) {
+		words := make([]int64, 2024)
+		x := int64(1618) + cfg.InputSeed*2654435761
+		for i := 0; i < 1000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			words[i] = (x >> 35) % 100
+		}
+		for i := 1024; i < 2024; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			words[i] = (x >> 45) & 3
+		}
+		v.SetMem(0, words)
+	}
+	return prog, setup, 1, nil
+}

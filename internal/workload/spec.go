@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"balign/internal/ir"
+	"balign/internal/vm"
+)
+
+// Spec describes one suite program: either a pointer to a hand-written
+// kernel, or the statistical targets a synthetic program is generated to
+// match. The targets follow the paper's Table 2; counts are scaled down
+// (static sites by roughly 10x, trace lengths from billions to millions of
+// instructions) as documented in DESIGN.md — the reported metrics are rates
+// and ratios, which survive the scaling.
+type Spec struct {
+	Name  string
+	Class Class
+
+	// Synthetic generation targets.
+	PctBreaks float64 // % of executed instructions that break control flow
+	PctTaken  float64 // % of executed conditional branches taken
+	// Break-kind mix as fractions of all breaks; returns mirror calls.
+	MixCBr, MixIJ, MixBr, MixCall float64
+	// CondSites is the approximate number of static conditional branch
+	// sites to generate.
+	CondSites int
+	// HotSkew is the Zipf exponent concentrating execution in few
+	// procedures: large values give the paper's "three branches are 50% of
+	// all executions" behaviour (doduc), small values the flat gcc profile.
+	HotSkew float64
+	// Procs is the number of leaf procedures.
+	Procs int
+	// TraceInstrs is the default walk budget.
+	TraceInstrs uint64
+
+	// Kernel, when non-nil, builds a real program instead: it returns the
+	// program, a VM setup hook, and a repeat count.
+	Kernel func(Config) (*ir.Program, func(*vm.VM), int, error)
+}
+
+func (s Spec) seedOffset() int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range s.Name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return h & 0xffffff
+}
+
+// specs lists the suite in the paper's Table 2 order. Kernels cover the
+// programs whose inner loops the paper discusses directly (ALVINN,
+// ESPRESSO) plus representatives of each behaviour class; the remaining
+// programs are synthesized to their Table 2 statistics.
+var specs = []Spec{
+	// --- SPECfp92 ---
+	{Name: "alvinn", Class: SPECfp, Kernel: alvinnKernel},
+	{Name: "doduc", Class: SPECfp, PctBreaks: 8.0, PctTaken: 65,
+		MixCBr: 0.80, MixIJ: 0.002, MixBr: 0.10, MixCall: 0.05,
+		CondSites: 700, HotSkew: 1.8, Procs: 40, TraceInstrs: 1_500_000},
+	{Name: "ear", Class: SPECfp, Kernel: earKernel},
+	{Name: "fpppp", Class: SPECfp, PctBreaks: 3.0, PctTaken: 72,
+		MixCBr: 0.75, MixIJ: 0.001, MixBr: 0.12, MixCall: 0.065,
+		CondSites: 70, HotSkew: 1.4, Procs: 10, TraceInstrs: 1_500_000},
+	{Name: "hydro2d", Class: SPECfp, PctBreaks: 6.0, PctTaken: 85,
+		MixCBr: 0.82, MixIJ: 0.001, MixBr: 0.06, MixCall: 0.06,
+		CondSites: 160, HotSkew: 1.3, Procs: 20, TraceInstrs: 1_500_000},
+	{Name: "mdljsp2", Class: SPECfp, PctBreaks: 7.5, PctTaken: 78,
+		MixCBr: 0.84, MixIJ: 0.001, MixBr: 0.08, MixCall: 0.04,
+		CondSites: 100, HotSkew: 1.5, Procs: 14, TraceInstrs: 1_500_000},
+	{Name: "nasa7", Class: SPECfp, PctBreaks: 4.5, PctTaken: 90,
+		MixCBr: 0.85, MixIJ: 0.001, MixBr: 0.05, MixCall: 0.05,
+		CondSites: 100, HotSkew: 1.2, Procs: 12, TraceInstrs: 1_500_000},
+	{Name: "ora", Class: SPECfp, PctBreaks: 6.5, PctTaken: 60,
+		MixCBr: 0.70, MixIJ: 0.001, MixBr: 0.10, MixCall: 0.10,
+		CondSites: 50, HotSkew: 1.8, Procs: 6, TraceInstrs: 1_500_000},
+	{Name: "spice", Class: SPECfp, PctBreaks: 9.0, PctTaken: 72,
+		MixCBr: 0.78, MixIJ: 0.005, MixBr: 0.11, MixCall: 0.05,
+		CondSites: 970, HotSkew: 1.1, Procs: 50, TraceInstrs: 1_500_000},
+	{Name: "su2cor", Class: SPECfp, PctBreaks: 5.0, PctTaken: 82,
+		MixCBr: 0.80, MixIJ: 0.001, MixBr: 0.08, MixCall: 0.06,
+		CondSites: 150, HotSkew: 1.3, Procs: 18, TraceInstrs: 1_500_000},
+	{Name: "swm256", Class: SPECfp, PctBreaks: 2.5, PctTaken: 96,
+		MixCBr: 0.88, MixIJ: 0.001, MixBr: 0.04, MixCall: 0.04,
+		CondSites: 40, HotSkew: 1.5, Procs: 6, TraceInstrs: 1_500_000},
+	{Name: "tomcatv", Class: SPECfp, Kernel: tomcatvKernel},
+	{Name: "wave5", Class: SPECfp, PctBreaks: 6.0, PctTaken: 80,
+		MixCBr: 0.80, MixIJ: 0.001, MixBr: 0.08, MixCall: 0.06,
+		CondSites: 830, HotSkew: 1.3, Procs: 40, TraceInstrs: 1_500_000},
+
+	// --- SPECint92 ---
+	{Name: "compress", Class: SPECint, Kernel: compressKernel},
+	{Name: "eqntott", Class: SPECint, Kernel: eqntottKernel},
+	{Name: "espresso", Class: SPECint, Kernel: espressoKernel},
+	{Name: "gcc", Class: SPECint, PctBreaks: 16.0, PctTaken: 60,
+		MixCBr: 0.72, MixIJ: 0.015, MixBr: 0.12, MixCall: 0.07,
+		CondSites: 1600, HotSkew: 0.7, Procs: 80, TraceInstrs: 2_000_000},
+	{Name: "li", Class: SPECint, Kernel: liKernel},
+	{Name: "sc", Class: SPECint, Kernel: scKernel},
+
+	// --- Other (C++ and large C applications) ---
+	{Name: "cfront", Class: Other, PctBreaks: 17.0, PctTaken: 58,
+		MixCBr: 0.60, MixIJ: 0.030, MixBr: 0.11, MixCall: 0.13,
+		CondSites: 1500, HotSkew: 0.8, Procs: 70, TraceInstrs: 2_000_000},
+	{Name: "db++", Class: Other, PctBreaks: 18.0, PctTaken: 60,
+		MixCBr: 0.58, MixIJ: 0.040, MixBr: 0.10, MixCall: 0.14,
+		CondSites: 30, HotSkew: 1.2, Procs: 8, TraceInstrs: 2_000_000},
+	{Name: "groff", Class: Other, PctBreaks: 16.0, PctTaken: 59,
+		MixCBr: 0.62, MixIJ: 0.035, MixBr: 0.10, MixCall: 0.12,
+		CondSites: 700, HotSkew: 0.9, Procs: 50, TraceInstrs: 2_000_000},
+	{Name: "idl", Class: Other, PctBreaks: 17.5, PctTaken: 57,
+		MixCBr: 0.57, MixIJ: 0.050, MixBr: 0.10, MixCall: 0.14,
+		CondSites: 300, HotSkew: 1.0, Procs: 30, TraceInstrs: 2_000_000},
+	{Name: "tex", Class: Other, PctBreaks: 15.0, PctTaken: 63,
+		MixCBr: 0.70, MixIJ: 0.010, MixBr: 0.12, MixCall: 0.08,
+		CondSites: 630, HotSkew: 1.0, Procs: 45, TraceInstrs: 2_000_000},
+}
