@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test verify bench bench-suite tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the full correctness gate: static analysis plus the entire test
+# suite (including the parallel-vs-serial oracle and the vm-vs-walker
+# differential) under the race detector.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-suite compares the experiment engine's serial oracle path against
+# the 8-way sharded run on the same grid.
+bench-suite:
+	$(GO) test -bench 'BenchmarkSuite(Serial|Parallel)' -run '^$$' .
+
+tables:
+	$(GO) run ./cmd/baexp -scale 0.2 all

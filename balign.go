@@ -29,9 +29,12 @@
 package balign
 
 import (
+	"io"
+
 	"balign/internal/asm"
 	"balign/internal/core"
 	"balign/internal/cost"
+	"balign/internal/experiments"
 	"balign/internal/ir"
 	"balign/internal/metrics"
 	"balign/internal/predict"
@@ -211,3 +214,57 @@ func Unroll(prog *Program, prof *Profile, opts UnrollOptions) (*Program, *Profil
 func ReorderProcedures(prog *Program, prof *Profile) (*Program, error) {
 	return core.ReorderProcs(prog, prof)
 }
+
+// Summary is one evaluation-grid cell — a (program, architecture, algorithm)
+// measurement — in exact, reducible form. See metrics.EncodeSummaries for
+// the byte-stable text encoding.
+type Summary = metrics.Summary
+
+// SuiteOptions configures RunSuite.
+type SuiteOptions struct {
+	// Scale multiplies workload trace budgets (0 means 1.0; the repo's
+	// tests use small fractions).
+	Scale float64
+	// Seed perturbs synthetic workload structure and walks.
+	Seed int64
+	// Window is the TryN group size; 0 means the paper's 15.
+	Window int
+	// MaxCombos caps TryN window enumeration; 0 means the default.
+	MaxCombos int
+	// Programs restricts the suite (nil = all 24 programs).
+	Programs []string
+	// Archs selects the simulated architectures (nil = all seven).
+	Archs []ArchID
+	// Parallelism bounds concurrently executing experiment shards:
+	// 0 = runtime.GOMAXPROCS(0), 1 = the serial oracle path. Output is
+	// byte-identical at every setting.
+	Parallelism int
+	// Verbose enables per-shard progress logging to Log.
+	Verbose bool
+	// Log receives progress output; nil discards it.
+	Log io.Writer
+}
+
+// RunSuite evaluates the {program x architecture x algorithm} grid on the
+// parallel experiment engine and returns one Summary per cell in canonical
+// order (suite program order, then architecture, then algorithm). Runs at
+// different Parallelism settings return byte-identical results; the engine's
+// differential oracle test enforces this.
+func RunSuite(opts SuiteOptions) ([]Summary, error) {
+	archs := opts.Archs
+	if len(archs) == 0 {
+		archs = predict.AllArchs()
+	}
+	cfg := experiments.Config{
+		Scale: opts.Scale, Seed: opts.Seed,
+		Window: opts.Window, MaxCombos: opts.MaxCombos,
+		Programs:    opts.Programs,
+		Parallelism: opts.Parallelism,
+		Verbose:     opts.Verbose, Log: opts.Log,
+	}
+	return experiments.Summaries(cfg, archs)
+}
+
+// EncodeSummaries renders summaries in a stable line-oriented text format;
+// two runs agree exactly iff their encodings are byte-identical.
+func EncodeSummaries(s []Summary) string { return metrics.EncodeSummaries(s) }

@@ -124,6 +124,41 @@ func BenchmarkAblationDesignChoices(b *testing.B) {
 	}
 }
 
+// --- experiment engine benchmarks ---
+
+// suiteBenchOpts is the RunSuite configuration both engine benchmarks share:
+// a multi-program grid large enough that sharding matters.
+func suiteBenchOpts(parallelism int) balign.SuiteOptions {
+	return balign.SuiteOptions{
+		Scale: 0.1, Window: 10,
+		Programs:    []string{"ora", "compress", "espresso", "db++", "doduc", "li"},
+		Parallelism: parallelism,
+	}
+}
+
+// BenchmarkSuiteSerial runs the evaluation grid on the serial oracle path
+// (Parallelism = 1). Compare against BenchmarkSuiteParallel for the
+// engine's wall-clock speedup; the outputs themselves are byte-identical.
+func BenchmarkSuiteSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := balign.RunSuite(suiteBenchOpts(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteParallel runs the same grid sharded across 8 workers. On a
+// single-core host this matches the serial time (the engine adds no real
+// overhead); with cores available the speedup tracks min(8, cores) until
+// per-program preparation becomes the critical path.
+func BenchmarkSuiteParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := balign.RunSuite(suiteBenchOpts(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 func alignBenchFixture(b *testing.B) (*ir.Program, *balign.Profile) {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	baexp [flags] table1|table2|table3|table4|fig1|fig2|fig3|fig4|ablation|all
+//	baexp [flags] table1|table2|table3|table4|fig1|fig2|fig3|fig4|ablation|suite|all
 //
 // Flags:
 //
@@ -10,6 +10,9 @@
 //	-seed n      workload seed
 //	-window n    TryN window (default 15, the paper's Try15)
 //	-programs s  comma-separated subset of the suite
+//	-parallel n  experiment shards to run concurrently (0 = GOMAXPROCS,
+//	             1 = serial oracle path; output is identical either way)
+//	-v           log per-shard progress to stderr
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"strings"
 
 	"balign/internal/experiments"
+	"balign/internal/metrics"
 	"balign/internal/predict"
 )
 
@@ -37,11 +41,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 0, "workload seed")
 	window := fs.Int("window", 0, "TryN window (0 = paper's 15)")
 	programs := fs.String("programs", "", "comma-separated program subset")
+	parallel := fs.Int("parallel", 0, "concurrent experiment shards (0 = GOMAXPROCS, 1 = serial)")
+	verbose := fs.Bool("v", false, "log per-shard progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Window: *window}
+	cfg := experiments.Config{
+		Scale: *scale, Seed: *seed, Window: *window,
+		Parallelism: *parallel, Verbose: *verbose, Log: stderr,
+	}
 	if *programs != "" {
 		cfg.Programs = strings.Split(*programs, ",")
 	}
@@ -124,6 +133,13 @@ func runOne(id string, cfg experiments.Config, w io.Writer) error {
 			return err
 		}
 		fmt.Fprint(w, experiments.FormatFigure4(rows))
+	case "suite":
+		fmt.Fprintln(w, "== Suite: full evaluation grid (stable encoding) ==")
+		summaries, err := experiments.Summaries(cfg, predict.AllArchs())
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, metrics.EncodeSummaries(summaries))
 	case "ablation":
 		fmt.Fprintln(w, "== Ablations: chain order, algorithm ladder, TryN window ==")
 		rows, err := experiments.Ablation(cfg)

@@ -34,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	all := fs.Bool("all", false, "measure the full suite (paper Table 2)")
 	scale := fs.Float64("scale", 1.0, "trace budget scale")
 	seed := fs.Int64("seed", 0, "workload seed")
+	parallel := fs.Int("parallel", 0, "concurrent measurement shards (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,7 +45,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *parallel}
 	switch {
 	case *bench != "":
 		cfg.Programs = []string{*bench}

@@ -125,6 +125,19 @@ func AlignProgram(prog *ir.Program, pf *profile.Profile, opts Options) (*Result,
 		if err != nil {
 			return nil, fmt.Errorf("core: rewriting %q: %w", p.Name, err)
 		}
+		// Cost guard for the model-guided algorithms: the chaining passes
+		// optimize link decisions locally and can, on rare shapes, produce a
+		// whole-procedure layout the guiding model prices worse than the
+		// incumbent. Realignment must never regress its own objective, so
+		// keep the original layout in that case.
+		if opts.Model != nil && (opts.Algorithm == AlgoCost || opts.Algorithm == AlgoTryN) {
+			assignProcAddrs(np, p.Blocks[0].Addr)
+			if cost.ProcCost(np, npp, opts.Model) > cost.ProcCost(p, pp, opts.Model) {
+				out.Procs = append(out.Procs, p.Clone())
+				npf.Procs[p.Name] = clonePP(pp)
+				continue
+			}
+		}
 		out.Procs = append(out.Procs, np)
 		npf.Procs[p.Name] = npp
 		res.Stats.Add(stats)
@@ -194,6 +207,18 @@ func finishLinks(c *chains, p *ir.Proc, pp *profile.ProcProfile, skip map[ir.Blo
 		if c.canLink(e.from, e.to) {
 			c.link(e.from, e.to)
 		}
+	}
+}
+
+// assignProcAddrs lays one procedure's blocks out contiguously from base so
+// direction-sensitive cost models (BT/FNT) can price a candidate layout
+// before whole-program address assignment. Only intra-procedure relative
+// positions matter to ProcCost, so any base works.
+func assignProcAddrs(p *ir.Proc, base uint64) {
+	addr := base
+	for _, b := range p.Blocks {
+		b.Addr = addr
+		addr += uint64(len(b.Instrs)) * ir.InstrBytes
 	}
 }
 

@@ -42,15 +42,16 @@ func Ablation(cfg Config) ([]AblationRow, error) {
 	if len(programs) == 0 {
 		programs = []string{"espresso", "eqntott", "doduc"}
 	}
-	var rows []AblationRow
-	for _, name := range programs {
+	rows := make([]AblationRow, len(programs))
+	err := runIndexed(cfg, "ablation", programs, func(i int) error {
+		name := programs[i]
 		w, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pf, origInstrs, err := w.CollectProfile()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := AblationRow{Program: name}
 
@@ -71,10 +72,10 @@ func Ablation(cfg Config) ([]AblationRow, error) {
 			return metrics.RelativeCPI(origInstrs, instrs, metrics.BEPFromResult(sim.Result())), nil
 		}
 		if row.GreedyHottestCPI, err = cpiOn(core.Options{Algorithm: core.AlgoGreedy, Order: core.OrderHottest}); err != nil {
-			return nil, err
+			return err
 		}
 		if row.GreedyBTFNTCPI, err = cpiOn(core.Options{Algorithm: core.AlgoGreedy, Order: core.OrderBTFNT}); err != nil {
-			return nil, err
+			return err
 		}
 
 		// Algorithm ladder under the FALLTHROUGH model.
@@ -88,20 +89,20 @@ func Ablation(cfg Config) ([]AblationRow, error) {
 			return cost.ProgramCost(res.Prog, res.Prof, m) / base, nil
 		}
 		if row.CostGreedy, err = ladder(core.Options{Algorithm: core.AlgoGreedy}); err != nil {
-			return nil, err
+			return err
 		}
 		if row.CostCost, err = ladder(core.Options{Algorithm: core.AlgoCost, Model: m}); err != nil {
-			return nil, err
+			return err
 		}
 		if row.CostTryN, err = ladder(core.Options{Algorithm: core.AlgoTryN, Model: m, Window: cfg.window(), MaxCombos: cfg.MaxCombos}); err != nil {
-			return nil, err
+			return err
 		}
 
 		// Window sweep.
 		for _, win := range []int{5, 10, 15} {
 			v, err := ladder(core.Options{Algorithm: core.AlgoTryN, Model: m, Window: win, MaxCombos: cfg.MaxCombos})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			switch win {
 			case 5:
@@ -112,7 +113,11 @@ func Ablation(cfg Config) ([]AblationRow, error) {
 				row.Window15 = v
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -3,10 +3,20 @@
 // (static architectures), Table 4 (dynamic architectures), Figures 1-3
 // (worked examples) and Figure 4 (total execution time on the Alpha-like
 // pipeline model), plus the §6.1 ablations (chain ordering, TryN window).
+//
+// The evaluation grid — every {program x architecture x algorithm} cell —
+// runs on the parallel experiment engine in internal/sim: alignment and
+// profiling are prepared per program, each variant's trace is generated
+// once into a shared read-only cache, and the per-cell simulations shard
+// across a bounded worker pool. Results reduce in canonical order, so a
+// parallel run's output is byte-identical to the serial oracle
+// (Config.Parallelism = 1); the differential tests enforce this.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"balign/internal/core"
 	"balign/internal/cost"
@@ -14,6 +24,7 @@ import (
 	"balign/internal/metrics"
 	"balign/internal/predict"
 	"balign/internal/profile"
+	"balign/internal/sim"
 	"balign/internal/trace"
 	"balign/internal/workload"
 )
@@ -45,6 +56,14 @@ type Config struct {
 	MaxCombos int
 	// Programs restricts the suite (nil = all 24 programs).
 	Programs []string
+	// Parallelism bounds the number of concurrently executing experiment
+	// shards. 0 means runtime.GOMAXPROCS(0); 1 selects the serial oracle
+	// path. Results are byte-identical at every setting.
+	Parallelism int
+	// Verbose enables per-shard progress logging to Log.
+	Verbose bool
+	// Log receives -v progress output; nil discards it.
+	Log io.Writer
 }
 
 func (c Config) window() int {
@@ -52,6 +71,23 @@ func (c Config) window() int {
 		return core.DefaultWindow
 	}
 	return c.Window
+}
+
+// engine returns the experiment engine configured by c.
+func (c Config) engine() *sim.Engine {
+	return sim.New(sim.Options{Parallelism: c.Parallelism, Verbose: c.Verbose, Log: c.Log})
+}
+
+// runIndexed shards fn(i) over n items on the configured engine. Each call
+// must write only its own result slot; the engine guarantees first-error
+// semantics match a serial in-order run.
+func runIndexed(cfg Config, kind string, labels []string, fn func(i int) error) error {
+	tasks := make([]sim.Task, len(labels))
+	for i := range labels {
+		i := i
+		tasks[i] = sim.Task{Label: kind + "/" + labels[i], Run: func(context.Context) error { return fn(i) }}
+	}
+	return cfg.engine().Run(nil, tasks)
 }
 
 func (c Config) workloads() ([]*workload.Workload, error) {
@@ -79,6 +115,12 @@ type Cell struct {
 	FallPct float64
 	// CondAccuracy is the conditional branch prediction accuracy.
 	CondAccuracy float64
+	// Instrs is the number of instructions the traced variant retired.
+	Instrs uint64
+	// BEP is the branch execution penalty in cycles.
+	BEP uint64
+	// Res holds the exact simulation counts behind the derived metrics.
+	Res predict.Result
 }
 
 // ProgramResult is the full evaluation matrix of one program.
@@ -133,17 +175,57 @@ func variantKeyForGreedy(arch predict.ArchID) string {
 	return "greedy"
 }
 
-// Evaluate runs the complete evaluation matrix for one workload over the
-// given architectures.
-func Evaluate(w *workload.Workload, archs []predict.ArchID, cfg Config) (*ProgramResult, error) {
+// simSpec names one simulation of a variant: which architecture consumes
+// its trace and which algorithm column the result lands in.
+type simSpec struct {
+	arch predict.ArchID
+	algo Algo
+}
+
+// evalUnit is one program's prepared evaluation state: its profile, every
+// aligned variant the architecture set needs, and the (variant -> cells)
+// fan-out. Preparation is the per-program sequential prefix (profiling and
+// alignment); everything downstream of it is a shardable simulation.
+//
+// After preparation an evalUnit is read-only and safe to share across
+// worker goroutines.
+type evalUnit struct {
+	w          *workload.Workload
+	pf         *profile.Profile
+	origInstrs uint64
+	variants   map[string]*variant
+	// keys lists variant keys in canonical (first-need) order; specs maps
+	// each key to the cells that replay its trace, in architecture order.
+	keys     []string
+	specs    map[string][]simSpec
+	tryStats core.RewriteStats
+}
+
+// newEvalUnit profiles one workload and builds every variant the given
+// architectures need.
+func newEvalUnit(w *workload.Workload, archs []predict.ArchID, cfg Config) (*evalUnit, error) {
 	pf, origInstrs, err := w.CollectProfile()
 	if err != nil {
 		return nil, err
 	}
-
-	variants := map[string]*variant{
-		"orig": {prog: w.Prog, prof: pf},
+	u := &evalUnit{
+		w: w, pf: pf, origInstrs: origInstrs,
+		variants: map[string]*variant{"orig": {prog: w.Prog, prof: pf}},
+		specs:    map[string][]simSpec{},
 	}
+
+	add := func(key string, spec simSpec) {
+		if _, ok := u.specs[key]; !ok {
+			u.keys = append(u.keys, key)
+		}
+		u.specs[key] = append(u.specs[key], spec)
+	}
+	for _, arch := range archs {
+		add("orig", simSpec{arch, AlgoOrig})
+		add(variantKeyForGreedy(arch), simSpec{arch, AlgoGreedy})
+		add(variantKeyForTry(arch), simSpec{arch, AlgoTry})
+	}
+
 	buildGreedy := func(order core.ChainOrder) (*variant, error) {
 		res, err := core.AlignProgram(w.Prog, pf, core.Options{
 			Algorithm: core.AlgoGreedy, Order: order,
@@ -154,28 +236,8 @@ func Evaluate(w *workload.Workload, archs []predict.ArchID, cfg Config) (*Progra
 		return &variant{prog: res.Prog, prof: res.Prof}, nil
 	}
 
-	res := &ProgramResult{
-		Program: w.Name,
-		Class:   w.Class,
-		Cells:   make(map[predict.ArchID]map[Algo]Cell),
-	}
-
-	// Which variants does this arch set need?
-	type simSpec struct {
-		arch predict.ArchID
-		algo Algo
-	}
-	needed := map[string][]simSpec{}
-	for _, arch := range archs {
-		needed["orig"] = append(needed["orig"], simSpec{arch, AlgoOrig})
-		gk := variantKeyForGreedy(arch)
-		needed[gk] = append(needed[gk], simSpec{arch, AlgoGreedy})
-		tk := variantKeyForTry(arch)
-		needed[tk] = append(needed[tk], simSpec{arch, AlgoTry})
-	}
-
-	for key := range needed {
-		if variants[key] != nil {
+	for _, key := range u.keys {
+		if u.variants[key] != nil {
 			continue
 		}
 		switch key {
@@ -184,20 +246,16 @@ func Evaluate(w *workload.Workload, archs []predict.ArchID, cfg Config) (*Progra
 			if err != nil {
 				return nil, err
 			}
-			variants[key] = v
+			u.variants[key] = v
 		case "greedy-btfnt":
 			v, err := buildGreedy(core.OrderBTFNT)
 			if err != nil {
 				return nil, err
 			}
-			variants[key] = v
+			u.variants[key] = v
 		default:
-			// try-* variants: find an arch that maps here to pick the model.
-			var arch predict.ArchID
-			for _, spec := range needed[key] {
-				arch = spec.arch
-				break
-			}
+			// try-* variants: the first arch that maps here picks the model.
+			arch := u.specs[key][0].arch
 			m, order := trynModelFor(arch)
 			ares, err := core.AlignProgram(w.Prog, pf, core.Options{
 				Algorithm: core.AlgoTryN, Model: m, Order: order,
@@ -206,44 +264,179 @@ func Evaluate(w *workload.Workload, archs []predict.ArchID, cfg Config) (*Progra
 			if err != nil {
 				return nil, err
 			}
-			variants[key] = &variant{prog: ares.Prog, prof: ares.Prof}
+			u.variants[key] = &variant{prog: ares.Prog, prof: ares.Prof}
 			if arch == predict.ArchFallthrough {
-				res.TryStats = ares.Stats
+				u.tryStats = ares.Stats
 			}
 		}
+	}
+	return u, nil
+}
+
+// cacheKey names a variant's recorded trace in the shared cache.
+func (u *evalUnit) cacheKey(key string) string { return u.w.Name + "/" + key }
+
+// record generates the variant's trace once.
+func (u *evalUnit) record(key string) (*sim.Recorded, error) {
+	v := u.variants[key]
+	return sim.Record(func(sink trace.Sink) (uint64, error) {
+		return u.w.Run(v.prog, v.prof, sink, nil)
+	})
+}
+
+// runCell simulates one (architecture, algorithm) cell by replaying the
+// variant's cached trace into a fresh simulator.
+func runCell(u *evalUnit, key string, spec simSpec, cache *sim.TraceCache) (Cell, error) {
+	ck := u.cacheKey(key)
+	rec, err := cache.Acquire(ck, func() (*sim.Recorded, error) { return u.record(key) })
+	defer cache.Release(ck)
+	if err != nil {
+		return Cell{}, fmt.Errorf("evaluating %s/%s: %w", u.w.Name, key, err)
+	}
+	s, err := predict.NewSimulator(spec.arch, u.variants[key].prog, u.variants[key].prof)
+	if err != nil {
+		return Cell{}, err
+	}
+	rec.Replay(s)
+	r := s.Result()
+	bep := metrics.BEPFromResult(r)
+	return Cell{
+		CPI:          metrics.RelativeCPI(u.origInstrs, rec.Instrs, bep),
+		FallPct:      metrics.FallthroughPct(r),
+		CondAccuracy: r.CondAccuracy(),
+		Instrs:       rec.Instrs,
+		BEP:          bep,
+		Res:          r,
+	}, nil
+}
+
+// cellSlot addresses one cell's result across the flattened grid.
+type cellSlot struct {
+	unit int
+	key  string
+	spec simSpec
+}
+
+// evaluatePrograms runs the full evaluation grid over the given workloads:
+// a preparation pass (profile + alignments, sharded per program), then the
+// flat {program x architecture x algorithm} cell grid (sharded per cell,
+// replaying each variant's cached trace), then a canonical-order reduction.
+func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Config) ([]*ProgramResult, error) {
+	eng := cfg.engine()
+	cache := sim.NewTraceCache()
+
+	// Phase 1: per-program preparation.
+	units := make([]*evalUnit, len(ws))
+	prep := make([]sim.Task, len(ws))
+	for i := range ws {
+		i := i
+		prep[i] = sim.Task{Label: "prep/" + ws[i].Name, Run: func(context.Context) error {
+			u, err := newEvalUnit(ws[i], archs, cfg)
+			if err != nil {
+				return err
+			}
+			units[i] = u
+			return nil
+		}}
+	}
+	if err := eng.Run(nil, prep); err != nil {
+		return nil, err
 	}
 
-	// One walk per variant, fanned out to every simulator that needs it.
-	for key, specs := range needed {
-		v := variants[key]
-		sims := make([]predict.Simulator, len(specs))
-		sinks := make(trace.MultiSink, len(specs))
-		for i, spec := range specs {
-			sim, err := predict.NewSimulator(spec.arch, v.prog, v.prof)
-			if err != nil {
-				return nil, err
+	// Phase 2: the flat cell grid. Refcounts are preset so every variant's
+	// trace is freed right after its last cell replays it.
+	var slots []cellSlot
+	for ui, u := range units {
+		for _, key := range u.keys {
+			cache.AddRefs(u.cacheKey(key), len(u.specs[key]))
+			for _, spec := range u.specs[key] {
+				slots = append(slots, cellSlot{unit: ui, key: key, spec: spec})
 			}
-			sims[i] = sim
-			sinks[i] = sim
-		}
-		instrs, err := w.Run(v.prog, v.prof, sinks, nil)
-		if err != nil {
-			return nil, fmt.Errorf("evaluating %s/%s: %w", w.Name, key, err)
-		}
-		for i, spec := range specs {
-			r := sims[i].Result()
-			cell := Cell{
-				CPI:          metrics.RelativeCPI(origInstrs, instrs, metrics.BEPFromResult(r)),
-				FallPct:      metrics.FallthroughPct(r),
-				CondAccuracy: r.CondAccuracy(),
-			}
-			if res.Cells[spec.arch] == nil {
-				res.Cells[spec.arch] = make(map[Algo]Cell)
-			}
-			res.Cells[spec.arch][spec.algo] = cell
 		}
 	}
-	return res, nil
+	cells := make([]Cell, len(slots))
+	tasks := make([]sim.Task, len(slots))
+	for i := range slots {
+		i := i
+		s := slots[i]
+		u := units[s.unit]
+		tasks[i] = sim.Task{
+			Label: fmt.Sprintf("%s/%s/%s", u.w.Name, s.spec.arch, s.spec.algo),
+			Run: func(context.Context) error {
+				c, err := runCell(u, s.key, s.spec, cache)
+				if err != nil {
+					return err
+				}
+				cells[i] = c
+				return nil
+			},
+		}
+	}
+	if err := eng.Run(nil, tasks); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: deterministic reduction in canonical slot order.
+	results := make([]*ProgramResult, len(units))
+	for ui, u := range units {
+		results[ui] = &ProgramResult{
+			Program:  u.w.Name,
+			Class:    u.w.Class,
+			Cells:    make(map[predict.ArchID]map[Algo]Cell),
+			TryStats: u.tryStats,
+		}
+	}
+	for i, s := range slots {
+		r := results[s.unit]
+		if r.Cells[s.spec.arch] == nil {
+			r.Cells[s.spec.arch] = make(map[Algo]Cell)
+		}
+		r.Cells[s.spec.arch][s.spec.algo] = cells[i]
+	}
+
+	st, cst := eng.Stats(), cache.Stats()
+	eng.Logf("sim: %d programs, %d cells, busy %v; trace cache %d misses / %d hits, %d freed",
+		len(units), len(slots), st.Busy, cst.Misses, cst.Hits, cst.Freed)
+	return results, nil
+}
+
+// Evaluate runs the complete evaluation matrix for one workload over the
+// given architectures.
+func Evaluate(w *workload.Workload, archs []predict.ArchID, cfg Config) (*ProgramResult, error) {
+	results, err := evaluatePrograms([]*workload.Workload{w}, archs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// Summaries evaluates the grid for the configured programs and reduces it
+// to canonical metrics.Summary rows (suite program order, then architecture
+// order, then algorithm order). This is the byte-comparable form the
+// differential parallel-vs-serial oracle checks.
+func Summaries(cfg Config, archs []predict.ArchID) ([]metrics.Summary, error) {
+	ws, err := cfg.workloads()
+	if err != nil {
+		return nil, err
+	}
+	results, err := evaluatePrograms(ws, archs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]metrics.Summary, 0, len(results)*len(archs)*len(Algos()))
+	for _, r := range results {
+		for _, arch := range archs {
+			for _, algo := range Algos() {
+				c := r.Cells[arch][algo]
+				s := metrics.NewSummary(r.Program, string(arch), string(algo), 0, c.Instrs, c.Res)
+				// NewSummary derives CPI from its own denominator; keep the
+				// grid's exact values instead.
+				s.CPI, s.FallPct, s.CondAccuracy = c.CPI, c.FallPct, c.CondAccuracy
+				out = append(out, s)
+			}
+		}
+	}
+	return out, nil
 }
 
 // ClassAverage computes the arithmetic mean cell over a class of results,

@@ -107,26 +107,27 @@ func CrossTraining(programs []string, cfg Config) ([]CrossTrainRow, error) {
 	if len(programs) == 0 {
 		programs = []string{"compress", "eqntott", "li"}
 	}
-	var rows []CrossTrainRow
-	for _, name := range programs {
+	rows := make([]CrossTrainRow, len(programs))
+	err := runIndexed(cfg, "crosstrain", programs, func(i int) error {
+		name := programs[i]
 		train, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed, InputSeed: 0})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		test, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed, InputSeed: 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pf, _, err := train.CollectProfile()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.AlignProgram(train.Prog, pf, core.Options{
 			Algorithm: core.AlgoTryN, Model: cost.FallthroughModel{},
 			Window: cfg.window(), MaxCombos: cfg.MaxCombos,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		cpi := func(w *workload.Workload, prog *core.Result, orig bool) (float64, error) {
@@ -152,15 +153,19 @@ func CrossTraining(programs []string, cfg Config) ([]CrossTrainRow, error) {
 
 		row := CrossTrainRow{Program: name}
 		if row.CPIOrig, err = cpi(test, res, true); err != nil {
-			return nil, err
+			return err
 		}
 		if row.CPISameInput, err = cpi(train, res, false); err != nil {
-			return nil, err
+			return err
 		}
 		if row.CPICrossIn, err = cpi(test, res, false); err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -199,15 +204,16 @@ func UnrollStudy(programs []string, cfg Config) ([]UnrollRow, error) {
 	if len(programs) == 0 {
 		programs = []string{"alvinn", "tomcatv"}
 	}
-	var rows []UnrollRow
-	for _, name := range programs {
+	rows := make([]UnrollRow, len(programs))
+	err := runIndexed(cfg, "unroll", programs, func(i int) error {
+		name := programs[i]
 		w, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pf, origInstrs, err := w.CollectProfile()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opts := core.Options{
 			Algorithm: core.AlgoTryN, Model: cost.FallthroughModel{},
@@ -215,15 +221,15 @@ func UnrollStudy(programs []string, cfg Config) ([]UnrollRow, error) {
 		}
 		aligned, err := core.AlignProgram(w.Prog, pf, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		up, upf, ustats, err := core.UnrollLoops(w.Prog, pf, core.DefaultUnrollOptions())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		unrolled, err := core.AlignProgram(up, upf, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		cpi := func(prog *core.Result) (float64, error) {
@@ -239,21 +245,25 @@ func UnrollStudy(programs []string, cfg Config) ([]UnrollRow, error) {
 		}
 		simO, err := predict.NewSimulator(predict.ArchFallthrough, w.Prog, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := w.Run(w.Prog, pf, simO, nil); err != nil {
-			return nil, err
+			return err
 		}
 
 		row := UnrollRow{Program: name, LoopsHandled: ustats.LoopsUnrolled}
 		row.CPIOrig = metrics.RelativeCPI(origInstrs, origInstrs, metrics.BEPFromResult(simO.Result()))
 		if row.CPIAligned, err = cpi(aligned); err != nil {
-			return nil, err
+			return err
 		}
 		if row.CPIUnrolled, err = cpi(unrolled); err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -287,15 +297,16 @@ func ICacheStudy(programs []string, cfg Config) ([]ICacheRow, error) {
 	if len(programs) == 0 {
 		programs = []string{"gcc", "cfront", "espresso"}
 	}
-	var rows []ICacheRow
-	for _, name := range programs {
+	rows := make([]ICacheRow, len(programs))
+	err := runIndexed(cfg, "icache", programs, func(i int) error {
+		name := programs[i]
 		w, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pf, _, err := w.CollectProfile()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mpki := func(prog *ir.Program, prof *profile.Profile) (float64, error) {
 			sim := icache.New(icache.DefaultConfig())
@@ -306,26 +317,30 @@ func ICacheStudy(programs []string, cfg Config) ([]ICacheRow, error) {
 		}
 		row := ICacheRow{Program: name}
 		if row.MPKIOrig, err = mpki(w.Prog, pf); err != nil {
-			return nil, err
+			return err
 		}
 		greedy, err := core.AlignProgram(w.Prog, pf, core.Options{Algorithm: core.AlgoGreedy})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.MPKIGreedy, err = mpki(greedy.Prog, greedy.Prof); err != nil {
-			return nil, err
+			return err
 		}
 		tryn, err := core.AlignProgram(w.Prog, pf, core.Options{
 			Algorithm: core.AlgoTryN, Model: cost.BTFNTModel{},
 			Window: cfg.window(), MaxCombos: cfg.MaxCombos,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.MPKITry, err = mpki(tryn.Prog, tryn.Prof); err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -269,11 +269,16 @@ func Figure4(cfg Config) ([]Figure4Row, error) {
 		ws = filtered
 	}
 
-	var rows []Figure4Row
-	for _, w := range ws {
+	labels := make([]string, len(ws))
+	for i, w := range ws {
+		labels[i] = w.Name
+	}
+	rows := make([]Figure4Row, len(ws))
+	err = runIndexed(cfg, "fig4", labels, func(i int) error {
+		w := ws[i]
 		pf, _, err := w.CollectProfile()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cycles := func(prog *ir.Program, prof *profile.Profile) (float64, error) {
 			sim := pipeline.New(pipeline.DefaultConfig())
@@ -285,32 +290,36 @@ func Figure4(cfg Config) ([]Figure4Row, error) {
 		}
 		base, err := cycles(w.Prog, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		greedy, err := core.AlignProgram(w.Prog, pf, core.Options{Algorithm: core.AlgoGreedy})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gc, err := cycles(greedy.Prog, greedy.Prof)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tryn, err := core.AlignProgram(w.Prog, pf, core.Options{
 			Algorithm: core.AlgoTryN, Model: cost.BTBModel{},
 			Window: cfg.window(), MaxCombos: cfg.MaxCombos,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tc, err := cycles(tryn.Prog, tryn.Prof)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Figure4Row{
+		rows[i] = Figure4Row{
 			Program: w.Name, RelOrig: 1.0,
 			RelGreedy: gc / base, RelTry: tc / base,
 			CyclesOrig: base,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

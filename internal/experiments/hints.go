@@ -28,31 +28,36 @@ func HintStudy(programs []string, cfg Config) ([]HintRow, error) {
 	if len(programs) == 0 {
 		programs = []string{"espresso", "gcc", "li"}
 	}
-	var rows []HintRow
-	for _, name := range programs {
+	rows := make([]HintRow, len(programs))
+	err := runIndexed(cfg, "hints", programs, func(i int) error {
+		name := programs[i]
 		w, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pf, _, err := w.CollectProfile()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		profileSim := predict.NewStaticSim(predict.NewLikely(w.Prog, pf))
 		heuristicSim := predict.NewStaticSim(predict.NewHeuristicLikely(w.Prog))
 		btfntSim := predict.NewStaticSim(predict.BTFNT{})
 		if _, err := w.Run(w.Prog, pf, trace.MultiSink{profileSim, heuristicSim, btfntSim}, nil); err != nil {
-			return nil, err
+			return err
 		}
 		rp, rh, rb := profileSim.Result(), heuristicSim.Result(), btfntSim.Result()
-		rows = append(rows, HintRow{
+		rows[i] = HintRow{
 			Program:      name,
 			ProfileAcc:   rp.CondAccuracy(),
 			HeuristicAcc: rh.CondAccuracy(),
 			BTFNTAcc:     rb.CondAccuracy(),
 			ProfileBEP:   rp.BEP(predict.DefaultMisfetchPenalty, predict.DefaultMispredictPenalty),
 			HeuristicBEP: rh.BEP(predict.DefaultMisfetchPenalty, predict.DefaultMispredictPenalty),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

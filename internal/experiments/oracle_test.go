@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"balign/internal/metrics"
+	"balign/internal/predict"
+)
+
+// TestParallelMatchesSerialOracle is the differential oracle the tentpole
+// engine is held to: the full {program x architecture x algorithm} grid run
+// serially (Parallelism = 1, the plain in-order loop) must be byte-identical
+// to the same grid sharded across 8 workers. Any nondeterminism — shared
+// state, unseeded RNG, order-dependent reduction — shows up as an encoding
+// diff.
+func TestParallelMatchesSerialOracle(t *testing.T) {
+	programs := []string{"ora", "compress", "db++", "espresso"}
+	archs := predict.AllArchs()
+
+	run := func(par int) string {
+		cfg := fastCfg(programs...)
+		cfg.Parallelism = par
+		s, err := Summaries(cfg, archs)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if want := len(programs) * len(archs) * len(Algos()); len(s) != want {
+			t.Fatalf("parallelism %d: %d summaries, want %d", par, len(s), want)
+		}
+		return metrics.EncodeSummaries(s)
+	}
+
+	serial := run(1)
+	parallel := run(8)
+	if serial != parallel {
+		t.Errorf("parallel grid diverges from serial oracle:\n%s", firstDiff(serial, parallel))
+	}
+}
+
+// TestParallelismSettingsAgree spot-checks more worker counts on a smaller
+// grid, including the GOMAXPROCS default (0).
+func TestParallelismSettingsAgree(t *testing.T) {
+	archs := predict.StaticArchs()
+	var want string
+	for i, par := range []int{1, 0, 2, 3, 16} {
+		cfg := fastCfg("ora", "compress")
+		cfg.Parallelism = par
+		s, err := Summaries(cfg, archs)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		got := metrics.EncodeSummaries(s)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("parallelism %d diverges from serial oracle:\n%s", par, firstDiff(want, got))
+		}
+	}
+}
+
+// firstDiff returns the first line where two encodings disagree.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return "line " + al[i] + "\n  vs " + bl[i]
+		}
+	}
+	return "encodings differ in length"
+}

@@ -36,44 +36,65 @@ func SeedSweep(programs []string, seeds int, cfg Config) ([]SeedRow, error) {
 	if seeds <= 0 {
 		seeds = 5
 	}
-	var rows []SeedRow
+	// The {program x seed} grid is flat: every point is independent, so it
+	// shards across the engine as one task list and reduces per program.
+	type point struct {
+		name string
+		seed int
+	}
+	var points []point
+	var labels []string
 	for _, name := range programs {
-		var gains []float64
 		for s := 0; s < seeds; s++ {
-			w, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed + int64(s)*1001})
-			if err != nil {
-				return nil, err
-			}
-			pf, origInstrs, err := w.CollectProfile()
-			if err != nil {
-				return nil, err
-			}
-			res, err := core.AlignProgram(w.Prog, pf, core.Options{
-				Algorithm: core.AlgoTryN, Model: cost.FallthroughModel{},
-				Window: cfg.window(), MaxCombos: cfg.MaxCombos,
-			})
-			if err != nil {
-				return nil, err
-			}
-			simO, err := predict.NewSimulator(predict.ArchFallthrough, w.Prog, pf)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := w.Run(w.Prog, pf, simO, nil); err != nil {
-				return nil, err
-			}
-			simT, err := predict.NewSimulator(predict.ArchFallthrough, res.Prog, res.Prof)
-			if err != nil {
-				return nil, err
-			}
-			tryInstrs, err := w.Run(res.Prog, res.Prof, simT, nil)
-			if err != nil {
-				return nil, err
-			}
-			cpiO := metrics.RelativeCPI(origInstrs, origInstrs, metrics.BEPFromResult(simO.Result()))
-			cpiT := metrics.RelativeCPI(origInstrs, tryInstrs, metrics.BEPFromResult(simT.Result()))
-			gains = append(gains, 100*(1-cpiT/cpiO))
+			points = append(points, point{name, s})
+			labels = append(labels, fmt.Sprintf("%s/seed%d", name, s))
 		}
+	}
+	gainAt := make([]float64, len(points))
+	err := runIndexed(cfg, "seeds", labels, func(i int) error {
+		p := points[i]
+		w, err := workload.ByName(p.name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed + int64(p.seed)*1001})
+		if err != nil {
+			return err
+		}
+		pf, origInstrs, err := w.CollectProfile()
+		if err != nil {
+			return err
+		}
+		res, err := core.AlignProgram(w.Prog, pf, core.Options{
+			Algorithm: core.AlgoTryN, Model: cost.FallthroughModel{},
+			Window: cfg.window(), MaxCombos: cfg.MaxCombos,
+		})
+		if err != nil {
+			return err
+		}
+		simO, err := predict.NewSimulator(predict.ArchFallthrough, w.Prog, pf)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Run(w.Prog, pf, simO, nil); err != nil {
+			return err
+		}
+		simT, err := predict.NewSimulator(predict.ArchFallthrough, res.Prog, res.Prof)
+		if err != nil {
+			return err
+		}
+		tryInstrs, err := w.Run(res.Prog, res.Prof, simT, nil)
+		if err != nil {
+			return err
+		}
+		cpiO := metrics.RelativeCPI(origInstrs, origInstrs, metrics.BEPFromResult(simO.Result()))
+		cpiT := metrics.RelativeCPI(origInstrs, tryInstrs, metrics.BEPFromResult(simT.Result()))
+		gainAt[i] = 100 * (1 - cpiT/cpiO)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []SeedRow
+	for pi, name := range programs {
+		gains := gainAt[pi*seeds : (pi+1)*seeds]
 		mean, std := meanStd(gains)
 		mn, mx := gains[0], gains[0]
 		for _, g := range gains {

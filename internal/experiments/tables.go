@@ -2,9 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 	"text/tabwriter"
 
 	"balign/internal/cost"
@@ -40,15 +38,24 @@ func Table2(cfg Config) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Table2Row, 0, len(ws))
-	for _, w := range ws {
+	labels := make([]string, len(ws))
+	for i, w := range ws {
+		labels[i] = w.Name
+	}
+	rows := make([]Table2Row, len(ws))
+	err = runIndexed(cfg, "table2", labels, func(i int) error {
+		w := ws[i]
 		col := metrics.NewCollector()
 		instrs, err := w.Run(w.Prog, nil, col, nil)
 		if err != nil {
-			return nil, fmt.Errorf("table2: %s: %w", w.Name, err)
+			return fmt.Errorf("table2: %s: %w", w.Name, err)
 		}
 		col.Instrs = instrs
-		rows = append(rows, Table2Row{Program: w.Name, Class: w.Class, Attr: col.Attributes(w.Prog)})
+		rows[i] = Table2Row{Program: w.Name, Class: w.Class, Attr: col.Attributes(w.Prog)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -85,27 +92,11 @@ func evaluateSuite(cfg Config, archs []predict.ArchID) ([]*ProgramResult, error)
 	if err != nil {
 		return nil, err
 	}
-	// Programs are independent; evaluate them concurrently. Results stay
-	// in suite order and every workload's RNGs are its own, so the output
-	// is identical to the serial evaluation.
-	results := make([]*ProgramResult, len(ws))
-	errs := make([]error, len(ws))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, w := range ws {
-		wg.Add(1)
-		go func(i int, w *workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = Evaluate(w, archs, cfg)
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// The engine shards the whole {program x arch x algo} grid; results come
+	// back in suite order regardless of parallelism.
+	results, err := evaluatePrograms(ws, archs, cfg)
+	if err != nil {
+		return nil, err
 	}
 	out := append([]*ProgramResult(nil), results...)
 	// Per-class averages, as the paper prints.

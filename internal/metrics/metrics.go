@@ -5,7 +5,9 @@
 package metrics
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"balign/internal/ir"
 	"balign/internal/predict"
@@ -146,4 +148,76 @@ func FallthroughPct(r predict.Result) float64 {
 		return 0
 	}
 	return 100 * float64(r.Cond-r.CondTaken) / float64(r.Cond)
+}
+
+// Summary is one cell of the evaluation grid — a (program, architecture,
+// algorithm) measurement — in reducible form: the exact simulation counts
+// plus the derived paper metrics. Summaries are the unit the parallel
+// experiment engine's reducer merges; because every field is either an
+// exact integer or a float computed from exact integers by a fixed
+// expression, two runs that executed the same simulations produce
+// byte-identical encodings regardless of scheduling.
+type Summary struct {
+	Program string
+	Arch    string
+	Algo    string
+
+	// Exact counts from the traced simulation.
+	Instrs      uint64 // instructions retired by the traced variant
+	BEP         uint64 // branch execution penalty in cycles
+	Events      uint64
+	Misfetches  uint64
+	Mispredicts uint64
+	Cond        uint64
+	CondTaken   uint64
+	CondCorrect uint64
+
+	// Derived paper metrics.
+	CPI          float64
+	FallPct      float64
+	CondAccuracy float64
+}
+
+// NewSummary builds a Summary from one simulation result; origInstrs is the
+// original program's instruction count (the relative-CPI denominator).
+func NewSummary(program, arch, algo string, origInstrs, instrs uint64, r predict.Result) Summary {
+	bep := BEPFromResult(r)
+	return Summary{
+		Program: program, Arch: arch, Algo: algo,
+		Instrs: instrs, BEP: bep,
+		Events: r.Events, Misfetches: r.Misfetches, Mispredicts: r.Mispredicts,
+		Cond: r.Cond, CondTaken: r.CondTaken, CondCorrect: r.CondCorrect,
+		CPI:          RelativeCPI(origInstrs, instrs, bep),
+		FallPct:      FallthroughPct(r),
+		CondAccuracy: r.CondAccuracy(),
+	}
+}
+
+// SortSummaries orders summaries canonically by (Program, Arch, Algo) so
+// per-shard results merged in any order reduce to one deterministic list.
+func SortSummaries(s []Summary) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Program != s[j].Program {
+			return s[i].Program < s[j].Program
+		}
+		if s[i].Arch != s[j].Arch {
+			return s[i].Arch < s[j].Arch
+		}
+		return s[i].Algo < s[j].Algo
+	})
+}
+
+// EncodeSummaries renders summaries in a stable line-oriented text format.
+// Two evaluation runs agree exactly if and only if their encodings are
+// byte-identical, which is what the differential parallel-vs-serial oracle
+// asserts.
+func EncodeSummaries(s []Summary) string {
+	var sb strings.Builder
+	for _, r := range s {
+		fmt.Fprintf(&sb, "%s %s %s instrs=%d bep=%d events=%d misfetch=%d mispredict=%d cond=%d taken=%d correct=%d cpi=%.9f fall=%.9f acc=%.9f\n",
+			r.Program, r.Arch, r.Algo, r.Instrs, r.BEP, r.Events, r.Misfetches,
+			r.Mispredicts, r.Cond, r.CondTaken, r.CondCorrect,
+			r.CPI, r.FallPct, r.CondAccuracy)
+	}
+	return sb.String()
 }

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"balign/internal/trace"
+)
+
+// Recorded is one variant's complete control-transfer trace, generated once
+// and replayed read-only by every simulator that needs it. Replaying a
+// recorded trace is much cheaper than regenerating it (no RNG, no CFG
+// traversal), which is what lets the engine shard the architecture axis of
+// the evaluation grid.
+type Recorded struct {
+	// Events is the break-event stream in program order.
+	Events []trace.Event
+	// Instrs is the number of instructions the traced execution retired.
+	Instrs uint64
+}
+
+// Replay feeds the recorded events to sink in their original order.
+func (r *Recorded) Replay(sink trace.Sink) {
+	for i := range r.Events {
+		sink.Event(r.Events[i])
+	}
+}
+
+// Record runs gen with a recording sink and captures its event stream; gen
+// returns the instruction count of the traced execution.
+func Record(gen func(sink trace.Sink) (uint64, error)) (*Recorded, error) {
+	var rec trace.Recorder
+	instrs, err := gen(&rec)
+	if err != nil {
+		return nil, err
+	}
+	return &Recorded{Events: rec.Events, Instrs: instrs}, nil
+}
+
+// CacheStats counts trace cache traffic.
+type CacheStats struct {
+	// Hits is the number of Acquire calls served from an already (or
+	// concurrently) generated trace.
+	Hits uint64
+	// Misses is the number of Acquire calls that had to generate.
+	Misses uint64
+	// Freed is the number of traces dropped after their last Release.
+	Freed uint64
+	// Live is the number of traces currently held.
+	Live int
+}
+
+// TraceCache shares recorded traces between the simulators of one
+// experiment grid. Entries are reference-counted so memory stays bounded by
+// the number of variants in flight rather than the whole grid:
+//
+//  1. the grid builder calls AddRefs(key, n) with the number of cells that
+//     will replay the variant;
+//  2. each cell calls Acquire (the first caller generates, concurrent
+//     callers block until generation finishes, later callers hit) and
+//     Release when done;
+//  3. after the final Release the events are dropped.
+//
+// A TraceCache is safe for concurrent use. The zero value is not usable;
+// call NewTraceCache.
+type TraceCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	freed   atomic.Uint64
+}
+
+type cacheEntry struct {
+	refs    int
+	started bool
+	done    chan struct{}
+	rec     *Recorded
+	err     error
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{entries: make(map[string]*cacheEntry)}
+}
+
+func (c *TraceCache) ensure(key string) *cacheEntry {
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{done: make(chan struct{})}
+		c.entries[key] = e
+	}
+	return e
+}
+
+// AddRefs pre-registers n future Acquire/Release pairs for key. Without a
+// preceding AddRefs, the entry is dropped at its first Release.
+func (c *TraceCache) AddRefs(key string, n int) {
+	c.mu.Lock()
+	c.ensure(key).refs += n
+	c.mu.Unlock()
+}
+
+// Acquire returns the recorded trace for key, generating it with gen if
+// this is the first request. Concurrent acquirers of the same key block
+// until the single generation finishes and share its result (or error).
+func (c *TraceCache) Acquire(key string, gen func() (*Recorded, error)) (*Recorded, error) {
+	c.mu.Lock()
+	e := c.ensure(key)
+	first := !e.started
+	e.started = true
+	c.mu.Unlock()
+
+	if first {
+		c.misses.Add(1)
+		e.rec, e.err = gen()
+		close(e.done)
+	} else {
+		c.hits.Add(1)
+		<-e.done
+	}
+	return e.rec, e.err
+}
+
+// Release drops one reference to key; after the last reference the trace is
+// removed from the cache (replayers holding the *Recorded keep it alive
+// until they finish).
+func (c *TraceCache) Release(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	e.refs--
+	if e.refs <= 0 {
+		delete(c.entries, key)
+		c.freed.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *TraceCache) Stats() CacheStats {
+	c.mu.Lock()
+	live := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Freed:  c.freed.Load(),
+		Live:   live,
+	}
+}

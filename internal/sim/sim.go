@@ -1,0 +1,176 @@
+// Package sim is the parallel experiment engine behind the evaluation
+// harness. The paper's tables sweep a {program x architecture x algorithm}
+// grid of trace-driven simulations; every cell of that grid is independent,
+// so the engine shards cells across a bounded worker pool (one worker per
+// runtime.GOMAXPROCS by default) with context cancellation and
+// deterministic first-error propagation.
+//
+// Two properties make the parallel harness trustworthy:
+//
+//   - every task writes only its own result slot and the caller reduces the
+//     slots in canonical (task-list) order, so a parallel run's output is
+//     byte-identical to the serial run's;
+//   - Parallelism = 1 degenerates to a plain in-order loop on the calling
+//     goroutine — the serial oracle the differential tests compare against.
+//
+// The companion TraceCache (cache.go) ensures each program variant's trace
+// is generated exactly once and replayed read-only by every simulator that
+// needs it.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Parallelism bounds the number of concurrently executing tasks.
+	// 0 (or negative) means runtime.GOMAXPROCS(0); 1 selects the serial
+	// oracle path (a plain loop, no goroutines).
+	Parallelism int
+	// Verbose enables per-shard progress logging to Log.
+	Verbose bool
+	// Log receives progress output when Verbose is set; nil discards it.
+	Log io.Writer
+}
+
+// Task is one shard of an experiment grid: an independent unit of work with
+// a label for progress logging and timing attribution.
+type Task struct {
+	Label string
+	Run   func(ctx context.Context) error
+}
+
+// Stats summarizes what an engine has executed so far.
+type Stats struct {
+	// Tasks is the number of shards that ran to completion.
+	Tasks uint64
+	// Busy is the summed wall-clock time of all completed shards; on a
+	// multi-core run it exceeds elapsed time by roughly the achieved
+	// parallelism.
+	Busy time.Duration
+}
+
+// Engine executes task grids with bounded parallelism. The zero value is
+// not usable; call New. An Engine may be reused across many Run calls and
+// is safe for concurrent use.
+type Engine struct {
+	opts   Options
+	logMu  sync.Mutex
+	tasks  atomic.Uint64
+	busyNs atomic.Int64
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine { return &Engine{opts: opts} }
+
+// Parallelism returns the resolved worker count.
+func (e *Engine) Parallelism() int {
+	if e.opts.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.opts.Parallelism
+}
+
+// Serial reports whether the engine runs the serial oracle path.
+func (e *Engine) Serial() bool { return e.Parallelism() == 1 }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Tasks: e.tasks.Load(), Busy: time.Duration(e.busyNs.Load())}
+}
+
+// Logf writes one progress line when the engine is verbose. It is safe for
+// concurrent use and a no-op otherwise.
+func (e *Engine) Logf(format string, args ...any) {
+	if !e.opts.Verbose || e.opts.Log == nil {
+		return
+	}
+	e.logMu.Lock()
+	fmt.Fprintf(e.opts.Log, format+"\n", args...)
+	e.logMu.Unlock()
+}
+
+// Run executes every task, at most Parallelism at a time, and returns the
+// first error in task order (the same error a serial in-order run would
+// return first, since later tasks are cancelled). A nil ctx means
+// context.Background().
+//
+// With Parallelism = 1 the tasks run in order on the calling goroutine and
+// execution stops at the first error — the serial oracle path.
+func (e *Engine) Run(ctx context.Context, tasks []Task) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(tasks) == 0 {
+		return ctx.Err()
+	}
+	if e.Serial() || len(tasks) == 1 {
+		for i := range tasks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := e.exec(ctx, &tasks[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	workers := e.Parallelism()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if err := e.exec(ctx, &tasks[i]); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+func (e *Engine) exec(ctx context.Context, t *Task) error {
+	start := time.Now()
+	err := t.Run(ctx)
+	elapsed := time.Since(start)
+	e.tasks.Add(1)
+	e.busyNs.Add(int64(elapsed))
+	if err != nil {
+		e.Logf("sim: shard %s failed after %v: %v", t.Label, elapsed.Round(time.Microsecond), err)
+		return err
+	}
+	e.Logf("sim: shard %s done in %v", t.Label, elapsed.Round(time.Microsecond))
+	return nil
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"balign/internal/ir"
+	"balign/internal/trace"
+)
+
+func TestRunExecutesEveryTask(t *testing.T) {
+	for _, par := range []int{1, 4, 16} {
+		eng := New(Options{Parallelism: par})
+		var ran [50]atomic.Int32
+		tasks := make([]Task, len(ran))
+		for i := range tasks {
+			i := i
+			tasks[i] = Task{Label: fmt.Sprintf("t%d", i), Run: func(context.Context) error {
+				ran[i].Add(1)
+				return nil
+			}}
+		}
+		if err := eng.Run(context.Background(), tasks); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		for i := range ran {
+			if n := ran[i].Load(); n != 1 {
+				t.Errorf("par=%d: task %d ran %d times", par, i, n)
+			}
+		}
+		if st := eng.Stats(); st.Tasks != uint64(len(tasks)) {
+			t.Errorf("par=%d: stats report %d tasks, want %d", par, st.Tasks, len(tasks))
+		}
+	}
+}
+
+func TestRunBoundsParallelism(t *testing.T) {
+	const par = 3
+	eng := New(Options{Parallelism: par})
+	var active, peak atomic.Int32
+	var mu sync.Mutex
+	tasks := make([]Task, 40)
+	for i := range tasks {
+		tasks[i] = Task{Label: "t", Run: func(context.Context) error {
+			n := active.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			active.Add(-1)
+			return nil
+		}}
+	}
+	if err := eng.Run(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > par {
+		t.Errorf("peak concurrency %d exceeds parallelism %d", p, par)
+	}
+}
+
+func TestRunFirstErrorInTaskOrder(t *testing.T) {
+	// Two failing tasks: the reported error must be the one a serial run
+	// would hit first, regardless of parallel completion order.
+	errA := errors.New("task 3 failed")
+	errB := errors.New("task 7 failed")
+	for _, par := range []int{1, 8} {
+		eng := New(Options{Parallelism: par})
+		tasks := make([]Task, 10)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task{Label: fmt.Sprintf("t%d", i), Run: func(context.Context) error {
+				switch i {
+				case 3:
+					return errA
+				case 7:
+					return errB
+				}
+				return nil
+			}}
+		}
+		err := eng.Run(context.Background(), tasks)
+		if !errors.Is(err, errA) {
+			t.Errorf("par=%d: got %v, want the task-order-first error %v", par, err, errA)
+		}
+	}
+}
+
+func TestRunCancellationStopsWork(t *testing.T) {
+	eng := New(Options{Parallelism: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	tasks := []Task{{Label: "t", Run: func(context.Context) error {
+		ran.Add(1)
+		return nil
+	}}}
+	if err := eng.Run(ctx, tasks); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("task ran despite pre-cancelled context")
+	}
+}
+
+func TestRunErrorCancelsRemainingTasks(t *testing.T) {
+	// Serial path: tasks after the failing one must not run.
+	eng := New(Options{Parallelism: 1})
+	var ran []int
+	boom := errors.New("boom")
+	tasks := make([]Task, 6)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Label: "t", Run: func(context.Context) error {
+			ran = append(ran, i)
+			if i == 2 {
+				return boom
+			}
+			return nil
+		}}
+	}
+	if err := eng.Run(context.Background(), tasks); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 3 {
+		t.Errorf("serial run executed %v, want exactly tasks 0..2", ran)
+	}
+}
+
+func TestVerboseLogging(t *testing.T) {
+	var sb strings.Builder
+	eng := New(Options{Parallelism: 1, Verbose: true, Log: &sb})
+	tasks := []Task{{Label: "alpha", Run: func(context.Context) error { return nil }}}
+	if err := eng.Run(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "alpha") {
+		t.Errorf("verbose log missing shard label:\n%s", sb.String())
+	}
+}
+
+func TestTraceCacheGeneratesOnce(t *testing.T) {
+	c := NewTraceCache()
+	c.AddRefs("k", 8)
+	var gens atomic.Int32
+	gen := func() (*Recorded, error) {
+		gens.Add(1)
+		return &Recorded{Events: []trace.Event{{PC: 4, Kind: ir.Br}}, Instrs: 7}, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec, err := c.Acquire("k", gen)
+			if err != nil || rec.Instrs != 7 || len(rec.Events) != 1 {
+				t.Errorf("Acquire = %+v, %v", rec, err)
+			}
+			c.Release("k")
+		}()
+	}
+	wg.Wait()
+	if n := gens.Load(); n != 1 {
+		t.Errorf("generator ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 7 {
+		t.Errorf("stats = %+v, want 1 miss / 7 hits", st)
+	}
+	if st.Live != 0 || st.Freed != 1 {
+		t.Errorf("entry not freed after final release: %+v", st)
+	}
+}
+
+func TestTraceCacheRefcountLifecycle(t *testing.T) {
+	c := NewTraceCache()
+	c.AddRefs("k", 2)
+	gen := func() (*Recorded, error) { return &Recorded{Instrs: 1}, nil }
+	if _, err := c.Acquire("k", gen); err != nil {
+		t.Fatal(err)
+	}
+	c.Release("k")
+	if st := c.Stats(); st.Live != 1 {
+		t.Fatalf("entry dropped with a reference outstanding: %+v", st)
+	}
+	c.Release("k")
+	if st := c.Stats(); st.Live != 0 || st.Freed != 1 {
+		t.Fatalf("entry not dropped at refcount zero: %+v", st)
+	}
+	// Re-acquiring after the drop regenerates.
+	c.AddRefs("k", 1)
+	if _, err := c.Acquire("k", gen); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Errorf("re-acquire after drop did not regenerate: %+v", st)
+	}
+}
+
+func TestTraceCachePropagatesGenerationError(t *testing.T) {
+	c := NewTraceCache()
+	c.AddRefs("bad", 2)
+	boom := errors.New("walk failed")
+	if _, err := c.Acquire("bad", func() (*Recorded, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("first acquire err = %v", err)
+	}
+	// Second acquirer sees the same error without re-running the generator.
+	if _, err := c.Acquire("bad", func() (*Recorded, error) {
+		t.Error("generator re-ran after error")
+		return nil, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("second acquire err = %v", err)
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	rec, err := Record(func(sink trace.Sink) (uint64, error) {
+		sink.Event(trace.Event{PC: 0x1000, Kind: ir.CondBr, Taken: true, Target: 0x2000})
+		sink.Event(trace.Event{PC: 0x1004, Kind: ir.Ret, Taken: true, Target: 0x3000})
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Instrs != 42 || len(rec.Events) != 2 {
+		t.Fatalf("recorded %+v", rec)
+	}
+	var got trace.Recorder
+	rec.Replay(&got)
+	if len(got.Events) != 2 || got.Events[0].PC != 0x1000 || got.Events[1].Kind != ir.Ret {
+		t.Errorf("replayed events %+v", got.Events)
+	}
+}

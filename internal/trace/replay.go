@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"fmt"
+
+	"balign/internal/ir"
+)
+
+// siteKey addresses one control-flow site: a block within a procedure.
+type siteKey struct {
+	proc  int
+	block ir.BlockID
+}
+
+// ScriptModel is a Model that replays a recorded execution exactly instead
+// of sampling: TakenProb answers 1 or 0 following the recorded outcome
+// sequence of each conditional site, and IJumpWeights answers a one-hot
+// vector selecting each indirect jump's recorded target. Driving the Walker
+// with a ScriptModel recorded from a VM execution therefore forces the walk
+// down the identical control-flow path, which is what the vm-vs-walker
+// differential test exploits: any divergence in the two event streams is a
+// bug in one of the trace producers, not workload noise.
+//
+// Record by passing the model as the EdgeSink of the recording execution;
+// each replayed site consumes its outcomes in FIFO order. A ScriptModel is
+// single-use: call Reset to replay again.
+type ScriptModel struct {
+	prog *ir.Program
+	// ijIndex maps each indirect-jump site's successor block to its index
+	// in the instruction's Targets slice.
+	ijIndex map[siteKey]map[ir.BlockID]int
+
+	cond   map[siteKey][]bool
+	ij     map[siteKey][]int
+	condAt map[siteKey]int
+	ijAt   map[siteKey]int
+
+	// Mismatches counts replay requests past the end of a site's recorded
+	// outcomes (a diagnostic for diverged walks; the replay then predicts
+	// fall-through / target 0).
+	Mismatches int
+}
+
+// NewScriptModel returns an empty script for prog, ready to record.
+func NewScriptModel(prog *ir.Program) *ScriptModel {
+	m := &ScriptModel{
+		prog:    prog,
+		ijIndex: make(map[siteKey]map[ir.BlockID]int),
+		cond:    make(map[siteKey][]bool),
+		ij:      make(map[siteKey][]int),
+		condAt:  make(map[siteKey]int),
+		ijAt:    make(map[siteKey]int),
+	}
+	for pi, p := range prog.Procs {
+		for bi, b := range p.Blocks {
+			t, ok := b.Terminator()
+			if !ok || t.Kind() != ir.IJump {
+				continue
+			}
+			idx := make(map[ir.BlockID]int, len(t.Targets))
+			for i, tgt := range t.Targets {
+				// First occurrence wins: the walker's pickTarget returns the
+				// lowest matching index for a one-hot vector anyway.
+				if _, seen := idx[tgt]; !seen {
+					idx[tgt] = i
+				}
+			}
+			m.ijIndex[siteKey{pi, ir.BlockID(bi)}] = idx
+		}
+	}
+	return m
+}
+
+// Edge implements EdgeSink: indirect-jump traversals are scripted; other
+// edge kinds are implied by the branch outcomes and the CFG.
+func (m *ScriptModel) Edge(procIdx int, from, to ir.BlockID) {
+	key := siteKey{procIdx, from}
+	idx, ok := m.ijIndex[key]
+	if !ok {
+		return
+	}
+	i, ok := idx[to]
+	if !ok {
+		panic(fmt.Sprintf("trace: scripted ijump %d/%d has no target block %d", procIdx, from, to))
+	}
+	m.ij[key] = append(m.ij[key], i)
+}
+
+// Branch implements EdgeSink, recording one conditional outcome.
+func (m *ScriptModel) Branch(procIdx int, block ir.BlockID, taken bool) {
+	key := siteKey{procIdx, block}
+	m.cond[key] = append(m.cond[key], taken)
+}
+
+// Instrs implements EdgeSink.
+func (m *ScriptModel) Instrs(uint64) {}
+
+// TakenProb implements Model: 1 for a recorded taken outcome, 0 for a
+// recorded fall-through (the walker samples rng.Float64() < p, and
+// Float64 is always < 1 and never < 0, so the outcome is forced).
+func (m *ScriptModel) TakenProb(procIdx int, block ir.BlockID) float64 {
+	key := siteKey{procIdx, block}
+	at := m.condAt[key]
+	if at >= len(m.cond[key]) {
+		m.Mismatches++
+		return 0
+	}
+	m.condAt[key] = at + 1
+	if m.cond[key][at] {
+		return 1
+	}
+	return 0
+}
+
+// IJumpWeights implements Model: a one-hot vector over the site's Targets
+// selecting the recorded successor.
+func (m *ScriptModel) IJumpWeights(procIdx int, block ir.BlockID) []float64 {
+	key := siteKey{procIdx, block}
+	at := m.ijAt[key]
+	if at >= len(m.ij[key]) {
+		m.Mismatches++
+		at = -1
+	} else {
+		m.ijAt[key] = at + 1
+	}
+	t, _ := m.prog.Procs[procIdx].Blocks[block].Terminator()
+	weights := make([]float64, len(t.Targets))
+	if at < 0 {
+		weights[0] = 1
+		return weights
+	}
+	weights[m.ij[key][at]] = 1
+	return weights
+}
+
+// Reset rewinds every site's replay cursor to the beginning (the recording
+// is kept).
+func (m *ScriptModel) Reset() {
+	m.condAt = make(map[siteKey]int)
+	m.ijAt = make(map[siteKey]int)
+	m.Mismatches = 0
+}

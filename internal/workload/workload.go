@@ -17,6 +17,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"balign/internal/ir"
 	"balign/internal/profile"
@@ -75,8 +76,29 @@ type Workload struct {
 	seed   int64
 	// runs is the number of complete program runs the original walk
 	// finished within the budget; walks of aligned variants stop after the
-	// same number of runs so comparisons are work-equivalent.
-	runs int
+	// same number of runs so comparisons are work-equivalent. It is set
+	// lazily by the first original-program walk, which may race with
+	// concurrent variant walks when the experiment engine shards one
+	// workload's cells — hence the mutex.
+	runsMu sync.Mutex
+	runs   int
+}
+
+// origRuns returns the recorded original-walk run count (0 if no original
+// walk has completed yet).
+func (w *Workload) origRuns() int {
+	w.runsMu.Lock()
+	defer w.runsMu.Unlock()
+	return w.runs
+}
+
+// noteOrigRuns records the run count of the first completed original walk.
+func (w *Workload) noteOrigRuns(runs int) {
+	w.runsMu.Lock()
+	if w.runs == 0 {
+		w.runs = runs
+	}
+	w.runsMu.Unlock()
 }
 
 // IsKernel reports whether the workload executes on the VM (true) or the
@@ -127,15 +149,15 @@ func (w *Workload) Run(prog *ir.Program, pf *profile.Profile, sink trace.Sink, e
 		Seed:      w.seed,
 		MaxInstrs: w.budget,
 	}
-	if prog != w.Prog && w.runs > 0 {
+	if origRuns := w.origRuns(); prog != w.Prog && origRuns > 0 {
 		// Work-equivalence: walk the variant for as many complete runs as
 		// the original managed, with a generous instruction ceiling.
-		walker.MaxRuns = w.runs
+		walker.MaxRuns = origRuns
 		walker.MaxInstrs = w.budget * 3
 	}
 	instrs, runs := walker.Run(sink, edges)
-	if prog == w.Prog && w.runs == 0 {
-		w.runs = runs
+	if prog == w.Prog {
+		w.noteOrigRuns(runs)
 	}
 	return instrs, nil
 }
