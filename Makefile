@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-suite tables
+.PHONY: build test verify bench bench-suite tables report
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,22 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the full correctness gate: static analysis plus the entire test
-# suite (including the parallel-vs-serial oracle and the vm-vs-walker
-# differential) under the race detector.
+# verify is the full correctness gate: go vet static analysis over every
+# package (including internal/obs and the instrumented engine) plus the
+# entire test suite — the parallel-vs-serial oracle, the telemetry-on
+# determinism oracle and the vm-vs-walker differential included — under
+# the race detector.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# report runs a small suite with run telemetry enabled, emitting a JSON
+# run report (per-shard spans, engine stats, trace-cache stats, the
+# summary grid), then sanity-checks the report schema via the dedicated
+# test in cmd/baexp.
+report:
+	$(GO) run ./cmd/baexp -scale 0.1 -programs ora,compress -parallel 0 -report out.json suite
+	$(GO) test -run TestRunReportSchema ./cmd/baexp
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -13,6 +13,15 @@
 //	-parallel n  experiment shards to run concurrently (0 = GOMAXPROCS,
 //	             1 = serial oracle path; output is identical either way)
 //	-v           log per-shard progress to stderr
+//	-report f    write a JSON run report (timing spans, engine and trace-
+//	             cache stats, counters, the suite summary grid) to file f
+//	-pprof addr  serve net/http/pprof and expvar on addr (e.g. :6060) for
+//	             the duration of the run; /debug/vars includes the live
+//	             run report under "baexp"
+//
+// Telemetry is observation-only: enabling -report or -pprof does not
+// change any experiment output (the parallel-vs-serial oracle runs with
+// telemetry on).
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 
 	"balign/internal/experiments"
 	"balign/internal/metrics"
+	"balign/internal/obs"
 	"balign/internal/predict"
 )
 
@@ -43,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	programs := fs.String("programs", "", "comma-separated program subset")
 	parallel := fs.Int("parallel", 0, "concurrent experiment shards (0 = GOMAXPROCS, 1 = serial)")
 	verbose := fs.Bool("v", false, "log per-shard progress to stderr")
+	report := fs.String("report", "", "write a JSON run report to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +65,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *programs != "" {
 		cfg.Programs = strings.Split(*programs, ",")
+	}
+	if *report != "" || *pprofAddr != "" {
+		cfg.Obs = obs.New("baexp")
+	}
+	if *pprofAddr != "" {
+		cfg.Obs.Publish("baexp")
+		go func() {
+			if err := obs.ListenAndServeDebug(*pprofAddr); err != nil {
+				fmt.Fprintln(stderr, "baexp: pprof server:", err)
+			}
+		}()
 	}
 
 	rest := fs.Args()
@@ -71,7 +94,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 	}
+	if *report != "" {
+		if err := writeReport(cfg.Obs, *report); err != nil {
+			return fmt.Errorf("writing run report: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeReport dumps the run's telemetry snapshot to path.
+func writeReport(rec *obs.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runOne(id string, cfg experiments.Config, w io.Writer) error {

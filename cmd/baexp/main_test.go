@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"balign/internal/predict"
 )
 
 func TestRunTable1(t *testing.T) {
@@ -26,6 +31,109 @@ func TestRunSmallExperiments(t *testing.T) {
 	for _, want := range []string{"Table 2", "Figure 2", "Figure 3", "ora", "paper: 5 -> 3"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunReportSchema is the run-report schema check `make report` relies
+// on: a suite run with -report must emit one JSON document carrying the
+// summary grid, per-shard timing spans, engine stats and trace-cache
+// stats, under the stable field names asserted here.
+func TestRunReportSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errBuf bytes.Buffer
+	args := []string{"-scale", "0.02", "-window", "5", "-programs", "ora",
+		"-parallel", "2", "-report", path, "suite"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Tool     string           `json:"tool"`
+		WallNs   int64            `json:"wall_ns"`
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+		Spans    []struct {
+			Name     string `json:"name"`
+			DurNs    int64  `json:"dur_ns"`
+			Children []struct {
+				Name  string           `json:"name"`
+				DurNs int64            `json:"dur_ns"`
+				Attrs map[string]int64 `json:"attrs"`
+			} `json:"children"`
+		} `json:"spans"`
+		Sections struct {
+			Engine struct {
+				Tasks       uint64 `json:"tasks"`
+				Errors      uint64 `json:"errors"`
+				BusyNs      int64  `json:"busy_ns"`
+				QueueWaitNs int64  `json:"queue_wait_ns"`
+			} `json:"engine"`
+			TraceCache struct {
+				Hits   uint64 `json:"hits"`
+				Misses uint64 `json:"misses"`
+				Freed  uint64 `json:"freed"`
+				Live   int    `json:"live"`
+			} `json:"trace_cache"`
+			Grid []struct {
+				Program string  `json:"Program"`
+				Arch    string  `json:"Arch"`
+				Algo    string  `json:"Algo"`
+				CPI     float64 `json:"CPI"`
+			} `json:"grid"`
+		} `json:"sections"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Tool != "baexp" || rep.WallNs <= 0 {
+		t.Errorf("tool/wall_ns malformed: %q / %d", rep.Tool, rep.WallNs)
+	}
+	if rep.Counters["sim.tasks"] == 0 || rep.Counters["sim.cache.misses"] == 0 {
+		t.Errorf("engine/cache counters missing: %v", rep.Counters)
+	}
+	if rep.Counters["core.plan.tryn.ns"] == 0 || rep.Counters["core.plan.greedy.procs"] == 0 {
+		t.Errorf("alignment timing counters missing: %v", rep.Counters)
+	}
+	if _, ok := rep.Gauges["sim.cache.live"]; !ok {
+		t.Errorf("cache occupancy gauges missing: %v", rep.Gauges)
+	}
+	if len(rep.Spans) == 0 {
+		t.Fatal("no timing spans in report")
+	}
+	shards := 0
+	for _, s := range rep.Spans {
+		if s.Name != "sim.run" {
+			t.Errorf("unexpected root span %q", s.Name)
+		}
+		for _, c := range s.Children {
+			shards++
+			if _, ok := c.Attrs["queue_wait_ns"]; !ok {
+				t.Errorf("shard span %q missing queue_wait_ns", c.Name)
+			}
+		}
+	}
+	eng := rep.Sections.Engine
+	if uint64(shards) != eng.Tasks {
+		t.Errorf("%d shard spans but engine reports %d tasks", shards, eng.Tasks)
+	}
+	if eng.BusyNs <= 0 || eng.Errors != 0 {
+		t.Errorf("engine stats malformed: %+v", eng)
+	}
+	tc := rep.Sections.TraceCache
+	if tc.Misses == 0 || tc.Freed != tc.Misses || tc.Live != 0 {
+		t.Errorf("trace-cache stats malformed: %+v", tc)
+	}
+	// The grid section must be the full {program x arch x algo} matrix.
+	if want := len(predict.AllArchs()) * 3; len(rep.Sections.Grid) != want {
+		t.Errorf("grid rows = %d, want %d", len(rep.Sections.Grid), want)
+	}
+	for _, row := range rep.Sections.Grid {
+		if row.Program != "ora" || row.Arch == "" || row.Algo == "" || row.CPI <= 0 {
+			t.Errorf("degenerate grid row: %+v", row)
 		}
 	}
 }

@@ -7,6 +7,11 @@
 //	bastat -list
 //	bastat -bench gcc [-scale 1.0] [-seed 0]
 //	bastat -all [-scale 1.0] [-seed 0]
+//
+// With -report f the run additionally writes a JSON run report (timing
+// spans, engine stats, counters, the measured attribute rows) to f; with
+// -pprof addr it serves net/http/pprof and expvar on addr while the
+// measurement runs. Neither flag changes any measured output.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"balign/internal/experiments"
+	"balign/internal/obs"
 	"balign/internal/workload"
 )
 
@@ -35,6 +41,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scale := fs.Float64("scale", 1.0, "trace budget scale")
 	seed := fs.Int64("seed", 0, "workload seed")
 	parallel := fs.Int("parallel", 0, "concurrent measurement shards (0 = GOMAXPROCS, 1 = serial)")
+	report := fs.String("report", "", "write a JSON run report to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,10 +61,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("one of -list, -bench or -all is required")
 	}
+	if *report != "" || *pprofAddr != "" {
+		cfg.Obs = obs.New("bastat")
+	}
+	if *pprofAddr != "" {
+		cfg.Obs.Publish("bastat")
+		go func() {
+			if err := obs.ListenAndServeDebug(*pprofAddr); err != nil {
+				fmt.Fprintln(stderr, "bastat: pprof server:", err)
+			}
+		}()
+	}
 	rows, err := experiments.Table2(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(stdout, experiments.FormatTable2(rows))
+	if *report != "" {
+		cfg.Obs.Attach("table2", rows)
+		f, err := os.Create(*report)
+		if err != nil {
+			return fmt.Errorf("writing run report: %w", err)
+		}
+		if err := cfg.Obs.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing run report: %w", err)
+		}
+		return f.Close()
+	}
 	return nil
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -24,6 +27,35 @@ func TestRunBench(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "ora") || !strings.Contains(out.String(), "%Taken") {
 		t.Errorf("output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunBenchWithReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-bench", "ora", "-scale", "0.02", "-report", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ora") {
+		t.Errorf("table output malformed:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Tool     string                     `json:"tool"`
+		Counters map[string]int64           `json:"counters"`
+		Sections map[string]json.RawMessage `json:"sections"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Tool != "bastat" || rep.Counters["sim.tasks"] == 0 {
+		t.Errorf("report malformed: tool=%q counters=%v", rep.Tool, rep.Counters)
+	}
+	if _, ok := rep.Sections["table2"]; !ok {
+		t.Errorf("report missing table2 section: %s", data)
 	}
 }
 

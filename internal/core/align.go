@@ -5,6 +5,7 @@ import (
 
 	"balign/internal/cost"
 	"balign/internal/ir"
+	"balign/internal/obs"
 	"balign/internal/profile"
 )
 
@@ -59,6 +60,12 @@ type Options struct {
 	MaxCombos int
 	// MinWeight is the TryN minimum edge weight (default DefaultMinWeight).
 	MinWeight uint64
+	// Obs receives per-procedure alignment telemetry: plan (chain/cost/
+	// tryN) and rewrite timings plus procedure counters, under
+	// core.plan.<algorithm>.* / core.rewrite.* names. Nil disables
+	// telemetry at zero cost (not even clock reads); telemetry never
+	// influences layout decisions.
+	Obs *obs.Recorder
 }
 
 func (o *Options) window() int {
@@ -117,14 +124,19 @@ func AlignProgram(prog *ir.Program, pf *profile.Profile, opts Options) (*Result,
 			}
 			continue
 		}
+		planStart := opts.Obs.Now()
 		layout, forceJump, err := planLayout(p, pp, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: aligning %q: %w", p.Name, err)
 		}
+		opts.Obs.AddSince("core.plan."+string(opts.Algorithm)+".ns", planStart)
+		opts.Obs.Add("core.plan."+string(opts.Algorithm)+".procs", 1)
+		rewriteStart := opts.Obs.Now()
 		np, npp, stats, err := rewriteProc(p, pp, layout, opts.Model, forceJump)
 		if err != nil {
 			return nil, fmt.Errorf("core: rewriting %q: %w", p.Name, err)
 		}
+		opts.Obs.AddSince("core.rewrite.ns", rewriteStart)
 		// Cost guard for the model-guided algorithms: the chaining passes
 		// optimize link decisions locally and can, on rare shapes, produce a
 		// whole-procedure layout the guiding model prices worse than the
@@ -133,6 +145,7 @@ func AlignProgram(prog *ir.Program, pf *profile.Profile, opts Options) (*Result,
 		if opts.Model != nil && (opts.Algorithm == AlgoCost || opts.Algorithm == AlgoTryN) {
 			assignProcAddrs(np, p.Blocks[0].Addr)
 			if cost.ProcCost(np, npp, opts.Model) > cost.ProcCost(p, pp, opts.Model) {
+				opts.Obs.Add("core.costguard.kept", 1)
 				out.Procs = append(out.Procs, p.Clone())
 				npf.Procs[p.Name] = clonePP(pp)
 				continue

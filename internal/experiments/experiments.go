@@ -22,6 +22,7 @@ import (
 	"balign/internal/cost"
 	"balign/internal/ir"
 	"balign/internal/metrics"
+	"balign/internal/obs"
 	"balign/internal/predict"
 	"balign/internal/profile"
 	"balign/internal/sim"
@@ -64,6 +65,13 @@ type Config struct {
 	Verbose bool
 	// Log receives -v progress output; nil discards it.
 	Log io.Writer
+	// Obs receives run telemetry: per-shard engine spans, trace-cache
+	// counters and gauges, per-procedure alignment timings, and attached
+	// "engine" / "trace_cache" / "grid" report sections. Nil (the
+	// default) disables telemetry at zero cost. Telemetry is
+	// observation-only, so results are byte-identical with it on or off —
+	// the differential oracle tests assert this.
+	Obs *obs.Recorder
 }
 
 func (c Config) window() int {
@@ -75,7 +83,7 @@ func (c Config) window() int {
 
 // engine returns the experiment engine configured by c.
 func (c Config) engine() *sim.Engine {
-	return sim.New(sim.Options{Parallelism: c.Parallelism, Verbose: c.Verbose, Log: c.Log})
+	return sim.New(sim.Options{Parallelism: c.Parallelism, Verbose: c.Verbose, Log: c.Log, Obs: c.Obs})
 }
 
 // runIndexed shards fn(i) over n items on the configured engine. Each call
@@ -204,10 +212,13 @@ type evalUnit struct {
 // newEvalUnit profiles one workload and builds every variant the given
 // architectures need.
 func newEvalUnit(w *workload.Workload, archs []predict.ArchID, cfg Config) (*evalUnit, error) {
+	profStart := cfg.Obs.Now()
 	pf, origInstrs, err := w.CollectProfile()
 	if err != nil {
 		return nil, err
 	}
+	cfg.Obs.AddSince("exp.profile.ns", profStart)
+	cfg.Obs.Add("exp.profile.programs", 1)
 	u := &evalUnit{
 		w: w, pf: pf, origInstrs: origInstrs,
 		variants: map[string]*variant{"orig": {prog: w.Prog, prof: pf}},
@@ -228,7 +239,7 @@ func newEvalUnit(w *workload.Workload, archs []predict.ArchID, cfg Config) (*eva
 
 	buildGreedy := func(order core.ChainOrder) (*variant, error) {
 		res, err := core.AlignProgram(w.Prog, pf, core.Options{
-			Algorithm: core.AlgoGreedy, Order: order,
+			Algorithm: core.AlgoGreedy, Order: order, Obs: cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -259,7 +270,7 @@ func newEvalUnit(w *workload.Workload, archs []predict.ArchID, cfg Config) (*eva
 			m, order := trynModelFor(arch)
 			ares, err := core.AlignProgram(w.Prog, pf, core.Options{
 				Algorithm: core.AlgoTryN, Model: m, Order: order,
-				Window: cfg.window(), MaxCombos: cfg.MaxCombos,
+				Window: cfg.window(), MaxCombos: cfg.MaxCombos, Obs: cfg.Obs,
 			})
 			if err != nil {
 				return nil, err
@@ -324,6 +335,7 @@ type cellSlot struct {
 func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Config) ([]*ProgramResult, error) {
 	eng := cfg.engine()
 	cache := sim.NewTraceCache()
+	cache.Observe(cfg.Obs)
 
 	// Phase 1: per-program preparation.
 	units := make([]*evalUnit, len(ws))
@@ -397,6 +409,11 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 	st, cst := eng.Stats(), cache.Stats()
 	eng.Logf("sim: %d programs, %d cells, busy %v; trace cache %d misses / %d hits, %d freed",
 		len(units), len(slots), st.Busy, cst.Misses, cst.Hits, cst.Freed)
+	// Snapshot the engine and cache into the run report. A multi-grid run
+	// (baexp all) overwrites with each grid's final state; the report's
+	// counters still accumulate across grids.
+	cfg.Obs.Attach("engine", st)
+	cfg.Obs.Attach("trace_cache", cst)
 	return results, nil
 }
 
@@ -436,6 +453,9 @@ func Summaries(cfg Config, archs []predict.ArchID) ([]metrics.Summary, error) {
 			}
 		}
 	}
+	// The canonical summary grid is the run's primary artifact; attach it
+	// so a -report run carries results and telemetry in one document.
+	cfg.Obs.Attach("grid", out)
 	return out, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"balign/internal/metrics"
+	"balign/internal/obs"
 	"balign/internal/predict"
 )
 
@@ -57,6 +58,52 @@ func TestParallelismSettingsAgree(t *testing.T) {
 		}
 		if got != want {
 			t.Errorf("parallelism %d diverges from serial oracle:\n%s", par, firstDiff(want, got))
+		}
+	}
+}
+
+// TestTelemetryPreservesDeterminism is the obs-layer half of the
+// differential oracle: enabling run telemetry must not perturb the
+// byte-determinism guarantee. The same grid runs telemetry-off (the
+// baseline) and telemetry-on at parallelism 1, 2 and GOMAXPROCS (0), and
+// every encoding must be byte-identical. It also asserts that the
+// telemetry-on runs actually recorded something, so a silently disabled
+// recorder can't fake a pass.
+func TestTelemetryPreservesDeterminism(t *testing.T) {
+	archs := predict.StaticArchs()
+	baseCfg := fastCfg("ora", "compress")
+	baseCfg.Parallelism = 1
+	base, err := Summaries(baseCfg, archs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metrics.EncodeSummaries(base)
+
+	for _, par := range []int{1, 2, 0} {
+		cfg := fastCfg("ora", "compress")
+		cfg.Parallelism = par
+		cfg.Obs = obs.New("oracle")
+		s, err := Summaries(cfg, archs)
+		if err != nil {
+			t.Fatalf("telemetry-on parallelism %d: %v", par, err)
+		}
+		if got := metrics.EncodeSummaries(s); got != want {
+			t.Errorf("telemetry-on run (parallelism %d) diverges from telemetry-off oracle:\n%s",
+				par, firstDiff(want, got))
+		}
+
+		rep := cfg.Obs.Report()
+		if rep.Counters["sim.tasks"] == 0 {
+			t.Errorf("parallelism %d: engine counters empty: %v", par, rep.Counters)
+		}
+		if rep.Counters["core.plan.tryn.ns"] == 0 || rep.Counters["exp.profile.ns"] == 0 {
+			t.Errorf("parallelism %d: alignment/profile timings missing: %v", par, rep.Counters)
+		}
+		if len(rep.Spans) == 0 {
+			t.Errorf("parallelism %d: no engine spans recorded", par)
+		}
+		if rep.Sections["engine"] == nil || rep.Sections["trace_cache"] == nil || rep.Sections["grid"] == nil {
+			t.Errorf("parallelism %d: report sections missing: %v", par, rep.Sections)
 		}
 	}
 }

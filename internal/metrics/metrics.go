@@ -6,6 +6,8 @@ package metrics
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -78,9 +80,21 @@ func (c *Collector) Attributes(prog *ir.Program) Attributes {
 	return a
 }
 
+// quantileDenom is the fixed denominator the quantile fractions are
+// rationalized over: a requested fraction is interpreted to the nearest
+// 1e-6, which is exact for the paper's 0.50/0.90/0.99/1.0.
+const quantileDenom = 1_000_000
+
 // SiteQuantiles returns, for each requested fraction, the minimum number of
 // sites (hottest first) whose executions cover that fraction of the total.
 // This is the paper's Q-50/Q-90/Q-99/Q-100 measure.
+//
+// The cumulative coverage test runs in integer arithmetic — fractions are
+// converted to rationals num/quantileDenom and cum/total >= num/denom is
+// decided on 128-bit products — so site counts near or above 2^53 and
+// exact-boundary fractions cannot be mis-ranked by float rounding. In
+// particular a fraction of 1.0 reduces to cum >= total, so Q-100 is always
+// exactly the number of sites with nonzero executions.
 func SiteQuantiles(siteCount map[uint64]uint64, fractions []float64) []int {
 	counts := make([]uint64, 0, len(siteCount))
 	var total uint64
@@ -94,11 +108,11 @@ func SiteQuantiles(siteCount map[uint64]uint64, fractions []float64) []int {
 		return out
 	}
 	for fi, f := range fractions {
-		need := f * float64(total)
+		num := fractionNumerator(f)
 		var cum uint64
 		n := 0
 		for _, cnt := range counts {
-			if float64(cum) >= need {
+			if covers(cum, total, num) {
 				break
 			}
 			cum += cnt
@@ -107,6 +121,28 @@ func SiteQuantiles(siteCount map[uint64]uint64, fractions []float64) []int {
 		out[fi] = n
 	}
 	return out
+}
+
+// fractionNumerator converts a coverage fraction to its numerator over
+// quantileDenom, clamped to [0, quantileDenom].
+func fractionNumerator(f float64) uint64 {
+	switch {
+	case f <= 0:
+		return 0
+	case f >= 1:
+		return quantileDenom
+	}
+	return uint64(math.Round(f * quantileDenom))
+}
+
+// covers reports cum/total >= num/quantileDenom, i.e. whether the
+// accumulated executions already reach the requested coverage. Both sides
+// are compared as exact 128-bit products, so there is no rounding at any
+// operand magnitude.
+func covers(cum, total, num uint64) bool {
+	lhsHi, lhsLo := bits.Mul64(cum, quantileDenom)
+	rhsHi, rhsLo := bits.Mul64(num, total)
+	return lhsHi > rhsHi || (lhsHi == rhsHi && lhsLo >= rhsLo)
 }
 
 // StaticCondSites counts the conditional branch instructions in a program.

@@ -31,6 +31,63 @@ func TestSiteQuantiles(t *testing.T) {
 	}
 }
 
+// TestSiteQuantilesLargeTotals is the regression test for the
+// float-precision bug: with totals near or above 2^53 the old
+// float64(cum) >= f*float64(total) comparison rounded away low bits, so
+// Q-100 could undercount the hot sites. The integer comparison is exact.
+func TestSiteQuantilesLargeTotals(t *testing.T) {
+	// total = 2^53 + 1 is not representable in float64: it rounds down to
+	// 2^53, which the first site alone already reaches, so the old code
+	// reported Q-100 = 1 instead of 2.
+	sites := map[uint64]uint64{
+		1: 1 << 53,
+		2: 1,
+	}
+	qs := SiteQuantiles(sites, []float64{1.0})
+	if qs[0] != 2 {
+		t.Errorf("Q100 = %d, want 2 (the number of nonzero sites)", qs[0])
+	}
+
+	// Way above 2^53 — also stresses the 128-bit product path, where
+	// cum*quantileDenom overflows uint64.
+	huge := map[uint64]uint64{
+		1: 1 << 62, 2: 1 << 62, 3: 1 << 61, 4: 3, 5: 1,
+	}
+	qs = SiteQuantiles(huge, []float64{0.5, 1.0})
+	if qs[1] != 5 {
+		t.Errorf("huge Q100 = %d, want 5", qs[1])
+	}
+	if qs[0] != 2 { // 2^62+2^62 = 2^63 >= half of (2^63 + 2^61 + 4)? no: half is 2^62+2^60+2, one site is not enough, two are.
+		t.Errorf("huge Q50 = %d, want 2", qs[0])
+	}
+}
+
+// TestSiteQuantilesExactBoundaries pins exact-boundary fractions that
+// float arithmetic gets wrong: 0.1 is not representable, so the old code
+// computed need = 1.0000000000000002 for total 10 and overcounted.
+func TestSiteQuantilesExactBoundaries(t *testing.T) {
+	sites := map[uint64]uint64{}
+	for pc := uint64(1); pc <= 10; pc++ {
+		sites[pc] = 1
+	}
+	qs := SiteQuantiles(sites, []float64{0.1, 0.2, 0.5, 0.7, 1.0})
+	want := []int{1, 2, 5, 7, 10}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Errorf("quantile %d = %d, want %d", i, qs[i], want[i])
+		}
+	}
+	// Q-100 must equal the count of nonzero sites on asymmetric weights too.
+	skewed := map[uint64]uint64{1: 999_999, 2: 1}
+	if got := SiteQuantiles(skewed, []float64{1.0})[0]; got != 2 {
+		t.Errorf("skewed Q100 = %d, want 2", got)
+	}
+	// Fractions outside [0, 1] clamp instead of misbehaving.
+	if got := SiteQuantiles(skewed, []float64{-0.5, 1.5}); got[0] != 0 || got[1] != 2 {
+		t.Errorf("clamped quantiles = %v, want [0 2]", got)
+	}
+}
+
 func TestCollectorAttributes(t *testing.T) {
 	prog := &ir.Program{Procs: []*ir.Proc{{Name: "m", Blocks: []*ir.Block{
 		{Instrs: []ir.Instr{{Op: ir.OpBnez, Rd: 1, TargetBlock: 1}}},

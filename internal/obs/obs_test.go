@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsNoOp is the zero-overhead contract: every method on a
+// nil recorder (and the nil spans it hands out) must be safe and inert.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	if !r.Now().IsZero() {
+		t.Error("nil recorder read the clock")
+	}
+	r.Add("c", 1)
+	r.AddSince("c", r.Now())
+	r.Set("g", 2)
+	r.Attach("s", 3)
+	sp := r.Span("outer")
+	if sp != nil {
+		t.Fatalf("nil recorder produced a live span")
+	}
+	sp.SetInt("k", 1)
+	inner := sp.Child("inner")
+	inner.SetInt("k", 2)
+	inner.End()
+	sp.End()
+	if rep := r.Report(); rep != nil {
+		t.Errorf("nil recorder produced a report: %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil WriteJSON wrote %q, err %v", buf.String(), err)
+	}
+}
+
+func TestCountersGaugesSections(t *testing.T) {
+	r := New("test")
+	r.Add("sim.tasks", 3)
+	r.Add("sim.tasks", 2)
+	r.AddSince("core.plan.ns", r.Now().Add(-time.Millisecond))
+	r.Set("cache.live", 7)
+	r.Set("cache.live", 4)
+	r.Attach("engine", map[string]int{"tasks": 5})
+
+	rep := r.Report()
+	if rep.Tool != "test" {
+		t.Errorf("Tool = %q", rep.Tool)
+	}
+	if rep.Counters["sim.tasks"] != 5 {
+		t.Errorf("counter = %d, want 5", rep.Counters["sim.tasks"])
+	}
+	if rep.Counters["core.plan.ns"] < int64(time.Millisecond) {
+		t.Errorf("AddSince recorded %dns, want >= 1ms", rep.Counters["core.plan.ns"])
+	}
+	if rep.Gauges["cache.live"] != 4 {
+		t.Errorf("gauge = %d, want last-write 4", rep.Gauges["cache.live"])
+	}
+	if rep.Sections["engine"] == nil {
+		t.Error("attached section missing from report")
+	}
+	if rep.WallNs <= 0 {
+		t.Errorf("WallNs = %d", rep.WallNs)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	r := New("test")
+	outer := r.Span("run")
+	outer.SetInt("tasks", 9)
+	inner := outer.Child("shard/a")
+	inner.SetInt("queue_wait_ns", 123)
+	inner.End()
+	open := outer.Child("shard/b") // left open deliberately
+
+	rep := r.Report()
+	if len(rep.Spans) != 1 || rep.Spans[0].Name != "run" {
+		t.Fatalf("span roots = %+v", rep.Spans)
+	}
+	root := rep.Spans[0]
+	if !root.Open {
+		t.Error("unended root span not marked open")
+	}
+	if root.Attrs["tasks"] != 9 {
+		t.Errorf("root attrs = %v", root.Attrs)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("children = %+v", root.Children)
+	}
+	a := root.Children[0]
+	if a.Name != "shard/a" || a.Open || a.Attrs["queue_wait_ns"] != 123 {
+		t.Errorf("child a = %+v", a)
+	}
+	if !root.Children[1].Open {
+		t.Error("open child not marked open")
+	}
+	open.End()
+	outer.End()
+	dur := r.Report().Spans[0].DurNs
+	outer.End() // double End must not reset the duration
+	if got := r.Report().Spans[0].DurNs; got != dur {
+		t.Errorf("double End changed duration: %d -> %d", dur, got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New("test")
+	run := r.Span("run")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add("n", 1)
+				r.Set("g", int64(j))
+				sp := run.Child("shard")
+				sp.SetInt("i", int64(j))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	run.End()
+	rep := r.Report()
+	if rep.Counters["n"] != 1600 {
+		t.Errorf("counter = %d, want 1600", rep.Counters["n"])
+	}
+	if len(rep.Spans[0].Children) != 1600 {
+		t.Errorf("children = %d, want 1600", len(rep.Spans[0].Children))
+	}
+}
+
+// TestWriteJSONSchema pins the report's stable JSON field names.
+func TestWriteJSONSchema(t *testing.T) {
+	r := New("baexp")
+	sp := r.Span("sim.run")
+	sp.Child("cell").End()
+	sp.End()
+	r.Add("sim.tasks", 1)
+	r.Set("cache.live", 0)
+	r.Attach("grid", []string{"row"})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Tool     string           `json:"tool"`
+		WallNs   *int64           `json:"wall_ns"`
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+		Spans    []struct {
+			Name     string            `json:"name"`
+			DurNs    *int64            `json:"dur_ns"`
+			Children []json.RawMessage `json:"children"`
+		} `json:"spans"`
+		Sections map[string]json.RawMessage `json:"sections"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Tool != "baexp" || rep.WallNs == nil {
+		t.Errorf("tool/wall_ns missing: %s", buf.String())
+	}
+	if rep.Counters["sim.tasks"] != 1 {
+		t.Errorf("counters missing: %s", buf.String())
+	}
+	if _, ok := rep.Gauges["cache.live"]; !ok {
+		t.Errorf("gauges missing: %s", buf.String())
+	}
+	if len(rep.Spans) != 1 || rep.Spans[0].Name != "sim.run" ||
+		rep.Spans[0].DurNs == nil || len(rep.Spans[0].Children) != 1 {
+		t.Errorf("span tree malformed: %s", buf.String())
+	}
+	if _, ok := rep.Sections["grid"]; !ok {
+		t.Errorf("sections missing: %s", buf.String())
+	}
+}

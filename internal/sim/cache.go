@@ -3,7 +3,9 @@ package sim
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
+	"balign/internal/obs"
 	"balign/internal/trace"
 )
 
@@ -17,6 +19,13 @@ type Recorded struct {
 	Events []trace.Event
 	// Instrs is the number of instructions the traced execution retired.
 	Instrs uint64
+}
+
+// SizeBytes estimates the trace's memory footprint (the event backing
+// array plus the header), which is what the cache's LiveBytes gauge sums.
+func (r *Recorded) SizeBytes() uint64 {
+	return uint64(len(r.Events))*uint64(unsafe.Sizeof(trace.Event{})) +
+		uint64(unsafe.Sizeof(Recorded{}))
 }
 
 // Replay feeds the recorded events to sink in their original order.
@@ -37,17 +46,26 @@ func Record(gen func(sink trace.Sink) (uint64, error)) (*Recorded, error) {
 	return &Recorded{Events: rec.Events, Instrs: instrs}, nil
 }
 
-// CacheStats counts trace cache traffic.
+// CacheStats counts trace cache traffic and current occupancy. The JSON
+// form is part of the run-report schema (the report's "trace_cache"
+// section).
 type CacheStats struct {
 	// Hits is the number of Acquire calls served from an already (or
 	// concurrently) generated trace.
-	Hits uint64
+	Hits uint64 `json:"hits"`
 	// Misses is the number of Acquire calls that had to generate.
-	Misses uint64
+	Misses uint64 `json:"misses"`
+	// Errors is the number of generations that failed. A failed
+	// generation does not poison its key: the next Acquire retries.
+	Errors uint64 `json:"errors"`
 	// Freed is the number of traces dropped after their last Release.
-	Freed uint64
+	Freed uint64 `json:"freed"`
 	// Live is the number of traces currently held.
-	Live int
+	Live int `json:"live"`
+	// LiveEvents and LiveBytes are the break events and estimated bytes
+	// currently held by live traces.
+	LiveEvents uint64 `json:"live_events"`
+	LiveBytes  uint64 `json:"live_bytes"`
 }
 
 // TraceCache shares recorded traces between the simulators of one
@@ -64,11 +82,15 @@ type CacheStats struct {
 // A TraceCache is safe for concurrent use. The zero value is not usable;
 // call NewTraceCache.
 type TraceCache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	freed   atomic.Uint64
+	obs        *obs.Recorder
+	mu         sync.Mutex
+	entries    map[string]*cacheEntry
+	liveEvents uint64
+	liveBytes  uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	errors     atomic.Uint64
+	freed      atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -83,6 +105,11 @@ type cacheEntry struct {
 func NewTraceCache() *TraceCache {
 	return &TraceCache{entries: make(map[string]*cacheEntry)}
 }
+
+// Observe attaches a telemetry recorder: the cache then maintains the
+// sim.cache.* counters and occupancy gauges. A nil recorder (the default)
+// disables telemetry at zero cost.
+func (c *TraceCache) Observe(r *obs.Recorder) { c.obs = r }
 
 func (c *TraceCache) ensure(key string) *cacheEntry {
 	e, ok := c.entries[key]
@@ -104,22 +131,47 @@ func (c *TraceCache) AddRefs(key string, n int) {
 // Acquire returns the recorded trace for key, generating it with gen if
 // this is the first request. Concurrent acquirers of the same key block
 // until the single generation finishes and share its result (or error).
+//
+// A generation error is returned to the first caller and to every
+// acquirer already blocked on it, but it is not cached: the failed entry
+// is reset (its refcount carries over), so a later Acquire retries the
+// generation rather than failing forever on a transient error.
 func (c *TraceCache) Acquire(key string, gen func() (*Recorded, error)) (*Recorded, error) {
 	c.mu.Lock()
 	e := c.ensure(key)
-	first := !e.started
+	if e.started {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		c.obs.Add("sim.cache.hits", 1)
+		<-e.done
+		return e.rec, e.err
+	}
 	e.started = true
 	c.mu.Unlock()
 
-	if first {
-		c.misses.Add(1)
-		e.rec, e.err = gen()
-		close(e.done)
-	} else {
-		c.hits.Add(1)
-		<-e.done
+	c.misses.Add(1)
+	c.obs.Add("sim.cache.misses", 1)
+	rec, err := gen()
+
+	c.mu.Lock()
+	e.rec, e.err = rec, err
+	current := c.entries[key] == e
+	if err != nil {
+		c.errors.Add(1)
+		c.obs.Add("sim.cache.errors", 1)
+		if current {
+			// Detach the failed entry so the next Acquire retries;
+			// acquirers already blocked on e.done still see this error.
+			c.entries[key] = &cacheEntry{refs: e.refs, done: make(chan struct{})}
+		}
+	} else if current && rec != nil {
+		c.liveEvents += uint64(len(rec.Events))
+		c.liveBytes += rec.SizeBytes()
 	}
-	return e.rec, e.err
+	c.setGaugesLocked()
+	c.mu.Unlock()
+	close(e.done)
+	return rec, err
 }
 
 // Release drops one reference to key; after the last reference the trace is
@@ -136,18 +188,38 @@ func (c *TraceCache) Release(key string) {
 	if e.refs <= 0 {
 		delete(c.entries, key)
 		c.freed.Add(1)
+		c.obs.Add("sim.cache.freed", 1)
+		if e.rec != nil {
+			c.liveEvents -= uint64(len(e.rec.Events))
+			c.liveBytes -= e.rec.SizeBytes()
+		}
+		c.setGaugesLocked()
 	}
+}
+
+// setGaugesLocked refreshes the occupancy gauges; the caller holds c.mu.
+func (c *TraceCache) setGaugesLocked() {
+	if c.obs == nil {
+		return
+	}
+	c.obs.Set("sim.cache.live", int64(len(c.entries)))
+	c.obs.Set("sim.cache.live_events", int64(c.liveEvents))
+	c.obs.Set("sim.cache.live_bytes", int64(c.liveBytes))
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *TraceCache) Stats() CacheStats {
 	c.mu.Lock()
 	live := len(c.entries)
+	liveEvents, liveBytes := c.liveEvents, c.liveBytes
 	c.mu.Unlock()
 	return CacheStats{
-		Hits:   c.hits.Load(),
-		Misses: c.misses.Load(),
-		Freed:  c.freed.Load(),
-		Live:   live,
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Errors:     c.errors.Load(),
+		Freed:      c.freed.Load(),
+		Live:       live,
+		LiveEvents: liveEvents,
+		LiveBytes:  liveBytes,
 	}
 }

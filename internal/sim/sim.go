@@ -20,12 +20,15 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"balign/internal/obs"
 )
 
 // Options configures an Engine.
@@ -38,6 +41,11 @@ type Options struct {
 	Verbose bool
 	// Log receives progress output when Verbose is set; nil discards it.
 	Log io.Writer
+	// Obs receives run telemetry: one span per Run with a child span per
+	// shard (queue wait, run time) plus engine counters. Nil disables
+	// telemetry at zero cost; telemetry never influences scheduling or
+	// results, so byte-determinism holds either way.
+	Obs *obs.Recorder
 }
 
 // Task is one shard of an experiment grid: an independent unit of work with
@@ -47,24 +55,34 @@ type Task struct {
 	Run   func(ctx context.Context) error
 }
 
-// Stats summarizes what an engine has executed so far.
+// Stats summarizes what an engine has executed so far. The JSON form is
+// part of the run-report schema (the report's "engine" section).
 type Stats struct {
 	// Tasks is the number of shards that ran to completion.
-	Tasks uint64
+	Tasks uint64 `json:"tasks"`
+	// Errors is the number of shards that returned a root-cause error
+	// (cancellation fallout from another shard's failure is not counted).
+	Errors uint64 `json:"errors"`
 	// Busy is the summed wall-clock time of all completed shards; on a
 	// multi-core run it exceeds elapsed time by roughly the achieved
 	// parallelism.
-	Busy time.Duration
+	Busy time.Duration `json:"busy_ns"`
+	// QueueWait is the summed time shards spent waiting between Run
+	// submission and the start of their execution — the engine's
+	// queue-wait-vs-run-time split.
+	QueueWait time.Duration `json:"queue_wait_ns"`
 }
 
 // Engine executes task grids with bounded parallelism. The zero value is
 // not usable; call New. An Engine may be reused across many Run calls and
 // is safe for concurrent use.
 type Engine struct {
-	opts   Options
-	logMu  sync.Mutex
-	tasks  atomic.Uint64
-	busyNs atomic.Int64
+	opts    Options
+	logMu   sync.Mutex
+	tasks   atomic.Uint64
+	errs    atomic.Uint64
+	busyNs  atomic.Int64
+	queueNs atomic.Int64
 }
 
 // New returns an engine with the given options.
@@ -83,7 +101,12 @@ func (e *Engine) Serial() bool { return e.Parallelism() == 1 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Tasks: e.tasks.Load(), Busy: time.Duration(e.busyNs.Load())}
+	return Stats{
+		Tasks:     e.tasks.Load(),
+		Errors:    e.errs.Load(),
+		Busy:      time.Duration(e.busyNs.Load()),
+		QueueWait: time.Duration(e.queueNs.Load()),
+	}
 }
 
 // Logf writes one progress line when the engine is verbose. It is safe for
@@ -111,26 +134,61 @@ func (e *Engine) Run(ctx context.Context, tasks []Task) error {
 	if len(tasks) == 0 {
 		return ctx.Err()
 	}
+	workers := e.Parallelism()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	start := time.Now()
+	busy0 := e.busyNs.Load()
+	span := e.opts.Obs.Span("sim.run")
+	span.SetInt("tasks", int64(len(tasks)))
+	span.SetInt("workers", int64(workers))
+	err := e.run(ctx, tasks, workers, span, start)
+	if span != nil {
+		wall := time.Since(start)
+		busy := e.busyNs.Load() - busy0
+		span.SetInt("busy_ns", busy)
+		if wall > 0 {
+			// Worker utilization in basis points: 10000 means every
+			// worker was busy for the whole run.
+			span.SetInt("util_bp", busy*10000/(int64(workers)*int64(wall)))
+		}
+		span.End()
+	}
+	return err
+}
+
+func (e *Engine) run(ctx context.Context, tasks []Task, workers int, span *obs.Span, queued time.Time) error {
 	if e.Serial() || len(tasks) == 1 {
 		for i := range tasks {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := e.exec(ctx, &tasks[i]); err != nil {
+			if err := e.exec(ctx, &tasks[i], span, queued); err != nil {
+				e.errs.Add(1)
 				return err
 			}
 		}
 		return nil
 	}
 
-	workers := e.Parallelism()
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Every task writes only its own error slot and the scan below picks
+	// the lowest-indexed one, so the reported error is the one a serial
+	// in-order run would have hit first. A failing task cancels the
+	// context; in-flight tasks then typically abort with ctx.Err(), and
+	// those cancellation-fallout errors must NOT be recorded — an aborted
+	// earlier task would otherwise land context.Canceled in a lower slot
+	// and mask the root cause. The cancelled flag is ordered before
+	// cancel(), and a task can only observe the cancelled context after
+	// cancel(), so any task returning context.Canceled while the flag is
+	// set is fallout, not a root cause. (A task failing with its own real
+	// error after cancellation is still recorded: serially it would have
+	// failed too.)
 	errs := make([]error, len(tasks))
+	var cancelled atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -145,8 +203,13 @@ func (e *Engine) Run(ctx context.Context, tasks []Task) error {
 				if ctx.Err() != nil {
 					return
 				}
-				if err := e.exec(ctx, &tasks[i]); err != nil {
+				if err := e.exec(ctx, &tasks[i], span, queued); err != nil {
+					if cancelled.Load() && errors.Is(err, context.Canceled) {
+						continue
+					}
 					errs[i] = err
+					e.errs.Add(1)
+					cancelled.Store(true)
 					cancel()
 				}
 			}
@@ -161,13 +224,20 @@ func (e *Engine) Run(ctx context.Context, tasks []Task) error {
 	return ctx.Err()
 }
 
-func (e *Engine) exec(ctx context.Context, t *Task) error {
+func (e *Engine) exec(ctx context.Context, t *Task, parent *obs.Span, queued time.Time) error {
 	start := time.Now()
+	wait := start.Sub(queued)
+	sp := parent.Child(t.Label)
+	sp.SetInt("queue_wait_ns", int64(wait))
 	err := t.Run(ctx)
+	sp.End()
 	elapsed := time.Since(start)
 	e.tasks.Add(1)
 	e.busyNs.Add(int64(elapsed))
+	e.queueNs.Add(int64(wait))
+	e.opts.Obs.Add("sim.tasks", 1)
 	if err != nil {
+		e.opts.Obs.Add("sim.task_errors", 1)
 		e.Logf("sim: shard %s failed after %v: %v", t.Label, elapsed.Round(time.Microsecond), err)
 		return err
 	}

@@ -8,8 +8,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"balign/internal/ir"
+	"balign/internal/obs"
 	"balign/internal/trace"
 )
 
@@ -92,6 +94,57 @@ func TestRunFirstErrorInTaskOrder(t *testing.T) {
 	}
 }
 
+// TestRunReportsRootCauseNotCancellation is the regression test for the
+// error-masking bug: when a later task fails and cancels the context, an
+// earlier in-flight task that aborts with ctx.Err() used to land
+// context.Canceled in a lower error slot, and Run reported that instead of
+// the root cause. The serial oracle would have reported the real error.
+func TestRunReportsRootCauseNotCancellation(t *testing.T) {
+	boom := errors.New("root cause")
+	for trial := 0; trial < 20; trial++ {
+		eng := New(Options{Parallelism: 2})
+		started := make(chan struct{})
+		tasks := []Task{
+			{Label: "victim", Run: func(ctx context.Context) error {
+				close(started)
+				// Aborts only because the culprit's failure cancelled the
+				// run; its ctx.Err() must not mask the culprit's error.
+				<-ctx.Done()
+				return ctx.Err()
+			}},
+			{Label: "culprit", Run: func(ctx context.Context) error {
+				<-started
+				return boom
+			}},
+		}
+		if err := eng.Run(context.Background(), tasks); !errors.Is(err, boom) {
+			t.Fatalf("trial %d: Run = %v, want root cause %v", trial, err, boom)
+		}
+	}
+}
+
+// TestRunWrappedCancellationDoesNotMask covers the realistic shape of the
+// bug: tasks wrap ctx.Err() with context (as runCell does with %w).
+func TestRunWrappedCancellationDoesNotMask(t *testing.T) {
+	boom := errors.New("root cause")
+	eng := New(Options{Parallelism: 2})
+	started := make(chan struct{})
+	tasks := []Task{
+		{Label: "victim", Run: func(ctx context.Context) error {
+			close(started)
+			<-ctx.Done()
+			return fmt.Errorf("evaluating shard: %w", ctx.Err())
+		}},
+		{Label: "culprit", Run: func(ctx context.Context) error {
+			<-started
+			return boom
+		}},
+	}
+	if err := eng.Run(context.Background(), tasks); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want root cause %v", err, boom)
+	}
+}
+
 func TestRunCancellationStopsWork(t *testing.T) {
 	eng := New(Options{Parallelism: 2})
 	ctx, cancel := context.WithCancel(context.Background())
@@ -130,6 +183,49 @@ func TestRunErrorCancelsRemainingTasks(t *testing.T) {
 	}
 	if len(ran) != 3 {
 		t.Errorf("serial run executed %v, want exactly tasks 0..2", ran)
+	}
+}
+
+// TestRunTelemetrySpans checks the engine's obs integration: one run span
+// per Run call, one child span per shard with a queue-wait attribute, and
+// the task counters.
+func TestRunTelemetrySpans(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		rec := obs.New("test")
+		eng := New(Options{Parallelism: par, Obs: rec})
+		tasks := make([]Task, 6)
+		for i := range tasks {
+			tasks[i] = Task{Label: fmt.Sprintf("t%d", i), Run: func(context.Context) error { return nil }}
+		}
+		if err := eng.Run(context.Background(), tasks); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		rep := rec.Report()
+		if rep.Counters["sim.tasks"] != int64(len(tasks)) {
+			t.Errorf("par=%d: sim.tasks = %d, want %d", par, rep.Counters["sim.tasks"], len(tasks))
+		}
+		if len(rep.Spans) != 1 || rep.Spans[0].Name != "sim.run" {
+			t.Fatalf("par=%d: spans = %+v", par, rep.Spans)
+		}
+		run := rep.Spans[0]
+		if run.Open {
+			t.Errorf("par=%d: run span left open", par)
+		}
+		if run.Attrs["tasks"] != int64(len(tasks)) {
+			t.Errorf("par=%d: run attrs = %v", par, run.Attrs)
+		}
+		if len(run.Children) != len(tasks) {
+			t.Fatalf("par=%d: %d shard spans, want %d", par, len(run.Children), len(tasks))
+		}
+		for _, c := range run.Children {
+			if _, ok := c.Attrs["queue_wait_ns"]; !ok || c.Open {
+				t.Errorf("par=%d: shard span %s missing queue wait or left open: %+v", par, c.Name, c)
+			}
+		}
+		st := eng.Stats()
+		if st.Tasks != uint64(len(tasks)) || st.Errors != 0 {
+			t.Errorf("par=%d: stats = %+v", par, st)
+		}
 	}
 }
 
@@ -204,18 +300,125 @@ func TestTraceCacheRefcountLifecycle(t *testing.T) {
 }
 
 func TestTraceCachePropagatesGenerationError(t *testing.T) {
+	// Acquirers blocked while a generation is in flight share its error;
+	// the generator runs once for that cohort.
 	c := NewTraceCache()
 	c.AddRefs("bad", 2)
 	boom := errors.New("walk failed")
-	if _, err := c.Acquire("bad", func() (*Recorded, error) { return nil, boom }); !errors.Is(err, boom) {
-		t.Fatalf("first acquire err = %v", err)
+	genStarted := make(chan struct{})
+	var gens atomic.Int32
+	gen := func() (*Recorded, error) {
+		gens.Add(1)
+		close(genStarted)
+		// Hold the generation open until the second acquirer is bound to
+		// it: a waiter counts its hit before blocking on the entry's done
+		// channel, so once Hits > 0 the error below is observed as shared
+		// rather than retried.
+		for c.Stats().Hits == 0 {
+			time.Sleep(time.Microsecond)
+		}
+		return nil, boom
 	}
-	// Second acquirer sees the same error without re-running the generator.
-	if _, err := c.Acquire("bad", func() (*Recorded, error) {
-		t.Error("generator re-ran after error")
-		return nil, nil
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = c.Acquire("bad", gen)
+	}()
+	go func() {
+		defer wg.Done()
+		<-genStarted // only acquire once the failing generation is in flight
+		_, errs[1] = c.Acquire("bad", func() (*Recorded, error) {
+			return nil, errors.New("generator re-ran while a generation was in flight")
+		})
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("acquirer %d err = %v, want %v", i, err, boom)
+		}
+	}
+	if n := gens.Load(); n != 1 {
+		t.Errorf("generator ran %d times for one cohort, want 1", n)
+	}
+}
+
+// TestTraceCacheRetriesAfterError is the regression test for the
+// error-poisoning bug: a failed generation used to stick to its key for as
+// long as references remained, failing every later acquirer even when the
+// failure was transient. Now the entry resets on error and the next
+// Acquire retries.
+func TestTraceCacheRetriesAfterError(t *testing.T) {
+	c := NewTraceCache()
+	c.AddRefs("k", 3)
+	boom := errors.New("transient failure")
+	gens := 0
+	if _, err := c.Acquire("k", func() (*Recorded, error) {
+		gens++
+		return nil, boom
 	}); !errors.Is(err, boom) {
-		t.Fatalf("second acquire err = %v", err)
+		t.Fatalf("first acquire err = %v, want %v", err, boom)
+	}
+	c.Release("k")
+
+	// The key is not poisoned: the next Acquire retries the generation.
+	rec, err := c.Acquire("k", func() (*Recorded, error) {
+		gens++
+		return &Recorded{Events: []trace.Event{{PC: 4, Kind: ir.Br}}, Instrs: 9}, nil
+	})
+	if err != nil || rec == nil || rec.Instrs != 9 {
+		t.Fatalf("retry acquire = %+v, %v", rec, err)
+	}
+	c.Release("k")
+
+	// And the retried result is cached for later acquirers.
+	rec, err = c.Acquire("k", func() (*Recorded, error) {
+		t.Error("generator re-ran after a successful retry")
+		return nil, nil
+	})
+	if err != nil || rec == nil || rec.Instrs != 9 {
+		t.Fatalf("cached acquire = %+v, %v", rec, err)
+	}
+	c.Release("k")
+
+	if gens != 2 {
+		t.Errorf("generator ran %d times, want 2 (fail, retry)", gens)
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 1 || st.Errors != 1 {
+		t.Errorf("stats = %+v, want 2 misses / 1 hit / 1 error", st)
+	}
+	if st.Live != 0 || st.Freed != 1 {
+		t.Errorf("entry not freed after final release: %+v", st)
+	}
+	if st.LiveEvents != 0 || st.LiveBytes != 0 {
+		t.Errorf("freed cache still reports held data: %+v", st)
+	}
+}
+
+// TestTraceCacheTracksHeldData covers the occupancy stats the obs layer
+// reports: events and bytes held rise with live traces and fall to zero
+// after the last release.
+func TestTraceCacheTracksHeldData(t *testing.T) {
+	c := NewTraceCache()
+	c.AddRefs("k", 2)
+	rec := &Recorded{Events: make([]trace.Event, 5), Instrs: 1}
+	if _, err := c.Acquire("k", func() (*Recorded, error) { return rec, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.LiveEvents != 5 {
+		t.Errorf("LiveEvents = %d, want 5", st.LiveEvents)
+	}
+	if st.LiveBytes < rec.SizeBytes() || st.Live != 1 {
+		t.Errorf("held stats = %+v", st)
+	}
+	c.Release("k")
+	c.Release("k")
+	st = c.Stats()
+	if st.Live != 0 || st.LiveEvents != 0 || st.LiveBytes != 0 {
+		t.Errorf("released cache still reports held data: %+v", st)
 	}
 }
 
