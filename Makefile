@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-suite tables report
+.PHONY: build test verify ci fuzz-smoke bench bench-suite bench-kernel tables report
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,21 @@ verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# ci is the continuous-integration gate (mirrored by the GitHub Actions
+# workflow): static analysis, a full build, the race-enabled test suite,
+# and a short smoke pass over each native fuzz target.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+
+# fuzz-smoke runs each fuzz target briefly — long enough to execute the
+# committed seed corpora plus a burst of new inputs, short enough for CI.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadFile -fuzztime=10s -run '^$$' ./internal/trace
+	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm
+
 # report runs a small suite with run telemetry enabled, emitting a JSON
 # run report (per-shard spans, engine stats, trace-cache stats, the
 # summary grid), then sanity-checks the report schema via the dedicated
@@ -32,6 +47,12 @@ bench:
 # the 8-way sharded run on the same grid.
 bench-suite:
 	$(GO) test -bench 'BenchmarkSuite(Serial|Parallel)' -run '^$$' .
+
+# bench-kernel compares the reference simulators against the compiled flat
+# kernel, both end-to-end (full suite runs) and on the simulation grid in
+# isolation (pre-recorded traces). These are the BENCH_kernel.json numbers.
+bench-kernel:
+	$(GO) test -bench 'Benchmark(SuiteKernel|SimulateGrid)' -benchtime 3x -run '^$$' .
 
 tables:
 	$(GO) run ./cmd/baexp -scale 0.2 all

@@ -243,6 +243,10 @@ type SuiteOptions struct {
 	Verbose bool
 	// Log receives progress output; nil discards it.
 	Log io.Writer
+	// Kernel selects the simulation executor: "flat" (default, the
+	// compiled struct-of-arrays kernel) or "ref" (the reference
+	// simulators). Output is byte-identical either way.
+	Kernel string
 }
 
 // RunSuite evaluates the {program x architecture x algorithm} grid on the
@@ -261,6 +265,7 @@ func RunSuite(opts SuiteOptions) ([]Summary, error) {
 		Programs:    opts.Programs,
 		Parallelism: opts.Parallelism,
 		Verbose:     opts.Verbose, Log: opts.Log,
+		Kernel: opts.Kernel,
 	}
 	return experiments.Summaries(cfg, archs)
 }

@@ -15,6 +15,7 @@ import (
 	"balign/internal/icache"
 	"balign/internal/ir"
 	"balign/internal/predict"
+	"balign/internal/sim"
 	"balign/internal/trace"
 	"balign/internal/workload"
 )
@@ -158,6 +159,100 @@ func BenchmarkSuiteParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSuiteKernelRef runs the evaluation grid end-to-end on the
+// reference simulators (-kernel=ref): the committed baseline the flat
+// kernel is measured against in BENCH_kernel.json.
+func BenchmarkSuiteKernelRef(b *testing.B) {
+	opts := suiteBenchOpts(1)
+	opts.Kernel = "ref"
+	for i := 0; i < b.N; i++ {
+		if _, err := balign.RunSuite(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteKernelFlat runs the same grid on the compiled flat kernel
+// (-kernel=flat, the default). The output is byte-identical to
+// BenchmarkSuiteKernelRef; only the simulation executor differs. End-to-end
+// time includes trace generation, so the gap understates the kernel's own
+// speedup — BenchmarkSimulateGrid* isolates that.
+func BenchmarkSuiteKernelFlat(b *testing.B) {
+	opts := suiteBenchOpts(1)
+	opts.Kernel = "flat"
+	for i := 0; i < b.N; i++ {
+		if _, err := balign.RunSuite(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// simulateGridFixture records one multi-program trace set once, so the
+// SimulateGrid benchmarks time pure simulation (the executor's run phase)
+// with trace generation and alignment excluded.
+func simulateGridFixture(b *testing.B) (units []struct {
+	prog *ir.Program
+	prof *balign.Profile
+	rec  *sim.Recorded
+}) {
+	b.Helper()
+	for _, name := range []string{"ora", "compress", "espresso", "db++", "doduc", "li"} {
+		w, err := workload.ByName(name, workload.Config{Scale: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pf, _, err := w.CollectProfile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := sim.Record(func(sink trace.Sink) (uint64, error) {
+			return w.Run(w.Prog, pf, sink, nil)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		units = append(units, struct {
+			prog *ir.Program
+			prof *balign.Profile
+			rec  *sim.Recorded
+		}{w.Prog, pf, rec})
+	}
+	return units
+}
+
+// benchSimulateGrid replays every recorded trace through every architecture
+// on the given executor mode.
+func benchSimulateGrid(b *testing.B, mode string) {
+	units := simulateGridFixture(b)
+	archs := predict.AllArchs()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, err := sim.NewExecutor(mode, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, u := range units {
+			for _, arch := range archs {
+				if _, err := x.Simulate(arch, u.prog, u.prof, u.rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		events = x.Stats().Events
+	}
+	b.ReportMetric(float64(events)/float64(len(units)*len(archs)), "events/cell")
+}
+
+// BenchmarkSimulateGridRef times the {program x architecture} simulation
+// grid over pre-recorded traces on the reference simulators.
+func BenchmarkSimulateGridRef(b *testing.B) { benchSimulateGrid(b, "ref") }
+
+// BenchmarkSimulateGridFlat times the same grid on the compiled flat
+// kernel. The ratio to BenchmarkSimulateGridRef is the kernel's simulation
+// speedup.
+func BenchmarkSimulateGridFlat(b *testing.B) { benchSimulateGrid(b, "flat") }
 
 // --- substrate micro-benchmarks ---
 

@@ -12,6 +12,10 @@
 //	-programs s  comma-separated subset of the suite
 //	-parallel n  experiment shards to run concurrently (0 = GOMAXPROCS,
 //	             1 = serial oracle path; output is identical either way)
+//	-kernel s    simulation executor: flat (default, the compiled
+//	             struct-of-arrays kernel) or ref (the interface-dispatched
+//	             reference simulators); output is identical either way
+
 //	-v           log per-shard progress to stderr
 //	-report f    write a JSON run report (timing spans, engine and trace-
 //	             cache stats, counters, the suite summary grid) to file f
@@ -35,6 +39,7 @@ import (
 	"balign/internal/metrics"
 	"balign/internal/obs"
 	"balign/internal/predict"
+	"balign/internal/sim"
 )
 
 func main() {
@@ -52,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	window := fs.Int("window", 0, "TryN window (0 = paper's 15)")
 	programs := fs.String("programs", "", "comma-separated program subset")
 	parallel := fs.Int("parallel", 0, "concurrent experiment shards (0 = GOMAXPROCS, 1 = serial)")
+	kernelMode := fs.String("kernel", "flat", "simulation executor: flat (compiled kernel) or ref (reference simulators)")
 	verbose := fs.Bool("v", false, "log per-shard progress to stderr")
 	report := fs.String("report", "", "write a JSON run report to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
@@ -59,9 +65,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if _, err := sim.ParseKernelMode(*kernelMode); err != nil {
+		return err
+	}
 	cfg := experiments.Config{
 		Scale: *scale, Seed: *seed, Window: *window,
 		Parallelism: *parallel, Verbose: *verbose, Log: stderr,
+		Kernel: *kernelMode,
 	}
 	if *programs != "" {
 		cfg.Programs = strings.Split(*programs, ",")

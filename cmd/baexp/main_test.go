@@ -78,6 +78,13 @@ func TestRunReportSchema(t *testing.T) {
 				Freed  uint64 `json:"freed"`
 				Live   int    `json:"live"`
 			} `json:"trace_cache"`
+			Executor struct {
+				Mode      string `json:"mode"`
+				Cells     uint64 `json:"cells"`
+				Events    uint64 `json:"events"`
+				CompileNs int64  `json:"compile_ns"`
+				RunNs     int64  `json:"run_ns"`
+			} `json:"executor"`
 			Grid []struct {
 				Program string  `json:"Program"`
 				Arch    string  `json:"Arch"`
@@ -126,6 +133,23 @@ func TestRunReportSchema(t *testing.T) {
 	tc := rep.Sections.TraceCache
 	if tc.Misses == 0 || tc.Freed != tc.Misses || tc.Live != 0 {
 		t.Errorf("trace-cache stats malformed: %+v", tc)
+	}
+	// The executor section must report the kernel mode and split simulation
+	// cost into compile and run phases (so cache-hit replays can't be
+	// misattributed to simulation time).
+	ex := rep.Sections.Executor
+	if ex.Mode != "flat" {
+		t.Errorf("executor mode = %q, want flat default", ex.Mode)
+	}
+	if want := uint64(len(predict.AllArchs()) * 3); ex.Cells != want {
+		t.Errorf("executor cells = %d, want %d", ex.Cells, want)
+	}
+	if ex.Events == 0 || ex.CompileNs <= 0 || ex.RunNs <= 0 {
+		t.Errorf("executor phase split malformed: %+v", ex)
+	}
+	if rep.Counters["sim.exec.compile_ns"] == 0 || rep.Counters["sim.exec.run_ns"] == 0 ||
+		rep.Counters["kernel.compiles"] == 0 || rep.Counters["kernel.run_ns"] == 0 {
+		t.Errorf("executor/kernel counters missing: %v", rep.Counters)
 	}
 	// The grid section must be the full {program x arch x algo} matrix.
 	if want := len(predict.AllArchs()) * 3; len(rep.Sections.Grid) != want {

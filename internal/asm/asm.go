@@ -99,6 +99,10 @@ func Assemble(src string) (*ir.Program, error) {
 		}
 
 		fields := splitOperands(text)
+		if len(fields) == 0 {
+			// Nothing but separators (e.g. a stray comma).
+			return nil, errf(line, "empty statement %q", text)
+		}
 		head := fields[0]
 
 		switch head {

@@ -1,0 +1,45 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble throws arbitrary source at the assembler: malformed
+// directives, dangling labels, out-of-range operands, unterminated procs
+// and binary garbage must all return errors (with a line number), never
+// panic. Anything that assembles must be a valid, laid-out program that
+// survives a format/re-assemble round trip.
+func FuzzAssemble(f *testing.F) {
+	f.Add("proc main\n    halt\nendproc\n")
+	f.Add("mem 1024\nentry main\nproc main\n    li r1, 10\nloop:\n    addi r1, r1, -1\n    bnez r1, loop\n    call helper\n    halt\nendproc\nproc helper\n    ret\nendproc\n")
+	f.Add("proc main\n    ijump r2, [a, b]\na:\n    halt\nb:\n    halt\nendproc\n")
+	f.Add("proc main\n    br nowhere\nendproc\n")
+	f.Add("proc main\n    li r99, 1\n    halt\nendproc\n")
+	f.Add("proc unterminated\n    halt\n")
+	f.Add("entry ghost\nproc main\n    halt\nendproc\n")
+	f.Add("mem -5\nproc main\n    halt\nendproc\n")
+	f.Add("\x00\x01\x02 garbage \xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			var aerr *Error
+			// Assembler failures must be diagnosable: either a positioned
+			// asm.Error or a validation error naming the construct.
+			if !strings.Contains(err.Error(), "asm:") && !strings.Contains(err.Error(), "ir:") {
+				t.Fatalf("undiagnosable error type %T: %v", aerr, err)
+			}
+			return
+		}
+		if prog == nil {
+			t.Fatal("nil program with nil error")
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("assembled program fails validation: %v", err)
+		}
+		// Round trip: the formatted program must re-assemble.
+		if _, err := Assemble(prog.Format()); err != nil {
+			t.Fatalf("formatted program does not re-assemble: %v\n%s", err, prog.Format())
+		}
+	})
+}

@@ -57,6 +57,11 @@ type Config struct {
 	MaxCombos int
 	// Programs restricts the suite (nil = all 24 programs).
 	Programs []string
+	// Kernel selects the simulation executor: "flat" (default) runs the
+	// compiled flattened kernel in internal/kernel; "ref" runs the
+	// interface-dispatched reference simulators. Both produce byte-identical
+	// results — the kernel oracle tests enforce this.
+	Kernel string
 	// Parallelism bounds the number of concurrently executing experiment
 	// shards. 0 means runtime.GOMAXPROCS(0); 1 selects the serial oracle
 	// path. Results are byte-identical at every setting.
@@ -295,21 +300,19 @@ func (u *evalUnit) record(key string) (*sim.Recorded, error) {
 	})
 }
 
-// runCell simulates one (architecture, algorithm) cell by replaying the
-// variant's cached trace into a fresh simulator.
-func runCell(u *evalUnit, key string, spec simSpec, cache *sim.TraceCache) (Cell, error) {
+// runCell simulates one (architecture, algorithm) cell by running the
+// executor over the variant's cached trace.
+func runCell(u *evalUnit, key string, spec simSpec, cache *sim.TraceCache, exec *sim.Executor) (Cell, error) {
 	ck := u.cacheKey(key)
 	rec, err := cache.Acquire(ck, func() (*sim.Recorded, error) { return u.record(key) })
 	defer cache.Release(ck)
 	if err != nil {
 		return Cell{}, fmt.Errorf("evaluating %s/%s: %w", u.w.Name, key, err)
 	}
-	s, err := predict.NewSimulator(spec.arch, u.variants[key].prog, u.variants[key].prof)
+	r, err := exec.Simulate(spec.arch, u.variants[key].prog, u.variants[key].prof, rec)
 	if err != nil {
 		return Cell{}, err
 	}
-	rec.Replay(s)
-	r := s.Result()
 	bep := metrics.BEPFromResult(r)
 	return Cell{
 		CPI:          metrics.RelativeCPI(u.origInstrs, rec.Instrs, bep),
@@ -336,6 +339,10 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 	eng := cfg.engine()
 	cache := sim.NewTraceCache()
 	cache.Observe(cfg.Obs)
+	exec, err := sim.NewExecutor(cfg.Kernel, cfg.Obs)
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 1: per-program preparation.
 	units := make([]*evalUnit, len(ws))
@@ -375,7 +382,7 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 		tasks[i] = sim.Task{
 			Label: fmt.Sprintf("%s/%s/%s", u.w.Name, s.spec.arch, s.spec.algo),
 			Run: func(context.Context) error {
-				c, err := runCell(u, s.key, s.spec, cache)
+				c, err := runCell(u, s.key, s.spec, cache, exec)
 				if err != nil {
 					return err
 				}
@@ -414,6 +421,7 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 	// counters still accumulate across grids.
 	cfg.Obs.Attach("engine", st)
 	cfg.Obs.Attach("trace_cache", cst)
+	cfg.Obs.Attach("executor", exec.Stats())
 	return results, nil
 }
 

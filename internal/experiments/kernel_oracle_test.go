@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"testing"
+
+	"balign/internal/core"
+	"balign/internal/kernel"
+	"balign/internal/metrics"
+	"balign/internal/predict"
+	"balign/internal/workload"
+)
+
+// kernelWorkloads are the eight VM-executed workload kernels: the programs
+// whose traces come from real computation rather than a stochastic walk.
+var kernelWorkloads = []string{
+	"alvinn", "ear", "tomcatv", "compress", "eqntott", "espresso", "li", "sc",
+}
+
+// TestKernelMatchesReferenceGrid is the flat-kernel half of the
+// differential oracle: the full {program x architecture x algorithm} grid
+// run on the reference executor (-kernel=ref) must be byte-identical to the
+// same grid on the compiled flat kernel (-kernel=flat), over every workload
+// kernel and every static and dynamic architecture.
+func TestKernelMatchesReferenceGrid(t *testing.T) {
+	archs := predict.AllArchs()
+	run := func(mode string) string {
+		cfg := fastCfg(kernelWorkloads...)
+		cfg.Kernel = mode
+		s, err := Summaries(cfg, archs)
+		if err != nil {
+			t.Fatalf("kernel=%s: %v", mode, err)
+		}
+		if want := len(kernelWorkloads) * len(archs) * len(Algos()); len(s) != want {
+			t.Fatalf("kernel=%s: %d summaries, want %d", mode, len(s), want)
+		}
+		return metrics.EncodeSummaries(s)
+	}
+	ref := run("ref")
+	flat := run("flat")
+	if ref != flat {
+		t.Errorf("flat kernel grid diverges from reference:\n%s", firstDiff(ref, flat))
+	}
+	// The default mode is the flat kernel.
+	if def := run(""); def != flat {
+		t.Errorf("default kernel mode is not flat:\n%s", firstDiff(flat, def))
+	}
+}
+
+// TestKernelPerSiteParityAcrossGrid proves the stronger per-site guarantee
+// behind the byte-identical reports: for every workload kernel, every
+// aligned variant the grid evaluates (orig, Greedy in both chain orders,
+// Try15 per cost model — plus the paper's Cost heuristic), and every
+// architecture, the flat kernel's per-site penalty counts equal the
+// reference simulator's exactly.
+func TestKernelPerSiteParityAcrossGrid(t *testing.T) {
+	archs := append(predict.AllArchs(), predict.ArchPHTLocal)
+	for _, name := range kernelWorkloads {
+		t.Run(name, func(t *testing.T) {
+			cfg := fastCfg(name)
+			w, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+			if err != nil {
+				t.Fatalf("ByName: %v", err)
+			}
+			u, err := newEvalUnit(w, predict.AllArchs(), cfg)
+			if err != nil {
+				t.Fatalf("newEvalUnit: %v", err)
+			}
+			// The grid's variants, plus the Cost heuristic the tables
+			// ablate (not part of evalUnit's fan-out).
+			cm, _ := trynModelFor(predict.ArchFallthrough)
+			cres, err := core.AlignProgram(w.Prog, u.pf, core.Options{Algorithm: core.AlgoCost, Model: cm})
+			if err != nil {
+				t.Fatalf("AlignProgram(cost): %v", err)
+			}
+			u.variants["cost"] = &variant{prog: cres.Prog, prof: cres.Prof}
+			keys := append(append([]string{}, u.keys...), "cost")
+
+			for _, key := range keys {
+				v := u.variants[key]
+				rec, err := u.record(key)
+				if err != nil {
+					t.Fatalf("record %s: %v", key, err)
+				}
+				for _, arch := range archs {
+					k, err := kernel.Compile(v.prog, v.prof, arch, nil)
+					if err != nil {
+						t.Fatalf("%s/%s: Compile: %v", key, arch, err)
+					}
+					if err := k.Run(rec.Events); err != nil {
+						t.Fatalf("%s/%s: Run: %v", key, arch, err)
+					}
+					sim, err := predict.NewSimulator(arch, v.prog, v.prof)
+					if err != nil {
+						t.Fatalf("%s/%s: NewSimulator: %v", key, arch, err)
+					}
+					wantRes, wantCosts := kernel.ReferenceRun(sim, rec.Events)
+					if got := k.Result(); got != wantRes {
+						t.Errorf("%s/%s: Result mismatch:\n kernel    %+v\n reference %+v",
+							key, arch, got, wantRes)
+					}
+					gotCosts := k.SiteCosts()
+					if len(gotCosts) != len(wantCosts) {
+						t.Errorf("%s/%s: active site count: kernel %d, reference %d",
+							key, arch, len(gotCosts), len(wantCosts))
+					}
+					for pc, want := range wantCosts {
+						if got := gotCosts[pc]; got != want {
+							t.Errorf("%s/%s: site %#x: kernel %+v, reference %+v",
+								key, arch, pc, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}

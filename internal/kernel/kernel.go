@@ -1,0 +1,391 @@
+// Package kernel is the flattened branch-event simulation kernel: the
+// compiled fast path of the evaluation harness. The reference path in
+// internal/predict dispatches every break event through a trace.Sink
+// interface into a simulator that calls an interface-typed direction
+// predictor and, for the LIKELY architecture, a map-backed hint table. That
+// is flexible but costs two or three dynamic dispatches plus a 48-byte
+// event copy per event, millions of times per evaluation cell.
+//
+// Compile precompiles one (program, architecture) pair into struct-of-arrays
+// form:
+//
+//   - a dense PC-indexed site table (one int32 per instruction slot) mapping
+//     event addresses to compact site ids with a single bounds check — no
+//     map lookups;
+//   - parallel per-site descriptor slices (kind, LIKELY hint bit) and
+//     per-site cost accumulators (events, misfetches, mispredicts);
+//   - devirtualized predictor state as flat slices: PHT/gshare/local 2-bit
+//     counter arrays, BTB lines with their LRU ticks, and a fixed-size
+//     return stack.
+//
+// Run then consumes trace events in batches with no interface dispatch in
+// the inner loop. The kernel is held to exact parity with the reference
+// simulators — identical predict.Result tallies and identical per-site
+// penalty counts on every event stream — by the differential oracles in
+// this package and in internal/experiments.
+package kernel
+
+import (
+	"fmt"
+
+	"balign/internal/ir"
+	"balign/internal/obs"
+	"balign/internal/predict"
+	"balign/internal/profile"
+)
+
+// class is the devirtualized architecture discriminant: the one switch the
+// inner loop keys on instead of interface dispatch.
+type class uint8
+
+const (
+	classFallthrough class = iota
+	classBTFNT
+	classLikely
+	classPHTDirect
+	classPHTGshare
+	classPHTLocal
+	classBTB
+)
+
+// Site describes one static control-transfer instruction of the compiled
+// program: the row of the descriptor table a dynamic event resolves to.
+type Site struct {
+	// PC is the instruction's address.
+	PC uint64
+	// Kind is the static break kind (CondBr, Br, Call, IJump, Ret).
+	Kind ir.Kind
+	// Proc and Block locate the site in the compiled program.
+	Proc  int32
+	Block ir.BlockID
+}
+
+// SiteCost accumulates one site's dynamic penalty counts.
+type SiteCost struct {
+	// Events is the number of break events the site produced.
+	Events uint64
+	// Misfetches and Mispredicts count the penalty events charged to the
+	// site under the paper's rules.
+	Misfetches  uint64
+	Mispredicts uint64
+}
+
+// Cycles returns the site's branch execution penalty in cycles under the
+// given penalty weights.
+func (c SiteCost) Cycles(misfetchPenalty, mispredictPenalty uint64) uint64 {
+	return c.Misfetches*misfetchPenalty + c.Mispredicts*mispredictPenalty
+}
+
+// btbLine is one flattened branch-target-buffer line. Semantics replicate
+// predict.BTBEntry exactly, including the global-tick LRU.
+type btbLine struct {
+	tag     uint64
+	target  uint64
+	lru     uint64
+	counter predict.Counter2
+	valid   bool
+}
+
+// Kernel is one compiled (program, architecture) simulation. Compile it
+// once, feed it event batches with Run, read totals with Result and the
+// per-site breakdown with SiteCosts. A Kernel is not safe for concurrent
+// use; Reset rewinds it for another replay.
+type Kernel struct {
+	arch  predict.ArchID
+	class class
+	obs   *obs.Recorder
+
+	// Program tables (struct-of-arrays, read-only after Compile). siteOf
+	// packs each instruction slot's site id and static kind into one int32
+	// (id<<siteShift | kind), so the inner loop resolves and validates an
+	// event with a single load; empty slots hold -1.
+	base       uint64
+	siteOf     []int32
+	sites      []Site // descriptor rows in (proc, block, instr) order
+	siteLikely []bool // LIKELY hint bit per site (classLikely only)
+
+	// Per-site cost accumulators: one struct per site so an event's three
+	// counter bumps share a cache line.
+	costs []SiteCost
+
+	// Direction predictor state (PHT classes).
+	counters  []predict.Counter2
+	mask      uint64
+	ghr       uint64
+	histories []uint16
+	histMask  uint16
+	idxMask   uint64
+
+	// BTB state (classBTB).
+	btbSets int
+	btbWays int
+	btb     []btbLine
+	btbTick uint64
+
+	// Return stack (all classes), replicating predict.ReturnStack.
+	ras      [predict.ReturnStackDepth]uint64
+	rasTop   int
+	rasDepth int
+
+	res predict.Result
+}
+
+// siteShift is the packed-slot split: the low bits hold the site's static
+// ir.Kind, the high bits its site id.
+const siteShift = 3
+
+// classFor maps an architecture id to its devirtualized class.
+func classFor(arch predict.ArchID) (class, error) {
+	switch arch {
+	case predict.ArchFallthrough:
+		return classFallthrough, nil
+	case predict.ArchBTFNT:
+		return classBTFNT, nil
+	case predict.ArchLikely:
+		return classLikely, nil
+	case predict.ArchPHTDirect:
+		return classPHTDirect, nil
+	case predict.ArchPHTGshare:
+		return classPHTGshare, nil
+	case predict.ArchPHTLocal:
+		return classPHTLocal, nil
+	case predict.ArchBTB64, predict.ArchBTB256:
+		return classBTB, nil
+	default:
+		return 0, fmt.Errorf("kernel: unknown architecture %q", arch)
+	}
+}
+
+// Compile flattens prog for the named architecture. The LIKELY architecture
+// derives its per-site hint bits from prof (required, as in
+// predict.NewSimulator); the other architectures ignore prof. rec receives
+// compile-phase telemetry (kernel.compiles, kernel.compile_ns,
+// kernel.sites) and is retained for run-phase counters; nil disables
+// telemetry at zero cost.
+//
+// Addresses must have been assigned (ir.Program.AssignAddresses): the dense
+// site table is keyed by instruction slot, and duplicate site addresses are
+// reported as errors.
+func Compile(prog *ir.Program, prof *profile.Profile, arch predict.ArchID, rec *obs.Recorder) (*Kernel, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("kernel: nil program")
+	}
+	cls, err := classFor(arch)
+	if err != nil {
+		return nil, err
+	}
+	if cls == classLikely && prof == nil {
+		return nil, fmt.Errorf("kernel: LIKELY architecture requires a profile")
+	}
+	start := rec.Now()
+
+	k := &Kernel{arch: arch, class: cls, obs: rec}
+
+	// Address range of the laid-out program.
+	lo, hi := addrRange(prog)
+	k.base = lo
+	slots := uint64(0)
+	if hi > lo {
+		slots = (hi - lo) / ir.InstrBytes
+	}
+	k.siteOf = make([]int32, slots)
+	for i := range k.siteOf {
+		k.siteOf[i] = -1
+	}
+
+	// Descriptor tables: every control-transfer instruction is one site.
+	for pi, p := range prog.Procs {
+		for bi, b := range p.Blocks {
+			for ii := range b.Instrs {
+				kind := b.Instrs[ii].Kind()
+				switch kind {
+				case ir.CondBr, ir.Br, ir.Call, ir.IJump, ir.Ret:
+				default:
+					continue
+				}
+				pc := b.Addr + uint64(ii)*ir.InstrBytes
+				slot := (pc - lo) / ir.InstrBytes
+				if pc < lo || slot >= uint64(len(k.siteOf)) {
+					return nil, fmt.Errorf("kernel: site pc %#x outside program range [%#x, %#x)", pc, lo, hi)
+				}
+				if k.siteOf[slot] != -1 {
+					return nil, fmt.Errorf("kernel: duplicate site address %#x (addresses not assigned?)", pc)
+				}
+				k.siteOf[slot] = int32(len(k.sites))<<siteShift | int32(kind)
+				k.sites = append(k.sites, Site{PC: pc, Kind: kind, Proc: int32(pi), Block: ir.BlockID(bi)})
+			}
+		}
+	}
+
+	n := len(k.sites)
+	k.costs = make([]SiteCost, n)
+
+	// Architecture state.
+	switch cls {
+	case classLikely:
+		k.siteLikely = make([]bool, n)
+		k.compileLikely(prog, prof)
+	case classPHTDirect, classPHTGshare:
+		k.counters = newCounters(4096)
+		k.mask = 4095
+	case classPHTLocal:
+		k.histories = make([]uint16, 1024)
+		k.counters = newCounters(4096)
+		k.histMask = 4095
+		k.idxMask = 1023
+	case classBTB:
+		entries, ways := 64, 2
+		if arch == predict.ArchBTB256 {
+			entries, ways = 256, 4
+		}
+		k.btbSets = entries / ways
+		k.btbWays = ways
+		k.btb = make([]btbLine, entries)
+	}
+
+	rec.AddSince("kernel.compile_ns", start)
+	rec.Add("kernel.compiles", 1)
+	rec.Add("kernel.sites", int64(n))
+	return k, nil
+}
+
+// compileLikely sets the per-site LIKELY hint bits from the profile, with
+// exactly predict.NewLikely's rule: a conditional site present in the
+// profile with at least one execution predicts its majority direction;
+// every other site predicts not taken.
+func (k *Kernel) compileLikely(prog *ir.Program, prof *profile.Profile) {
+	for _, p := range prog.Procs {
+		pp, ok := prof.Procs[p.Name]
+		if !ok {
+			continue
+		}
+		for id, b := range p.Blocks {
+			term, ok := b.Terminator()
+			if !ok || term.Kind() != ir.CondBr {
+				continue
+			}
+			c := pp.Branches[ir.BlockID(id)]
+			if c.Total() == 0 {
+				continue
+			}
+			pc := b.TermAddr()
+			if si, ok := k.lookup(pc); ok {
+				k.siteLikely[si] = c.Taken > c.Fall
+			}
+		}
+	}
+}
+
+// newCounters returns n weakly-not-taken 2-bit counters.
+func newCounters(n int) []predict.Counter2 {
+	c := make([]predict.Counter2, n)
+	for i := range c {
+		c[i] = predict.Counter2Init
+	}
+	return c
+}
+
+// addrRange returns the [lo, hi) address range spanned by prog's
+// instructions.
+func addrRange(prog *ir.Program) (lo, hi uint64) {
+	first := true
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			if len(b.Instrs) == 0 {
+				continue
+			}
+			end := b.Addr + uint64(len(b.Instrs))*ir.InstrBytes
+			if first || b.Addr < lo {
+				lo = b.Addr
+			}
+			if first || end > hi {
+				hi = end
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}
+
+// lookup resolves a PC to its site id.
+func (k *Kernel) lookup(pc uint64) (int32, bool) {
+	if pc < k.base || (pc-k.base)%ir.InstrBytes != 0 {
+		return 0, false
+	}
+	slot := (pc - k.base) / ir.InstrBytes
+	if slot >= uint64(len(k.siteOf)) {
+		return 0, false
+	}
+	packed := k.siteOf[slot]
+	if packed < 0 {
+		return 0, false
+	}
+	return packed >> siteShift, true
+}
+
+// Arch returns the compiled architecture id.
+func (k *Kernel) Arch() predict.ArchID { return k.arch }
+
+// NumSites returns the number of compiled control-transfer sites.
+func (k *Kernel) NumSites() int { return len(k.sites) }
+
+// Sites returns the site descriptor table in compilation order. The slice
+// is the kernel's own backing store; treat it as read-only.
+func (k *Kernel) Sites() []Site { return k.sites }
+
+// Result returns the accumulated simulation tallies, field-for-field
+// comparable with the reference simulator's predict.Result.
+func (k *Kernel) Result() predict.Result { return k.res }
+
+// SiteCost returns the accumulated penalty counts of site i.
+func (k *Kernel) SiteCost(i int) SiteCost { return k.costs[i] }
+
+// SiteCosts returns the per-site penalty counts keyed by site PC, for every
+// site that produced at least one event — the same key set a reference
+// per-PC recorder observes on the same trace.
+func (k *Kernel) SiteCosts() map[uint64]SiteCost {
+	out := make(map[uint64]SiteCost)
+	for i := range k.sites {
+		if k.costs[i].Events == 0 {
+			continue
+		}
+		out[k.sites[i].PC] = k.costs[i]
+	}
+	return out
+}
+
+// SiteCycles returns each active site's branch execution penalty in cycles
+// under the paper's default penalties, keyed by site PC. Feed it to
+// metrics.SiteQuantiles for per-site cost quantiles.
+func (k *Kernel) SiteCycles() map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	for i := range k.sites {
+		if k.costs[i].Events == 0 {
+			continue
+		}
+		out[k.sites[i].PC] = k.costs[i].Cycles(predict.DefaultMisfetchPenalty, predict.DefaultMispredictPenalty)
+	}
+	return out
+}
+
+// Reset rewinds the kernel's dynamic state — predictor tables, return
+// stack, accumulators — keeping the compiled program tables (for LIKELY,
+// the static hint bits survive, as in the reference simulator).
+func (k *Kernel) Reset() {
+	k.res = predict.Result{}
+	for i := range k.costs {
+		k.costs[i] = SiteCost{}
+	}
+	for i := range k.counters {
+		k.counters[i] = predict.Counter2Init
+	}
+	for i := range k.histories {
+		k.histories[i] = 0
+	}
+	k.ghr = 0
+	for i := range k.btb {
+		k.btb[i] = btbLine{}
+	}
+	k.btbTick = 0
+	k.rasTop, k.rasDepth = 0, 0
+}

@@ -1,0 +1,59 @@
+package kernel
+
+import (
+	"balign/internal/predict"
+	"balign/internal/trace"
+)
+
+// SiteRecorder wraps a reference simulator and attributes every penalty it
+// charges to the event's site PC, by differencing the simulator's Result
+// around each event. It is the reference half of the per-site parity
+// oracle: on the same event stream, a flat Kernel's SiteCosts must equal a
+// SiteRecorder's Costs exactly.
+type SiteRecorder struct {
+	// Sim is the wrapped reference simulator.
+	Sim predict.Simulator
+	// Costs accumulates per-site penalty counts keyed by event PC.
+	Costs map[uint64]SiteCost
+
+	prev predict.Result
+}
+
+// NewSiteRecorder wraps sim; sim must be freshly reset.
+func NewSiteRecorder(sim predict.Simulator) *SiteRecorder {
+	return &SiteRecorder{Sim: sim, Costs: make(map[uint64]SiteCost), prev: sim.Result()}
+}
+
+// Event implements trace.Sink.
+func (r *SiteRecorder) Event(e trace.Event) {
+	r.Sim.Event(e)
+	res := r.Sim.Result()
+	c := r.Costs[e.PC]
+	c.Events++
+	c.Misfetches += res.Misfetches - r.prev.Misfetches
+	c.Mispredicts += res.Mispredicts - r.prev.Mispredicts
+	r.Costs[e.PC] = c
+	r.prev = res
+}
+
+// Cycles returns each recorded site's penalty in cycles under the paper's
+// default penalties, keyed by PC — the reference counterpart of
+// Kernel.SiteCycles.
+func (r *SiteRecorder) Cycles() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(r.Costs))
+	for pc, c := range r.Costs {
+		out[pc] = c.Cycles(predict.DefaultMisfetchPenalty, predict.DefaultMispredictPenalty)
+	}
+	return out
+}
+
+// ReferenceRun replays events through a fresh reference simulator for arch,
+// returning its final tallies and per-site costs. It is the slow oracle the
+// differential tests compare Kernel runs against.
+func ReferenceRun(sim predict.Simulator, events []trace.Event) (predict.Result, map[uint64]SiteCost) {
+	rec := NewSiteRecorder(sim)
+	for i := range events {
+		rec.Event(events[i])
+	}
+	return sim.Result(), rec.Costs
+}

@@ -1,0 +1,315 @@
+package kernel
+
+import (
+	"fmt"
+
+	"balign/internal/ir"
+	"balign/internal/trace"
+)
+
+// Run consumes one batch of break events, accumulating totals and per-site
+// penalties. It may be called repeatedly; predictor state carries across
+// batches exactly as a reference simulator's would across Event calls.
+//
+// Every event must resolve to a compiled site of the matching kind: an
+// event whose PC lies outside the program, hits a non-break instruction
+// slot, or disagrees with the site's static kind aborts the batch with an
+// error (the kernel is compiled for one exact program layout, so any such
+// event is a trace/program mismatch, not workload behaviour).
+func (k *Kernel) Run(events []trace.Event) error {
+	start := k.obs.Now()
+	var err error
+	if k.class == classBTB {
+		err = k.runBTB(events)
+	} else {
+		err = k.runDirection(events)
+	}
+	k.obs.AddSince("kernel.run_ns", start)
+	k.obs.Add("kernel.runs", 1)
+	k.obs.Add("kernel.events", int64(len(events)))
+	return err
+}
+
+// siteErr diagnoses a failed packed-slot resolution: the cold path behind
+// the inner loops' single-load site check.
+func (k *Kernel) siteErr(ev *trace.Event) error {
+	si, ok := k.lookup(ev.PC)
+	if !ok {
+		return fmt.Errorf("kernel: event pc %#x (kind %v) does not hit a compiled control-transfer site", ev.PC, ev.Kind)
+	}
+	return fmt.Errorf("kernel: event kind %v at pc %#x does not match compiled site kind %v",
+		ev.Kind, ev.PC, k.sites[si].Kind)
+}
+
+// runDirection is the inner loop for every architecture driven by a
+// direction predictor plus the return stack (the predict.StaticSim
+// charging rules). The loop resolves each event's site with one load from
+// the packed slot table, accumulates totals in locals, and keys the
+// predictor on the compile-time class — a predicted branch on a
+// loop-invariant discriminant, not an interface call.
+func (k *Kernel) runDirection(events []trace.Event) error {
+	var (
+		base     = k.base
+		tbl      = k.siteOf
+		costs    = k.costs
+		cls      = k.class
+		res      = k.res
+		ghr      = k.ghr
+		counters = k.counters
+		mask     = k.mask
+		likely   = k.siteLikely
+		hists    = k.histories
+		histMask = k.histMask
+		idxMask  = k.idxMask
+		retErr   error
+	)
+	for i := range events {
+		ev := &events[i]
+		d := ev.PC - base
+		slot := d / ir.InstrBytes
+		packed := int32(-1)
+		if d%ir.InstrBytes == 0 && slot < uint64(len(tbl)) {
+			packed = tbl[slot]
+		}
+		kind := ir.Kind(ev.Kind)
+		if packed < 0 || ir.Kind(packed&(1<<siteShift-1)) != kind {
+			retErr = k.siteErr(ev)
+			break
+		}
+		si := packed >> siteShift
+		res.Events++
+		res.ByKind[kind&7]++
+		c := &costs[si]
+		c.Events++
+		switch kind {
+		case ir.CondBr:
+			res.Cond++
+			taken := ev.Taken
+			if taken {
+				res.CondTaken++
+			}
+			var pred bool
+			switch cls {
+			case classFallthrough:
+				// pred = false
+			case classBTFNT:
+				pred = ev.TakenTarget <= ev.PC
+			case classLikely:
+				pred = likely[si]
+			case classPHTDirect:
+				idx := (ev.PC / ir.InstrBytes) & mask
+				pred = counters[idx].Taken()
+				counters[idx] = counters[idx].Update(taken)
+			case classPHTGshare:
+				idx := ((ev.PC / ir.InstrBytes) ^ ghr) & mask
+				pred = counters[idx].Taken()
+				counters[idx] = counters[idx].Update(taken)
+				var bit uint64
+				if taken {
+					bit = 1
+				}
+				ghr = ((ghr << 1) | bit) & mask
+			case classPHTLocal:
+				lslot := (ev.PC / ir.InstrBytes) & idxMask
+				h := hists[lslot] & histMask
+				pred = counters[h].Taken()
+				counters[h] = counters[h].Update(taken)
+				var bit uint16
+				if taken {
+					bit = 1
+				}
+				hists[lslot] = ((hists[lslot] << 1) | bit) & histMask
+			}
+			if pred == taken {
+				res.CondCorrect++
+				if taken {
+					res.Misfetches++
+					c.Misfetches++
+				}
+			} else {
+				res.Mispredicts++
+				c.Mispredicts++
+			}
+		case ir.Br:
+			res.Misfetches++
+			c.Misfetches++
+		case ir.Call:
+			res.Misfetches++
+			c.Misfetches++
+			k.rasPush(ev.Fall)
+		case ir.IJump:
+			res.Mispredicts++
+			c.Mispredicts++
+		case ir.Ret:
+			res.Rets++
+			pred, ok := k.rasPop()
+			if ok && pred == ev.Target {
+				res.RetsCorrect++
+			} else {
+				res.Mispredicts++
+				c.Mispredicts++
+			}
+		}
+	}
+	k.res = res
+	k.ghr = ghr
+	return retErr
+}
+
+// runBTB is the inner loop for the branch-target-buffer architectures (the
+// predict.BTBSim charging rules), with the BTB flattened into one line
+// slice and the same global-tick LRU.
+func (k *Kernel) runBTB(events []trace.Event) error {
+	var (
+		base   = k.base
+		tbl    = k.siteOf
+		costs  = k.costs
+		res    = k.res
+		retErr error
+	)
+	for i := range events {
+		ev := &events[i]
+		d := ev.PC - base
+		slot := d / ir.InstrBytes
+		packed := int32(-1)
+		if d%ir.InstrBytes == 0 && slot < uint64(len(tbl)) {
+			packed = tbl[slot]
+		}
+		kind := ir.Kind(ev.Kind)
+		if packed < 0 || ir.Kind(packed&(1<<siteShift-1)) != kind {
+			retErr = k.siteErr(ev)
+			break
+		}
+		si := packed >> siteShift
+		res.Events++
+		res.ByKind[kind&7]++
+		c := &costs[si]
+		c.Events++
+		switch kind {
+		case ir.CondBr:
+			res.Cond++
+			if ev.Taken {
+				res.CondTaken++
+			}
+			li := k.btbLookup(ev.PC)
+			if li >= 0 {
+				e := &k.btb[li]
+				if e.counter.Taken() == ev.Taken {
+					res.CondCorrect++
+					// Taken and correctly predicted: the stored target of
+					// a direct conditional is always right, so no penalty.
+				} else {
+					res.Mispredicts++
+					c.Mispredicts++
+				}
+				e.counter = e.counter.Update(ev.Taken)
+				if ev.Taken {
+					e.target = ev.Target
+				}
+			} else if ev.Taken {
+				res.Mispredicts++
+				c.Mispredicts++
+				k.btbInsert(ev.PC, ev.Target)
+			} else {
+				res.CondCorrect++
+			}
+		case ir.Br:
+			if k.btbLookup(ev.PC) < 0 {
+				res.Misfetches++
+				c.Misfetches++
+				k.btbInsert(ev.PC, ev.Target)
+			}
+		case ir.Call:
+			if k.btbLookup(ev.PC) < 0 {
+				res.Misfetches++
+				c.Misfetches++
+				k.btbInsert(ev.PC, ev.Target)
+			}
+			k.rasPush(ev.Fall)
+		case ir.IJump:
+			li := k.btbLookup(ev.PC)
+			if li >= 0 && k.btb[li].target == ev.Target {
+				// hit with the right target: free
+			} else {
+				res.Mispredicts++
+				c.Mispredicts++
+				if li >= 0 {
+					e := &k.btb[li]
+					e.counter = e.counter.Update(true)
+					e.target = ev.Target
+				} else {
+					k.btbInsert(ev.PC, ev.Target)
+				}
+			}
+		case ir.Ret:
+			res.Rets++
+			pred, ok := k.rasPop()
+			if ok && pred == ev.Target {
+				res.RetsCorrect++
+			} else {
+				res.Mispredicts++
+				c.Mispredicts++
+			}
+		}
+	}
+	k.res = res
+	return retErr
+}
+
+// btbLookup returns the line index holding pc, or -1 on miss. A hit
+// refreshes the line's LRU tick, exactly as predict.BTB.Lookup does.
+func (k *Kernel) btbLookup(pc uint64) int {
+	k.btbTick++
+	set := int((pc / ir.InstrBytes) % uint64(k.btbSets))
+	base := set * k.btbWays
+	for w := 0; w < k.btbWays; w++ {
+		e := &k.btb[base+w]
+		if e.valid && e.tag == pc {
+			e.lru = k.btbTick
+			return base + w
+		}
+	}
+	return -1
+}
+
+// btbInsert installs a taken branch, evicting the set's LRU way with the
+// same victim scan order as predict.BTB.Insert (first invalid way wins,
+// then lowest tick).
+func (k *Kernel) btbInsert(pc, target uint64) {
+	k.btbTick++
+	set := int((pc / ir.InstrBytes) % uint64(k.btbSets))
+	base := set * k.btbWays
+	victim := base
+	for w := 0; w < k.btbWays; w++ {
+		e := &k.btb[base+w]
+		if !e.valid {
+			victim = base + w
+			break
+		}
+		if e.lru < k.btb[victim].lru {
+			victim = base + w
+		}
+	}
+	k.btb[victim] = btbLine{valid: true, tag: pc, target: target, counter: 3, lru: k.btbTick}
+}
+
+// rasPush records a return address, wrapping past the fixed capacity as
+// hardware return stacks (and predict.ReturnStack) do.
+func (k *Kernel) rasPush(addr uint64) {
+	k.ras[k.rasTop] = addr
+	k.rasTop = (k.rasTop + 1) % len(k.ras)
+	if k.rasDepth < len(k.ras) {
+		k.rasDepth++
+	}
+}
+
+// rasPop returns the predicted return address; ok is false on an empty
+// stack.
+func (k *Kernel) rasPop() (uint64, bool) {
+	if k.rasDepth == 0 {
+		return 0, false
+	}
+	k.rasTop = (k.rasTop - 1 + len(k.ras)) % len(k.ras)
+	k.rasDepth--
+	return k.ras[k.rasTop], true
+}

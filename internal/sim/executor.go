@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"balign/internal/ir"
+	"balign/internal/kernel"
+	"balign/internal/obs"
+	"balign/internal/predict"
+	"balign/internal/profile"
+)
+
+// KernelMode selects how a grid cell's simulation executes.
+type KernelMode string
+
+const (
+	// KernelFlat runs the compiled flattened kernel (internal/kernel): the
+	// default fast path.
+	KernelFlat KernelMode = "flat"
+	// KernelRef runs the interface-dispatched reference simulators in
+	// internal/predict: the slow oracle path the kernel is differentially
+	// tested against.
+	KernelRef KernelMode = "ref"
+)
+
+// ParseKernelMode parses a -kernel flag value; the empty string selects the
+// flat default.
+func ParseKernelMode(s string) (KernelMode, error) {
+	switch s {
+	case "", string(KernelFlat):
+		return KernelFlat, nil
+	case string(KernelRef):
+		return KernelRef, nil
+	default:
+		return "", fmt.Errorf("sim: unknown kernel mode %q (known: flat, ref)", s)
+	}
+}
+
+// ExecStats splits an executor's work into its compile and run phases. The
+// JSON form is the run report's "executor" section. Keeping the phases
+// separate is what lets cache-hit replays be attributed correctly: a cell
+// that replays an already-recorded trace still pays a per-cell compile
+// (simulator construction or kernel compilation), and lumping that into run
+// time would overstate simulation cost.
+type ExecStats struct {
+	// Mode is the executor's kernel mode (flat or ref).
+	Mode string `json:"mode"`
+	// Cells is the number of Simulate calls completed.
+	Cells uint64 `json:"cells"`
+	// Events is the total number of break events simulated.
+	Events uint64 `json:"events"`
+	// CompileNs is the summed simulator-construction / kernel-compilation
+	// time; RunNs the summed event-consumption time.
+	CompileNs int64 `json:"compile_ns"`
+	RunNs     int64 `json:"run_ns"`
+}
+
+// Executor runs one evaluation cell's simulation — one architecture over
+// one recorded trace — in either kernel mode. It is safe for concurrent
+// use; the engine's shards share one executor so the compile/run split
+// aggregates across the grid.
+type Executor struct {
+	mode KernelMode
+	obs  *obs.Recorder
+
+	cells     atomic.Uint64
+	events    atomic.Uint64
+	compileNs atomic.Int64
+	runNs     atomic.Int64
+}
+
+// NewExecutor returns an executor in the given mode ("" = flat). rec
+// receives the sim.exec.* phase counters and, in flat mode, the kernel.*
+// compile/run counters; nil disables telemetry.
+func NewExecutor(mode string, rec *obs.Recorder) (*Executor, error) {
+	m, err := ParseKernelMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{mode: m, obs: rec}, nil
+}
+
+// Mode returns the resolved kernel mode.
+func (x *Executor) Mode() KernelMode { return x.mode }
+
+// Stats returns a snapshot of the executor's phase-split counters.
+func (x *Executor) Stats() ExecStats {
+	return ExecStats{
+		Mode:      string(x.mode),
+		Cells:     x.cells.Load(),
+		Events:    x.events.Load(),
+		CompileNs: x.compileNs.Load(),
+		RunNs:     x.runNs.Load(),
+	}
+}
+
+// Simulate runs arch over rec's events for the given program variant and
+// returns the exact simulation tallies. Both modes produce identical
+// results on every input — the differential oracles in internal/kernel and
+// internal/experiments enforce this bit-for-bit.
+func (x *Executor) Simulate(arch predict.ArchID, prog *ir.Program, prof *profile.Profile, rec *Recorded) (predict.Result, error) {
+	cstart := time.Now()
+	var res predict.Result
+	switch x.mode {
+	case KernelRef:
+		s, err := predict.NewSimulator(arch, prog, prof)
+		if err != nil {
+			return predict.Result{}, err
+		}
+		x.noteCompile(cstart)
+		rstart := time.Now()
+		rec.Replay(s)
+		x.noteRun(rstart, len(rec.Events))
+		res = s.Result()
+	default:
+		k, err := kernel.Compile(prog, prof, arch, x.obs)
+		if err != nil {
+			return predict.Result{}, err
+		}
+		x.noteCompile(cstart)
+		rstart := time.Now()
+		if err := k.Run(rec.Events); err != nil {
+			return predict.Result{}, err
+		}
+		x.noteRun(rstart, len(rec.Events))
+		res = k.Result()
+	}
+	x.cells.Add(1)
+	return res, nil
+}
+
+func (x *Executor) noteCompile(start time.Time) {
+	d := int64(time.Since(start))
+	x.compileNs.Add(d)
+	x.obs.Add("sim.exec.compile_ns", d)
+}
+
+func (x *Executor) noteRun(start time.Time, events int) {
+	d := int64(time.Since(start))
+	x.runNs.Add(d)
+	x.events.Add(uint64(events))
+	x.obs.Add("sim.exec.run_ns", d)
+	x.obs.Add("sim.exec.events", int64(events))
+}

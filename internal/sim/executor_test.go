@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+
+	"balign/internal/obs"
+	"balign/internal/predict"
+	"balign/internal/trace"
+	"balign/internal/workload"
+)
+
+func TestParseKernelMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want KernelMode
+		err  bool
+	}{
+		{"", KernelFlat, false},
+		{"flat", KernelFlat, false},
+		{"ref", KernelRef, false},
+		{"fast", "", true},
+		{"FLAT", "", true},
+	}
+	for _, c := range cases {
+		got, err := ParseKernelMode(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseKernelMode(%q) error = %v, want error %v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseKernelMode(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if _, err := NewExecutor("bogus", nil); err == nil {
+		t.Error("NewExecutor with bogus mode succeeded")
+	}
+}
+
+// TestExecutorModesAgree runs the same cell through both executors and
+// requires identical results, then checks the phase-split stats account for
+// the work: each mode's compile and run phases must both be populated so
+// cache-hit replays are never misattributed to simulation cost.
+func TestExecutorModesAgree(t *testing.T) {
+	w, err := workload.ByName("eqntott", workload.Config{Scale: 0.05})
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	prof, _, err := w.CollectProfile()
+	if err != nil {
+		t.Fatalf("CollectProfile: %v", err)
+	}
+	rec, err := Record(func(sink trace.Sink) (uint64, error) {
+		return w.Run(w.Prog, prof, sink, nil)
+	})
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+
+	archs := append(predict.AllArchs(), predict.ArchPHTLocal)
+	results := map[KernelMode][]predict.Result{}
+	for _, mode := range []KernelMode{KernelRef, KernelFlat} {
+		x, err := NewExecutor(string(mode), obs.New("test"))
+		if err != nil {
+			t.Fatalf("NewExecutor(%s): %v", mode, err)
+		}
+		for _, arch := range archs {
+			r, err := x.Simulate(arch, w.Prog, prof, rec)
+			if err != nil {
+				t.Fatalf("%s/%s: Simulate: %v", mode, arch, err)
+			}
+			results[mode] = append(results[mode], r)
+		}
+		st := x.Stats()
+		if st.Mode != string(mode) {
+			t.Errorf("%s: Stats.Mode = %q", mode, st.Mode)
+		}
+		if st.Cells != uint64(len(archs)) {
+			t.Errorf("%s: Stats.Cells = %d, want %d", mode, st.Cells, len(archs))
+		}
+		if want := uint64(len(archs)) * uint64(len(rec.Events)); st.Events != want {
+			t.Errorf("%s: Stats.Events = %d, want %d", mode, st.Events, want)
+		}
+		if st.CompileNs <= 0 || st.RunNs <= 0 {
+			t.Errorf("%s: phase split not populated: compile %dns, run %dns", mode, st.CompileNs, st.RunNs)
+		}
+	}
+	for i, arch := range archs {
+		if results[KernelRef][i] != results[KernelFlat][i] {
+			t.Errorf("%s: ref and flat executors disagree:\n ref  %+v\n flat %+v",
+				arch, results[KernelRef][i], results[KernelFlat][i])
+		}
+	}
+}
+
+// TestExecutorSimulateErrors verifies both modes surface construction
+// failures (LIKELY without a profile) as errors, not panics.
+func TestExecutorSimulateErrors(t *testing.T) {
+	w, err := workload.ByName("eqntott", workload.Config{Scale: 0.02})
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	rec, err := Record(func(sink trace.Sink) (uint64, error) {
+		return w.Run(w.Prog, nil, sink, nil)
+	})
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	for _, mode := range []KernelMode{KernelRef, KernelFlat} {
+		x, err := NewExecutor(string(mode), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := x.Simulate(predict.ArchLikely, w.Prog, nil, rec); err == nil {
+			t.Errorf("%s: Simulate(likely, nil profile) succeeded", mode)
+		}
+	}
+}

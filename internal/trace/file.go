@@ -83,39 +83,100 @@ func (fw *FileWriter) Flush() error {
 	return fw.w.Flush()
 }
 
-// ReadFile replays a trace file, invoking fn for every event in order. It
-// stops early if fn returns an error.
-func ReadFile(r io.Reader, fn func(Event) error) error {
-	br := bufio.NewReaderSize(r, 1<<16)
-	head := make([]byte, len(fileMagic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return fmt.Errorf("trace: reading header: %w", err)
+// minEventBytes is the smallest possible encoded event: a one-byte pc
+// delta, the meta byte, and a one-byte target delta. It bounds how many
+// events any input of a known size can possibly contain, which is what
+// ReadAll's pre-allocation trusts instead of the input's own claims.
+const minEventBytes = 3
+
+// offsetReader tracks the absolute byte offset of a buffered stream so
+// decode errors can name the offending position.
+type offsetReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (r *offsetReader) readByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.off++
 	}
+	return b, err
+}
+
+// readVarint decodes one zig-zag varint with binary.ReadVarint's exact
+// semantics (io.EOF only when no byte was consumed, io.ErrUnexpectedEOF
+// mid-value, overflow after more than 10 bytes), advancing the offset by
+// the bytes consumed.
+func (r *offsetReader) readVarint() (int64, error) {
+	var ux uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			if i > 0 && errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		r.off++
+		if i == binary.MaxVarintLen64 {
+			return 0, errors.New("varint overflows a 64-bit integer")
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, errors.New("varint overflows a 64-bit integer")
+			}
+			ux |= uint64(b) << s
+			x := int64(ux >> 1)
+			if ux&1 != 0 {
+				x = ^x
+			}
+			return x, nil
+		}
+		ux |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// ReadFile replays a trace file, invoking fn for every event in order. It
+// stops early if fn returns an error. Decode errors carry the byte offset
+// of the field that failed.
+func ReadFile(r io.Reader, fn func(Event) error) error {
+	or := &offsetReader{br: bufio.NewReaderSize(r, 1<<16)}
+	head := make([]byte, len(fileMagic))
+	if n, err := io.ReadFull(or.br, head); err != nil {
+		return fmt.Errorf("trace: reading header at offset %d: %w", n, err)
+	}
+	or.off = int64(len(head))
 	if string(head) != string(fileMagic) {
-		return fmt.Errorf("trace: bad magic %q", head)
+		return fmt.Errorf("trace: bad magic %q at offset 0", head)
 	}
 	var lastPC uint64
 	for {
-		dpc, err := binary.ReadVarint(br)
+		fieldOff := or.off
+		dpc, err := or.readVarint()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
-			return fmt.Errorf("trace: reading pc: %w", err)
+			return fmt.Errorf("trace: reading pc at offset %d: %w", fieldOff, err)
 		}
-		meta, err := br.ReadByte()
+		fieldOff = or.off
+		meta, err := or.readByte()
 		if err != nil {
-			return fmt.Errorf("trace: reading meta: %w", err)
+			return fmt.Errorf("trace: reading meta at offset %d: %w", fieldOff, err)
 		}
-		dt, err := binary.ReadVarint(br)
+		fieldOff = or.off
+		dt, err := or.readVarint()
 		if err != nil {
-			return fmt.Errorf("trace: reading target: %w", err)
+			return fmt.Errorf("trace: reading target at offset %d: %w", fieldOff, err)
 		}
 		pc := uint64(int64(lastPC) + dpc)
 		lastPC = pc
 		kind := ir.Kind(meta & 0x7)
 		if kind == ir.Op || kind > ir.Halt {
-			return fmt.Errorf("trace: invalid event kind %d", kind)
+			return fmt.Errorf("trace: invalid event kind %d at offset %d", kind, fieldOff-1)
 		}
 		ev := Event{
 			PC:     pc,
@@ -125,9 +186,10 @@ func ReadFile(r io.Reader, fn func(Event) error) error {
 			Fall:   pc + ir.InstrBytes,
 		}
 		if kind == ir.CondBr {
-			dtt, err := binary.ReadVarint(br)
+			fieldOff = or.off
+			dtt, err := or.readVarint()
 			if err != nil {
-				return fmt.Errorf("trace: reading taken target: %w", err)
+				return fmt.Errorf("trace: reading taken target at offset %d: %w", fieldOff, err)
 			}
 			ev.TakenTarget = uint64(int64(pc) + dtt)
 		} else {
@@ -137,6 +199,32 @@ func ReadFile(r io.Reader, fn func(Event) error) error {
 			return err
 		}
 	}
+}
+
+// maxPreallocEvents caps ReadAll's up-front allocation (~48 MiB of events)
+// regardless of how large the input claims to be; bigger traces grow by
+// appending.
+const maxPreallocEvents = 1 << 20
+
+// ReadAll decodes an entire trace into memory. sizeHint, when positive, is
+// the input's total size in bytes (e.g. from os.FileInfo); the event slice
+// is pre-allocated for at most the number of events that many bytes can
+// encode — never more than a fixed cap — so a corrupt or hostile input
+// cannot induce an allocation larger than itself.
+func ReadAll(r io.Reader, sizeHint int64) ([]Event, error) {
+	var capHint int64
+	if sizeHint > int64(len(fileMagic)) {
+		capHint = (sizeHint - int64(len(fileMagic))) / minEventBytes
+	}
+	if capHint > maxPreallocEvents {
+		capHint = maxPreallocEvents
+	}
+	events := make([]Event, 0, capHint)
+	err := ReadFile(r, func(e Event) error {
+		events = append(events, e)
+		return nil
+	})
+	return events, err
 }
 
 // Replay feeds every event of a trace file to a sink.

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"balign/internal/ir"
+)
+
+// validTraceBytes encodes a small real trace for fuzz seeding.
+func validTraceBytes(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	fw := NewFileWriter(&buf)
+	fw.Event(Event{PC: 0x1000, Kind: ir.CondBr, Taken: true, Target: 0x1010, TakenTarget: 0x1010, Fall: 0x1004})
+	fw.Event(Event{PC: 0x1010, Kind: ir.Call, Taken: true, Target: 0x2000, TakenTarget: 0x2000, Fall: 0x1014})
+	fw.Event(Event{PC: 0x2004, Kind: ir.Ret, Taken: true, Target: 0x1014, TakenTarget: 0x1014, Fall: 0x2008})
+	if err := fw.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFile hammers the trace decoder with arbitrary bytes: malformed
+// varints, truncated headers and records, and hostile field values must all
+// surface as errors — never a panic, and never an allocation larger than
+// the input itself can justify.
+func FuzzReadFile(f *testing.F) {
+	valid := validTraceBytes(f)
+	f.Add([]byte{})
+	f.Add([]byte("BATRACE1"))
+	f.Add([]byte("NOTMAGIC")) // wrong magic, right length
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])                                              // truncated record
+	f.Add(append(append([]byte{}, valid...), 0x80, 0x80, 0x80))              // trailing unterminated varint
+	f.Add(append([]byte("BATRACE1"), 0, 0, 0))                               // kind 0 (Op) is invalid
+	f.Add(append([]byte("BATRACE1"), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x01)) // 11-byte varint overflow
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadAll(bytes.NewReader(data), int64(len(data)))
+		// Every decoded event consumed at least minEventBytes of input past
+		// the header, error or not.
+		max := 0
+		if len(data) > len(fileMagic) {
+			max = (len(data) - len(fileMagic)) / minEventBytes
+		}
+		if len(events) > max {
+			t.Fatalf("decoded %d events from %d input bytes (max %d)", len(events), len(data), max)
+		}
+		if err != nil {
+			// Decode errors must locate the failure.
+			if !strings.Contains(err.Error(), "offset") {
+				t.Fatalf("decode error without byte offset: %v", err)
+			}
+			return
+		}
+		// Whatever decoded cleanly must re-encode and re-decode to the same
+		// events.
+		var buf bytes.Buffer
+		fw := NewFileWriter(&buf)
+		for _, e := range events {
+			fw.Event(e)
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatalf("re-encoding decoded events: %v", err)
+		}
+		got, err := ReadAll(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded events: %v", err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(got))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, events[i], got[i])
+			}
+		}
+	})
+}
