@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test verify ci fuzz-smoke bench bench-suite bench-kernel tables report
+.PHONY: build test verify ci staticcheck govulncheck fuzz-smoke bench bench-suite bench-kernel bench-stream tables report
+
+# Pinned external analyzer versions; CI installs exactly these, local runs
+# use whatever is on PATH (or skip with a notice).
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
 build:
 	$(GO) build ./...
@@ -18,19 +23,43 @@ verify:
 	$(GO) test -race ./...
 
 # ci is the continuous-integration gate (mirrored by the GitHub Actions
-# workflow): static analysis, a full build, the race-enabled test suite,
-# and a short smoke pass over each native fuzz target.
+# workflow): static analysis (vet always; staticcheck and govulncheck when
+# installed), a full build, the race-enabled test suite, and a short smoke
+# pass over each native fuzz target.
 ci:
 	$(GO) vet ./...
+	$(MAKE) staticcheck
+	$(MAKE) govulncheck
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 
+# staticcheck / govulncheck run the pinned external analyzers when present
+# on PATH and skip with a notice otherwise, so `make ci` works in offline
+# containers; the GitHub Actions workflow installs the pinned versions and
+# therefore always runs them.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
 # fuzz-smoke runs each fuzz target briefly — long enough to execute the
-# committed seed corpora plus a burst of new inputs, short enough for CI.
+# committed seed corpora plus a burst of new inputs, short enough for CI —
+# plus a race-enabled pass over the streaming broadcast stage (producer,
+# ring and consumer goroutines under contention).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadFile -fuzztime=10s -run '^$$' ./internal/trace
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm
+	$(GO) test -race -run 'TestBroadcast|TestSimulateStream' ./internal/sim
 
 # report runs a small suite with run telemetry enabled, emitting a JSON
 # run report (per-shard spans, engine stats, trace-cache stats, the
@@ -53,6 +82,12 @@ bench-suite:
 # isolation (pre-recorded traces). These are the BENCH_kernel.json numbers.
 bench-kernel:
 	$(GO) test -bench 'Benchmark(SuiteKernel|SimulateGrid)' -benchtime 3x -run '^$$' .
+
+# bench-stream compares the recorded trace lifecycle (-stream=off) against
+# the streaming broadcast pipeline (-stream=on), end-to-end and on walker
+# generation in isolation. These are the BENCH_stream.json numbers.
+bench-stream:
+	$(GO) test -bench 'Benchmark(SuiteStream|WalkerGenerate)' -benchtime 3x -run '^$$' .
 
 tables:
 	$(GO) run ./cmd/baexp -scale 0.2 all

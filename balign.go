@@ -247,6 +247,11 @@ type SuiteOptions struct {
 	// compiled struct-of-arrays kernel) or "ref" (the reference
 	// simulators). Output is byte-identical either way.
 	Kernel string
+	// Stream selects the trace lifecycle: "on" (default) generates each
+	// variant's stream once and broadcasts it to all architectures over a
+	// bounded buffer ring; "off" records whole traces and replays them per
+	// cell. Output is byte-identical either way.
+	Stream string
 }
 
 // RunSuite evaluates the {program x architecture x algorithm} grid on the
@@ -265,7 +270,7 @@ func RunSuite(opts SuiteOptions) ([]Summary, error) {
 		Programs:    opts.Programs,
 		Parallelism: opts.Parallelism,
 		Verbose:     opts.Verbose, Log: opts.Log,
-		Kernel: opts.Kernel,
+		Kernel: opts.Kernel, Stream: opts.Stream,
 	}
 	return experiments.Summaries(cfg, archs)
 }

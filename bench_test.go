@@ -6,6 +6,7 @@ package balign_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"balign"
@@ -14,6 +15,7 @@ import (
 	"balign/internal/experiments"
 	"balign/internal/icache"
 	"balign/internal/ir"
+	"balign/internal/obs"
 	"balign/internal/predict"
 	"balign/internal/sim"
 	"balign/internal/trace"
@@ -253,6 +255,117 @@ func BenchmarkSimulateGridRef(b *testing.B) { benchSimulateGrid(b, "ref") }
 // kernel. The ratio to BenchmarkSimulateGridRef is the kernel's simulation
 // speedup.
 func BenchmarkSimulateGridFlat(b *testing.B) { benchSimulateGrid(b, "flat") }
+
+// --- streaming pipeline benchmarks ---
+
+// walkerBenchFixture builds the walker-traced workload the generation
+// benchmarks share and counts its events once, outside any timer.
+func walkerBenchFixture(b *testing.B) (*workload.Workload, *trace.Layout, uint64) {
+	b.Helper()
+	w, err := workload.ByName("hydro2d", workload.Config{Scale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lay, err := trace.CompileLayout(w.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events uint64
+	if _, err := w.Run(w.Prog, nil, trace.SinkFunc(func(trace.Event) { events++ }), nil); err != nil {
+		b.Fatal(err)
+	}
+	return w, lay, events
+}
+
+// BenchmarkWalkerGenerate measures push-style synthetic trace generation —
+// the Walker driving a per-event sink, as the recorded path's generator
+// does.
+func BenchmarkWalkerGenerate(b *testing.B) {
+	w, _, events := walkerBenchFixture(b)
+	sink := trace.SinkFunc(func(trace.Event) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Run(w.Prog, nil, sink, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*events), "ns/event")
+}
+
+// BenchmarkWalkerGenerateStream measures the same generation through the
+// compiled streaming walker (trace.WalkSource): packed int32 batches pulled
+// by Fill, no per-event interface dispatch. The ratio to
+// BenchmarkWalkerGenerate is the compiled walker's generation speedup.
+func BenchmarkWalkerGenerateStream(b *testing.B) {
+	w, lay, events := walkerBenchFixture(b)
+	var batch trace.Batch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := w.Stream(w.Prog, nil, lay, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			ok, err := src.Fill(&batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		src.Close()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*events), "ns/event")
+}
+
+// benchSuiteStream runs the end-to-end evaluation grid in the given stream
+// mode, reporting the heap-allocation delta per op (runtime.ReadMemStats)
+// and the run's peak live trace bytes (the streaming ring's high-water
+// gauge, or the recorded cache's).
+func benchSuiteStream(b *testing.B, mode string) {
+	cfg := experiments.Config{
+		Scale: 0.1, Window: 10,
+		Programs:    []string{"ora", "compress", "espresso", "db++", "doduc", "li"},
+		Parallelism: 1,
+		Stream:      mode,
+	}
+	var peak int64
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	alloc0 := ms.TotalAlloc
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := obs.New("bench")
+		cfg.Obs = rec
+		if _, err := experiments.Summaries(cfg, predict.AllArchs()); err != nil {
+			b.Fatal(err)
+		}
+		g := rec.Report().Gauges
+		if mode == "off" {
+			peak = g["sim.cache.peak_live_bytes"]
+		} else {
+			peak = g["sim.stream.peak_live_bytes"]
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.TotalAlloc-alloc0)/float64(b.N), "allocbytes/op")
+	b.ReportMetric(float64(peak), "peak_trace_bytes")
+}
+
+// BenchmarkSuiteStreamOff runs the evaluation grid through the recorded
+// trace cache (-stream=off): each variant's whole trace is materialized and
+// replayed once per architecture.
+func BenchmarkSuiteStreamOff(b *testing.B) { benchSuiteStream(b, "off") }
+
+// BenchmarkSuiteStreamOn runs the same grid through the streamed broadcast
+// pipeline (-stream=on, the default): each variant's stream is generated
+// once into a bounded buffer ring and fanned out to all architectures. The
+// output is byte-identical to BenchmarkSuiteStreamOff; compare ns/op for
+// the end-to-end speedup and peak_trace_bytes for the memory bound.
+func BenchmarkSuiteStreamOn(b *testing.B) { benchSuiteStream(b, "on") }
 
 // --- substrate micro-benchmarks ---
 

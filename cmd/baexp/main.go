@@ -15,6 +15,10 @@
 //	-kernel s    simulation executor: flat (default, the compiled
 //	             struct-of-arrays kernel) or ref (the interface-dispatched
 //	             reference simulators); output is identical either way
+//	-stream s    trace lifecycle: on (default, generate each variant's
+//	             stream once and broadcast batches to all architectures
+//	             over a bounded buffer ring) or off (record whole traces
+//	             and replay per cell); output is identical either way
 
 //	-v           log per-shard progress to stderr
 //	-report f    write a JSON run report (timing spans, engine and trace-
@@ -58,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	programs := fs.String("programs", "", "comma-separated program subset")
 	parallel := fs.Int("parallel", 0, "concurrent experiment shards (0 = GOMAXPROCS, 1 = serial)")
 	kernelMode := fs.String("kernel", "flat", "simulation executor: flat (compiled kernel) or ref (reference simulators)")
+	streamMode := fs.String("stream", "on", "trace lifecycle: on (streamed broadcast) or off (record then replay)")
 	verbose := fs.Bool("v", false, "log per-shard progress to stderr")
 	report := fs.String("report", "", "write a JSON run report to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
@@ -68,10 +73,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if _, err := sim.ParseKernelMode(*kernelMode); err != nil {
 		return err
 	}
+	if _, err := sim.ParseStreamMode(*streamMode); err != nil {
+		return err
+	}
 	cfg := experiments.Config{
 		Scale: *scale, Seed: *seed, Window: *window,
 		Parallelism: *parallel, Verbose: *verbose, Log: stderr,
-		Kernel: *kernelMode,
+		Kernel: *kernelMode, Stream: *streamMode,
 	}
 	if *programs != "" {
 		cfg.Programs = strings.Split(*programs, ",")

@@ -35,15 +35,72 @@ func TestRunSmallExperiments(t *testing.T) {
 	}
 }
 
-// TestRunReportSchema is the run-report schema check `make report` relies
-// on: a suite run with -report must emit one JSON document carrying the
-// summary grid, per-shard timing spans, engine stats and trace-cache
-// stats, under the stable field names asserted here.
-func TestRunReportSchema(t *testing.T) {
+// runReport is the decoded shape of a baexp -report document, under the
+// stable field names the schema tests assert.
+type runReport struct {
+	Tool     string           `json:"tool"`
+	WallNs   int64            `json:"wall_ns"`
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+	Spans    []struct {
+		Name     string `json:"name"`
+		DurNs    int64  `json:"dur_ns"`
+		Children []struct {
+			Name  string           `json:"name"`
+			DurNs int64            `json:"dur_ns"`
+			Attrs map[string]int64 `json:"attrs"`
+		} `json:"children"`
+	} `json:"spans"`
+	Sections struct {
+		Engine struct {
+			Tasks       uint64 `json:"tasks"`
+			Errors      uint64 `json:"errors"`
+			BusyNs      int64  `json:"busy_ns"`
+			QueueWaitNs int64  `json:"queue_wait_ns"`
+		} `json:"engine"`
+		TraceCache struct {
+			Hits           uint64 `json:"hits"`
+			Misses         uint64 `json:"misses"`
+			Freed          uint64 `json:"freed"`
+			Live           int    `json:"live"`
+			PeakLiveBytes  uint64 `json:"peak_live_bytes"`
+			PeakLiveEvents uint64 `json:"peak_live_events"`
+		} `json:"trace_cache"`
+		Stream struct {
+			Broadcasts    uint64 `json:"broadcasts"`
+			Batches       uint64 `json:"batches"`
+			Events        uint64 `json:"events"`
+			StallsNs      int64  `json:"stalls_ns"`
+			LiveBuffers   int64  `json:"live_buffers"`
+			LiveBytes     uint64 `json:"live_bytes"`
+			PeakLiveBytes uint64 `json:"peak_live_bytes"`
+		} `json:"stream"`
+		Executor struct {
+			Mode        string `json:"mode"`
+			Cells       uint64 `json:"cells"`
+			StreamCells uint64 `json:"stream_cells"`
+			Events      uint64 `json:"events"`
+			CompileNs   int64  `json:"compile_ns"`
+			RunNs       int64  `json:"run_ns"`
+		} `json:"executor"`
+		Grid []struct {
+			Program string  `json:"Program"`
+			Arch    string  `json:"Arch"`
+			Algo    string  `json:"Algo"`
+			CPI     float64 `json:"CPI"`
+		} `json:"grid"`
+	} `json:"sections"`
+}
+
+// reportFor runs a tiny suite with -report plus extra flags and decodes the
+// resulting document, checking the parts common to both stream modes.
+func reportFor(t *testing.T, extra ...string) *runReport {
+	t.Helper()
 	path := filepath.Join(t.TempDir(), "report.json")
 	var out, errBuf bytes.Buffer
-	args := []string{"-scale", "0.02", "-window", "5", "-programs", "ora",
-		"-parallel", "2", "-report", path, "suite"}
+	args := append([]string{"-scale", "0.02", "-window", "5", "-programs", "ora",
+		"-parallel", "2", "-report", path}, extra...)
+	args = append(args, "suite")
 	if err := run(args, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
@@ -51,62 +108,18 @@ func TestRunReportSchema(t *testing.T) {
 	if err != nil {
 		t.Fatalf("report not written: %v", err)
 	}
-	var rep struct {
-		Tool     string           `json:"tool"`
-		WallNs   int64            `json:"wall_ns"`
-		Counters map[string]int64 `json:"counters"`
-		Gauges   map[string]int64 `json:"gauges"`
-		Spans    []struct {
-			Name     string `json:"name"`
-			DurNs    int64  `json:"dur_ns"`
-			Children []struct {
-				Name  string           `json:"name"`
-				DurNs int64            `json:"dur_ns"`
-				Attrs map[string]int64 `json:"attrs"`
-			} `json:"children"`
-		} `json:"spans"`
-		Sections struct {
-			Engine struct {
-				Tasks       uint64 `json:"tasks"`
-				Errors      uint64 `json:"errors"`
-				BusyNs      int64  `json:"busy_ns"`
-				QueueWaitNs int64  `json:"queue_wait_ns"`
-			} `json:"engine"`
-			TraceCache struct {
-				Hits   uint64 `json:"hits"`
-				Misses uint64 `json:"misses"`
-				Freed  uint64 `json:"freed"`
-				Live   int    `json:"live"`
-			} `json:"trace_cache"`
-			Executor struct {
-				Mode      string `json:"mode"`
-				Cells     uint64 `json:"cells"`
-				Events    uint64 `json:"events"`
-				CompileNs int64  `json:"compile_ns"`
-				RunNs     int64  `json:"run_ns"`
-			} `json:"executor"`
-			Grid []struct {
-				Program string  `json:"Program"`
-				Arch    string  `json:"Arch"`
-				Algo    string  `json:"Algo"`
-				CPI     float64 `json:"CPI"`
-			} `json:"grid"`
-		} `json:"sections"`
-	}
-	if err := json.Unmarshal(data, &rep); err != nil {
+	rep := new(runReport)
+	if err := json.Unmarshal(data, rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
 	}
 	if rep.Tool != "baexp" || rep.WallNs <= 0 {
 		t.Errorf("tool/wall_ns malformed: %q / %d", rep.Tool, rep.WallNs)
 	}
-	if rep.Counters["sim.tasks"] == 0 || rep.Counters["sim.cache.misses"] == 0 {
-		t.Errorf("engine/cache counters missing: %v", rep.Counters)
+	if rep.Counters["sim.tasks"] == 0 {
+		t.Errorf("engine counters missing: %v", rep.Counters)
 	}
 	if rep.Counters["core.plan.tryn.ns"] == 0 || rep.Counters["core.plan.greedy.procs"] == 0 {
 		t.Errorf("alignment timing counters missing: %v", rep.Counters)
-	}
-	if _, ok := rep.Gauges["sim.cache.live"]; !ok {
-		t.Errorf("cache occupancy gauges missing: %v", rep.Gauges)
 	}
 	if len(rep.Spans) == 0 {
 		t.Fatal("no timing spans in report")
@@ -130,19 +143,12 @@ func TestRunReportSchema(t *testing.T) {
 	if eng.BusyNs <= 0 || eng.Errors != 0 {
 		t.Errorf("engine stats malformed: %+v", eng)
 	}
-	tc := rep.Sections.TraceCache
-	if tc.Misses == 0 || tc.Freed != tc.Misses || tc.Live != 0 {
-		t.Errorf("trace-cache stats malformed: %+v", tc)
-	}
 	// The executor section must report the kernel mode and split simulation
 	// cost into compile and run phases (so cache-hit replays can't be
 	// misattributed to simulation time).
 	ex := rep.Sections.Executor
 	if ex.Mode != "flat" {
 		t.Errorf("executor mode = %q, want flat default", ex.Mode)
-	}
-	if want := uint64(len(predict.AllArchs()) * 3); ex.Cells != want {
-		t.Errorf("executor cells = %d, want %d", ex.Cells, want)
 	}
 	if ex.Events == 0 || ex.CompileNs <= 0 || ex.RunNs <= 0 {
 		t.Errorf("executor phase split malformed: %+v", ex)
@@ -159,6 +165,71 @@ func TestRunReportSchema(t *testing.T) {
 		if row.Program != "ora" || row.Arch == "" || row.Algo == "" || row.CPI <= 0 {
 			t.Errorf("degenerate grid row: %+v", row)
 		}
+	}
+	return rep
+}
+
+// TestRunReportSchema is the run-report schema check `make report` relies
+// on: a suite run with -report must emit one JSON document carrying the
+// summary grid, per-shard timing spans, engine stats and — in the default
+// streaming mode — broadcast-stage stats and ring gauges, under the stable
+// field names asserted here.
+func TestRunReportSchema(t *testing.T) {
+	rep := reportFor(t)
+	if rep.Counters["sim.stream.broadcasts"] == 0 || rep.Counters["sim.stream.batches"] == 0 {
+		t.Errorf("stream counters missing: %v", rep.Counters)
+	}
+	if rep.Gauges["sim.stream.peak_live_bytes"] == 0 {
+		t.Errorf("stream ring gauges missing: %v", rep.Gauges)
+	}
+	if rep.Gauges["sim.stream.live_buffers"] != 0 || rep.Gauges["sim.stream.live_bytes"] != 0 {
+		t.Errorf("stream ring not drained: %v", rep.Gauges)
+	}
+	ss := rep.Sections.Stream
+	if ss.Broadcasts == 0 || ss.Batches == 0 || ss.Events == 0 || ss.PeakLiveBytes == 0 {
+		t.Errorf("stream stats malformed: %+v", ss)
+	}
+	if ss.LiveBuffers != 0 || ss.LiveBytes != 0 {
+		t.Errorf("stream ring leaked: %+v", ss)
+	}
+	// Streaming bypasses the trace cache entirely...
+	if tc := rep.Sections.TraceCache; tc.Misses != 0 || tc.Live != 0 {
+		t.Errorf("streaming run touched the trace cache: %+v", tc)
+	}
+	// ...and counts consumers as stream cells, not recorded-replay cells.
+	ex := rep.Sections.Executor
+	if want := uint64(len(predict.AllArchs()) * 3); ex.StreamCells != want || ex.Cells != 0 {
+		t.Errorf("executor cells = %d recorded / %d streamed, want 0 / %d",
+			ex.Cells, ex.StreamCells, want)
+	}
+}
+
+// TestRunReportSchemaRecorded pins the -stream=off escape hatch: the same
+// run must route through the refcounted trace cache and report its
+// occupancy, including the peak gauges the streaming ring is measured
+// against.
+func TestRunReportSchemaRecorded(t *testing.T) {
+	rep := reportFor(t, "-stream", "off")
+	if rep.Counters["sim.cache.misses"] == 0 {
+		t.Errorf("cache counters missing: %v", rep.Counters)
+	}
+	if _, ok := rep.Gauges["sim.cache.live"]; !ok {
+		t.Errorf("cache occupancy gauges missing: %v", rep.Gauges)
+	}
+	tc := rep.Sections.TraceCache
+	if tc.Misses == 0 || tc.Freed != tc.Misses || tc.Live != 0 {
+		t.Errorf("trace-cache stats malformed: %+v", tc)
+	}
+	if tc.PeakLiveBytes == 0 || tc.PeakLiveEvents == 0 {
+		t.Errorf("trace-cache peak gauges missing: %+v", tc)
+	}
+	ex := rep.Sections.Executor
+	if want := uint64(len(predict.AllArchs()) * 3); ex.Cells != want || ex.StreamCells != 0 {
+		t.Errorf("executor cells = %d recorded / %d streamed, want %d / 0",
+			ex.Cells, ex.StreamCells, want)
+	}
+	if ss := rep.Sections.Stream; ss.Broadcasts != 0 {
+		t.Errorf("recorded run broadcast streams: %+v", ss)
 	}
 }
 

@@ -12,8 +12,9 @@
 // spans, engine stats, counters, the measured attribute rows) to f; with
 // -pprof addr it serves net/http/pprof and expvar on addr while the
 // measurement runs. -kernel flat|ref selects the compiled flat simulation
-// kernel (default) or the reference simulators. None of these flags change
-// any measured output.
+// kernel (default) or the reference simulators; -stream on|off selects the
+// streamed-broadcast trace lifecycle (default) or record-then-replay. None
+// of these flags change any measured output.
 package main
 
 import (
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 0, "workload seed")
 	parallel := fs.Int("parallel", 0, "concurrent measurement shards (0 = GOMAXPROCS, 1 = serial)")
 	kernelMode := fs.String("kernel", "flat", "simulation executor: flat (compiled kernel) or ref (reference simulators)")
+	streamMode := fs.String("stream", "on", "trace lifecycle: on (streamed broadcast) or off (record then replay)")
 	report := fs.String("report", "", "write a JSON run report to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	if err := fs.Parse(args); err != nil {
@@ -60,7 +62,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if _, err := sim.ParseKernelMode(*kernelMode); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *parallel, Kernel: *kernelMode}
+	if _, err := sim.ParseStreamMode(*streamMode); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *parallel, Kernel: *kernelMode, Stream: *streamMode}
 	switch {
 	case *bench != "":
 		cfg.Programs = []string{*bench}

@@ -6,11 +6,14 @@
 //
 // The evaluation grid — every {program x architecture x algorithm} cell —
 // runs on the parallel experiment engine in internal/sim: alignment and
-// profiling are prepared per program, each variant's trace is generated
-// once into a shared read-only cache, and the per-cell simulations shard
-// across a bounded worker pool. Results reduce in canonical order, so a
-// parallel run's output is byte-identical to the serial oracle
-// (Config.Parallelism = 1); the differential tests enforce this.
+// profiling are prepared per program, then each variant's event stream is
+// generated once and broadcast batch-by-batch to all of its architectures'
+// kernels (Config.Stream = "on", the default, holding only a bounded
+// buffer ring in memory), or recorded whole into a shared refcounted cache
+// and replayed per cell (Config.Stream = "off", the pre-streaming escape
+// hatch). Results reduce in canonical order, so every mode and parallelism
+// setting produces byte-identical output; the differential oracle tests
+// enforce this.
 package experiments
 
 import (
@@ -62,6 +65,13 @@ type Config struct {
 	// interface-dispatched reference simulators. Both produce byte-identical
 	// results — the kernel oracle tests enforce this.
 	Kernel string
+	// Stream selects how variant traces reach their simulators: "on"
+	// (default) generates each variant's stream once and broadcasts its
+	// batches to every architecture concurrently, holding only a bounded
+	// buffer ring; "off" records whole traces into the refcounted cache and
+	// replays them per cell — the pre-streaming escape hatch. Both produce
+	// byte-identical results — the streaming oracle tests enforce this.
+	Stream string
 	// Parallelism bounds the number of concurrently executing experiment
 	// shards. 0 means runtime.GOMAXPROCS(0); 1 selects the serial oracle
 	// path. Results are byte-identical at every setting.
@@ -300,8 +310,23 @@ func (u *evalUnit) record(key string) (*sim.Recorded, error) {
 	})
 }
 
+// makeCell derives one cell's paper metrics from its exact simulation
+// result; instrs is the traced variant's retired-instruction count.
+func makeCell(origInstrs, instrs uint64, r predict.Result) Cell {
+	bep := metrics.BEPFromResult(r)
+	return Cell{
+		CPI:          metrics.RelativeCPI(origInstrs, instrs, bep),
+		FallPct:      metrics.FallthroughPct(r),
+		CondAccuracy: r.CondAccuracy(),
+		Instrs:       instrs,
+		BEP:          bep,
+		Res:          r,
+	}
+}
+
 // runCell simulates one (architecture, algorithm) cell by running the
-// executor over the variant's cached trace.
+// executor over the variant's cached trace — the recorded-mode (StreamOff)
+// cell path.
 func runCell(u *evalUnit, key string, spec simSpec, cache *sim.TraceCache, exec *sim.Executor) (Cell, error) {
 	ck := u.cacheKey(key)
 	rec, err := cache.Acquire(ck, func() (*sim.Recorded, error) { return u.record(key) })
@@ -313,15 +338,37 @@ func runCell(u *evalUnit, key string, spec simSpec, cache *sim.TraceCache, exec 
 	if err != nil {
 		return Cell{}, err
 	}
-	bep := metrics.BEPFromResult(r)
-	return Cell{
-		CPI:          metrics.RelativeCPI(u.origInstrs, rec.Instrs, bep),
-		FallPct:      metrics.FallthroughPct(r),
-		CondAccuracy: r.CondAccuracy(),
-		Instrs:       rec.Instrs,
-		BEP:          bep,
-		Res:          r,
-	}, nil
+	return makeCell(u.origInstrs, rec.Instrs, r), nil
+}
+
+// runVariant simulates every cell of one variant in a single streamed
+// generation: the variant's event stream is generated once and broadcast to
+// all of its architectures' kernels concurrently. cells[base:base+len(specs)]
+// receives the results in spec order.
+func runVariant(u *evalUnit, key string, str *sim.Streamer, exec *sim.Executor, cells []Cell, base int) error {
+	v := u.variants[key]
+	lay, err := trace.CompileLayout(v.prog)
+	if err != nil {
+		return fmt.Errorf("evaluating %s/%s: %w", u.w.Name, key, err)
+	}
+	src, err := u.w.Stream(v.prog, v.prof, lay, str.BatchCap())
+	if err != nil {
+		return fmt.Errorf("evaluating %s/%s: %w", u.w.Name, key, err)
+	}
+	specs := u.specs[key]
+	archs := make([]predict.ArchID, len(specs))
+	for i, spec := range specs {
+		archs[i] = spec.arch
+	}
+	results, err := exec.SimulateStream(str, lay, src, v.prog, v.prof, archs)
+	if err != nil {
+		return fmt.Errorf("evaluating %s/%s: %w", u.w.Name, key, err)
+	}
+	instrs := src.Instrs()
+	for i, r := range results {
+		cells[base+i] = makeCell(u.origInstrs, instrs, r)
+	}
+	return nil
 }
 
 // cellSlot addresses one cell's result across the flattened grid.
@@ -343,6 +390,11 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 	if err != nil {
 		return nil, err
 	}
+	smode, err := sim.ParseStreamMode(cfg.Stream)
+	if err != nil {
+		return nil, err
+	}
+	str := sim.NewStreamer(0, 0, cfg.Obs)
 
 	// Phase 1: per-program preparation.
 	units := make([]*evalUnit, len(ws))
@@ -362,33 +414,61 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 		return nil, err
 	}
 
-	// Phase 2: the flat cell grid. Refcounts are preset so every variant's
-	// trace is freed right after its last cell replays it.
+	// Phase 2: the cell grid, in canonical slot order (unit, then variant
+	// key, then spec). Streaming mode shards one task per variant — each
+	// generates its stream once and broadcasts it to all of the variant's
+	// architectures, filling the variant's contiguous slot range. Recorded
+	// mode shards one task per cell, with refcounts preset so every
+	// variant's cached trace is freed right after its last cell replays it.
 	var slots []cellSlot
+	type variantTask struct {
+		unit int
+		key  string
+		base int
+	}
+	var vtasks []variantTask
 	for ui, u := range units {
 		for _, key := range u.keys {
-			cache.AddRefs(u.cacheKey(key), len(u.specs[key]))
+			if smode == sim.StreamOff {
+				cache.AddRefs(u.cacheKey(key), len(u.specs[key]))
+			}
+			vtasks = append(vtasks, variantTask{unit: ui, key: key, base: len(slots)})
 			for _, spec := range u.specs[key] {
 				slots = append(slots, cellSlot{unit: ui, key: key, spec: spec})
 			}
 		}
 	}
 	cells := make([]Cell, len(slots))
-	tasks := make([]sim.Task, len(slots))
-	for i := range slots {
-		i := i
-		s := slots[i]
-		u := units[s.unit]
-		tasks[i] = sim.Task{
-			Label: fmt.Sprintf("%s/%s/%s", u.w.Name, s.spec.arch, s.spec.algo),
-			Run: func(context.Context) error {
-				c, err := runCell(u, s.key, s.spec, cache, exec)
-				if err != nil {
-					return err
-				}
-				cells[i] = c
-				return nil
-			},
+	var tasks []sim.Task
+	if smode == sim.StreamOn {
+		tasks = make([]sim.Task, len(vtasks))
+		for i := range vtasks {
+			vt := vtasks[i]
+			u := units[vt.unit]
+			tasks[i] = sim.Task{
+				Label: fmt.Sprintf("%s/%s", u.w.Name, vt.key),
+				Run: func(context.Context) error {
+					return runVariant(u, vt.key, str, exec, cells, vt.base)
+				},
+			}
+		}
+	} else {
+		tasks = make([]sim.Task, len(slots))
+		for i := range slots {
+			i := i
+			s := slots[i]
+			u := units[s.unit]
+			tasks[i] = sim.Task{
+				Label: fmt.Sprintf("%s/%s/%s", u.w.Name, s.spec.arch, s.spec.algo),
+				Run: func(context.Context) error {
+					c, err := runCell(u, s.key, s.spec, cache, exec)
+					if err != nil {
+						return err
+					}
+					cells[i] = c
+					return nil
+				},
+			}
 		}
 	}
 	if err := eng.Run(nil, tasks); err != nil {
@@ -413,14 +493,20 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 		r.Cells[s.spec.arch][s.spec.algo] = cells[i]
 	}
 
-	st, cst := eng.Stats(), cache.Stats()
-	eng.Logf("sim: %d programs, %d cells, busy %v; trace cache %d misses / %d hits, %d freed",
-		len(units), len(slots), st.Busy, cst.Misses, cst.Hits, cst.Freed)
-	// Snapshot the engine and cache into the run report. A multi-grid run
-	// (baexp all) overwrites with each grid's final state; the report's
-	// counters still accumulate across grids.
+	st, cst, sst := eng.Stats(), cache.Stats(), str.Stats()
+	if smode == sim.StreamOn {
+		eng.Logf("sim: %d programs, %d cells, busy %v; streamed %d variants in %d batches (peak ring %d bytes)",
+			len(units), len(slots), st.Busy, sst.Broadcasts, sst.Batches, sst.PeakLiveBytes)
+	} else {
+		eng.Logf("sim: %d programs, %d cells, busy %v; trace cache %d misses / %d hits, %d freed",
+			len(units), len(slots), st.Busy, cst.Misses, cst.Hits, cst.Freed)
+	}
+	// Snapshot the engine, cache and streamer into the run report. A
+	// multi-grid run (baexp all) overwrites with each grid's final state;
+	// the report's counters still accumulate across grids.
 	cfg.Obs.Attach("engine", st)
 	cfg.Obs.Attach("trace_cache", cst)
+	cfg.Obs.Attach("stream", sst)
 	cfg.Obs.Attach("executor", exec.Stats())
 	return results, nil
 }

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"balign/internal/core"
+	"balign/internal/kernel"
+	"balign/internal/metrics"
+	"balign/internal/predict"
+	"balign/internal/sim"
+	"balign/internal/trace"
+	"balign/internal/workload"
+)
+
+// TestStreamMatchesRecordedGrid is the whole-suite streaming oracle: the
+// full {program x architecture x algorithm} grid evaluated with the
+// streamed broadcast pipeline (-stream=on) must be byte-identical to the
+// same grid evaluated through the recorded trace cache (-stream=off), over
+// every workload kernel and every architecture.
+func TestStreamMatchesRecordedGrid(t *testing.T) {
+	archs := predict.AllArchs()
+	run := func(mode string) string {
+		cfg := fastCfg(kernelWorkloads...)
+		cfg.Stream = mode
+		s, err := Summaries(cfg, archs)
+		if err != nil {
+			t.Fatalf("stream=%s: %v", mode, err)
+		}
+		if want := len(kernelWorkloads) * len(archs) * len(Algos()); len(s) != want {
+			t.Fatalf("stream=%s: %d summaries, want %d", mode, len(s), want)
+		}
+		return metrics.EncodeSummaries(s)
+	}
+	on := run("on")
+	off := run("off")
+	if on != off {
+		t.Errorf("streamed grid diverges from recorded:\n%s", firstDiff(on, off))
+	}
+	// The default mode is streaming.
+	if def := run(""); def != on {
+		t.Errorf("default stream mode is not on:\n%s", firstDiff(on, def))
+	}
+}
+
+// TestStreamMatchesRecordedSynthetic repeats the byte-identical check over
+// walker-traced synthetic programs at randomized seeds: the compiled
+// WalkSource must reproduce the push-style Walker — RNG draw for RNG draw —
+// through alignment, work-equivalent truncation and the full grid.
+func TestStreamMatchesRecordedSynthetic(t *testing.T) {
+	archs := predict.AllArchs()
+	for _, seed := range []int64{1, 42, 1337} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			run := func(mode string) string {
+				cfg := fastCfg("ora", "doduc", "gcc", "db++")
+				cfg.Seed = seed
+				cfg.Stream = mode
+				s, err := Summaries(cfg, archs)
+				if err != nil {
+					t.Fatalf("stream=%s: %v", mode, err)
+				}
+				return metrics.EncodeSummaries(s)
+			}
+			on := run("on")
+			off := run("off")
+			if on != off {
+				t.Errorf("streamed synthetic grid diverges from recorded:\n%s", firstDiff(on, off))
+			}
+		})
+	}
+}
+
+// TestStreamPerSiteParityAcrossGrid proves the stronger per-site guarantee
+// behind the byte-identical reports: for every workload kernel, every
+// aligned variant the grid evaluates (orig, Greedy in both chain orders,
+// Try15 per cost model — plus the paper's Cost heuristic), and every
+// architecture, a single streamed generation broadcast to all kernels
+// yields per-site cycle maps equal to the reference SiteRecorder replaying
+// the recorded trace.
+func TestStreamPerSiteParityAcrossGrid(t *testing.T) {
+	archs := append(predict.AllArchs(), predict.ArchPHTLocal)
+	for _, name := range kernelWorkloads {
+		t.Run(name, func(t *testing.T) {
+			cfg := fastCfg(name)
+			w, err := workload.ByName(name, workload.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+			if err != nil {
+				t.Fatalf("ByName: %v", err)
+			}
+			u, err := newEvalUnit(w, predict.AllArchs(), cfg)
+			if err != nil {
+				t.Fatalf("newEvalUnit: %v", err)
+			}
+			cm, _ := trynModelFor(predict.ArchFallthrough)
+			cres, err := core.AlignProgram(w.Prog, u.pf, core.Options{Algorithm: core.AlgoCost, Model: cm})
+			if err != nil {
+				t.Fatalf("AlignProgram(cost): %v", err)
+			}
+			u.variants["cost"] = &variant{prog: cres.Prog, prof: cres.Prof}
+			keys := append(append([]string{}, u.keys...), "cost")
+
+			str := sim.NewStreamer(0, 0, nil)
+			for _, key := range keys {
+				v := u.variants[key]
+				rec, err := u.record(key)
+				if err != nil {
+					t.Fatalf("record %s: %v", key, err)
+				}
+				lay, err := trace.CompileLayout(v.prog)
+				if err != nil {
+					t.Fatalf("%s: CompileLayout: %v", key, err)
+				}
+				src, err := u.w.Stream(v.prog, v.prof, lay, str.BatchCap())
+				if err != nil {
+					t.Fatalf("%s: Stream: %v", key, err)
+				}
+
+				// One streamed generation fans out to every architecture...
+				kernels := make([]*kernel.Kernel, len(archs))
+				consumers := make([]func(*trace.Batch) error, len(archs))
+				for i, arch := range archs {
+					k, err := kernel.CompileArch(lay, v.prog, v.prof, arch, nil)
+					if err != nil {
+						t.Fatalf("%s/%s: CompileArch: %v", key, arch, err)
+					}
+					kernels[i] = k
+					consumers[i] = k.RunBatch
+				}
+				if err := str.Broadcast(src, consumers); err != nil {
+					t.Fatalf("%s: Broadcast: %v", key, err)
+				}
+				if got, want := src.Instrs(), rec.Instrs; got != want {
+					t.Errorf("%s: streamed %d instrs, recorded %d", key, got, want)
+				}
+				src.Close()
+
+				// ...and each must match the reference per-site attribution
+				// over the recorded trace exactly.
+				for i, arch := range archs {
+					ref, err := predict.NewSimulator(arch, v.prog, v.prof)
+					if err != nil {
+						t.Fatalf("%s/%s: NewSimulator: %v", key, arch, err)
+					}
+					sr := kernel.NewSiteRecorder(ref)
+					rec.Replay(sr)
+					if got, want := kernels[i].Result(), sr.Sim.Result(); got != want {
+						t.Errorf("%s/%s: Result mismatch:\n stream    %+v\n reference %+v",
+							key, arch, got, want)
+					}
+					gotCycles, wantCycles := kernels[i].SiteCycles(), sr.Cycles()
+					if len(gotCycles) != len(wantCycles) {
+						t.Errorf("%s/%s: active site count: stream %d, reference %d",
+							key, arch, len(gotCycles), len(wantCycles))
+					}
+					for pc, want := range wantCycles {
+						if got := gotCycles[pc]; got != want {
+							t.Errorf("%s/%s: site %#x cycles: stream %d, reference %d",
+								key, arch, pc, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"balign/internal/obs"
 	"balign/internal/predict"
 	"balign/internal/profile"
+	"balign/internal/trace"
 )
 
 // class is the devirtualized architecture discriminant: the one switch the
@@ -50,15 +51,10 @@ const (
 
 // Site describes one static control-transfer instruction of the compiled
 // program: the row of the descriptor table a dynamic event resolves to.
-type Site struct {
-	// PC is the instruction's address.
-	PC uint64
-	// Kind is the static break kind (CondBr, Br, Call, IJump, Ret).
-	Kind ir.Kind
-	// Proc and Block locate the site in the compiled program.
-	Proc  int32
-	Block ir.BlockID
-}
+// The program half of the compile lives in internal/trace (the streaming
+// pipeline shares one Layout across all architectures), so Site is the
+// layout's descriptor row.
+type Site = trace.SiteInfo
 
 // SiteCost accumulates one site's dynamic penalty counts.
 type SiteCost struct {
@@ -95,10 +91,13 @@ type Kernel struct {
 	class class
 	obs   *obs.Recorder
 
-	// Program tables (struct-of-arrays, read-only after Compile). siteOf
-	// packs each instruction slot's site id and static kind into one int32
-	// (id<<siteShift | kind), so the inner loop resolves and validates an
-	// event with a single load; empty slots hold -1.
+	// Program tables: the per-program half of the compile, shared across
+	// every architecture kernel simulating the same program. lay owns the
+	// tables; base/siteOf/sites are its backing slices cached for the inner
+	// loops. siteOf packs each instruction slot's site id and static kind
+	// into one int32 (id<<siteShift | kind), so the inner loop resolves and
+	// validates an event with a single load; empty slots hold -1.
+	lay        *trace.Layout
 	base       uint64
 	siteOf     []int32
 	sites      []Site // descriptor rows in (proc, block, instr) order
@@ -131,8 +130,9 @@ type Kernel struct {
 }
 
 // siteShift is the packed-slot split: the low bits hold the site's static
-// ir.Kind, the high bits its site id.
-const siteShift = 3
+// ir.Kind, the high bits its site id. It equals the trace package's
+// SlotShift because the slot table now lives there.
+const siteShift = trace.SlotShift
 
 // classFor maps an architecture id to its devirtualized class.
 func classFor(arch predict.ArchID) (class, error) {
@@ -156,19 +156,37 @@ func classFor(arch predict.ArchID) (class, error) {
 	}
 }
 
-// Compile flattens prog for the named architecture. The LIKELY architecture
-// derives its per-site hint bits from prof (required, as in
-// predict.NewSimulator); the other architectures ignore prof. rec receives
-// compile-phase telemetry (kernel.compiles, kernel.compile_ns,
-// kernel.sites) and is retained for run-phase counters; nil disables
-// telemetry at zero cost.
+// Compile flattens prog for the named architecture: the per-program layout
+// compile (trace.CompileLayout) followed by the per-architecture state
+// compile (CompileArch). Callers simulating one program on several
+// architectures should compile the layout once and call CompileArch per
+// architecture instead — that split is what the streaming pipeline's
+// fan-out rides on.
 //
 // Addresses must have been assigned (ir.Program.AssignAddresses): the dense
 // site table is keyed by instruction slot, and duplicate site addresses are
 // reported as errors.
 func Compile(prog *ir.Program, prof *profile.Profile, arch predict.ArchID, rec *obs.Recorder) (*Kernel, error) {
-	if prog == nil {
-		return nil, fmt.Errorf("kernel: nil program")
+	lay, err := trace.CompileLayout(prog)
+	if err != nil {
+		return nil, err
+	}
+	return CompileArch(lay, prog, prof, arch, rec)
+}
+
+// CompileArch builds the per-architecture half of a kernel on top of an
+// already-compiled program layout: the devirtualized class, predictor
+// state, and per-site accumulators. The LIKELY architecture derives its
+// per-site hint bits from prof (required, as in predict.NewSimulator); the
+// other architectures ignore prof. rec receives compile-phase telemetry
+// (kernel.compiles, kernel.compile_ns, kernel.sites) and is retained for
+// run-phase counters; nil disables telemetry at zero cost.
+//
+// prog must be the program lay was compiled from; several kernels may share
+// one layout concurrently (it is read-only).
+func CompileArch(lay *trace.Layout, prog *ir.Program, prof *profile.Profile, arch predict.ArchID, rec *obs.Recorder) (*Kernel, error) {
+	if lay == nil {
+		return nil, fmt.Errorf("kernel: nil layout")
 	}
 	cls, err := classFor(arch)
 	if err != nil {
@@ -179,42 +197,9 @@ func Compile(prog *ir.Program, prof *profile.Profile, arch predict.ArchID, rec *
 	}
 	start := rec.Now()
 
-	k := &Kernel{arch: arch, class: cls, obs: rec}
-
-	// Address range of the laid-out program.
-	lo, hi := addrRange(prog)
-	k.base = lo
-	slots := uint64(0)
-	if hi > lo {
-		slots = (hi - lo) / ir.InstrBytes
-	}
-	k.siteOf = make([]int32, slots)
-	for i := range k.siteOf {
-		k.siteOf[i] = -1
-	}
-
-	// Descriptor tables: every control-transfer instruction is one site.
-	for pi, p := range prog.Procs {
-		for bi, b := range p.Blocks {
-			for ii := range b.Instrs {
-				kind := b.Instrs[ii].Kind()
-				switch kind {
-				case ir.CondBr, ir.Br, ir.Call, ir.IJump, ir.Ret:
-				default:
-					continue
-				}
-				pc := b.Addr + uint64(ii)*ir.InstrBytes
-				slot := (pc - lo) / ir.InstrBytes
-				if pc < lo || slot >= uint64(len(k.siteOf)) {
-					return nil, fmt.Errorf("kernel: site pc %#x outside program range [%#x, %#x)", pc, lo, hi)
-				}
-				if k.siteOf[slot] != -1 {
-					return nil, fmt.Errorf("kernel: duplicate site address %#x (addresses not assigned?)", pc)
-				}
-				k.siteOf[slot] = int32(len(k.sites))<<siteShift | int32(kind)
-				k.sites = append(k.sites, Site{PC: pc, Kind: kind, Proc: int32(pi), Block: ir.BlockID(bi)})
-			}
-		}
+	k := &Kernel{
+		arch: arch, class: cls, obs: rec,
+		lay: lay, base: lay.Base(), siteOf: lay.Slots(), sites: lay.Sites(),
 	}
 
 	n := len(k.sites)
@@ -285,28 +270,6 @@ func newCounters(n int) []predict.Counter2 {
 	return c
 }
 
-// addrRange returns the [lo, hi) address range spanned by prog's
-// instructions.
-func addrRange(prog *ir.Program) (lo, hi uint64) {
-	first := true
-	for _, p := range prog.Procs {
-		for _, b := range p.Blocks {
-			if len(b.Instrs) == 0 {
-				continue
-			}
-			end := b.Addr + uint64(len(b.Instrs))*ir.InstrBytes
-			if first || b.Addr < lo {
-				lo = b.Addr
-			}
-			if first || end > hi {
-				hi = end
-			}
-			first = false
-		}
-	}
-	return lo, hi
-}
-
 // lookup resolves a PC to its site id.
 func (k *Kernel) lookup(pc uint64) (int32, bool) {
 	if pc < k.base || (pc-k.base)%ir.InstrBytes != 0 {
@@ -325,6 +288,10 @@ func (k *Kernel) lookup(pc uint64) (int32, bool) {
 
 // Arch returns the compiled architecture id.
 func (k *Kernel) Arch() predict.ArchID { return k.arch }
+
+// Layout returns the shared per-program layout the kernel was compiled
+// against.
+func (k *Kernel) Layout() *trace.Layout { return k.lay }
 
 // NumSites returns the number of compiled control-transfer sites.
 func (k *Kernel) NumSites() int { return len(k.sites) }

@@ -1,0 +1,280 @@
+package kernel
+
+import (
+	"fmt"
+
+	"balign/internal/ir"
+	"balign/internal/trace"
+)
+
+// RunBatch consumes one packed batch produced against the kernel's own
+// layout, accumulating exactly what Run would over the decoded events.
+// Like Run it may be called repeatedly — predictor state carries across
+// batches — which is what lets N architecture kernels consume one streamed
+// generation incrementally.
+//
+// The packed form already went through Layout.Append's site resolution, so
+// the inner loops read each event's static fields (PC, targets, fall
+// address) straight from the shared site table: per event, one int32 load
+// replaces a 48-byte Event copy. Malformed ops — a site id out of range, a
+// kind disagreeing with the site, a missing dynamic target — abort the
+// batch with an error; they mean the batch was built against a different
+// layout, not workload behaviour.
+func (k *Kernel) RunBatch(b *trace.Batch) error {
+	start := k.obs.Now()
+	var err error
+	if k.class == classBTB {
+		err = k.runBTBBatch(b)
+	} else {
+		err = k.runDirectionBatch(b)
+	}
+	k.obs.AddSince("kernel.run_ns", start)
+	k.obs.Add("kernel.batches", 1)
+	k.obs.Add("kernel.events", int64(b.Len()))
+	return err
+}
+
+// batchOpErr diagnoses a malformed packed op: the cold path behind the
+// inner loops' site checks.
+func (k *Kernel) batchOpErr(op int32, tcur, ntargets int) error {
+	si := op >> trace.OpShift
+	if si < 0 || int(si) >= len(k.sites) {
+		return fmt.Errorf("kernel: batch op references site %d of %d (batch from a different layout?)", si, len(k.sites))
+	}
+	kind := ir.Kind(op >> 1 & (1<<trace.SlotShift - 1))
+	if kind != k.sites[si].Kind {
+		return fmt.Errorf("kernel: batch op kind %v at pc %#x does not match compiled site kind %v",
+			kind, k.sites[si].PC, k.sites[si].Kind)
+	}
+	return fmt.Errorf("kernel: batch carries %d dynamic targets but op %d (%v at pc %#x) needs more",
+		ntargets, tcur, kind, k.sites[si].PC)
+}
+
+// runDirectionBatch is the packed-op twin of runDirection: the same
+// charging rules and predictor updates, with every static event field read
+// from the site table.
+func (k *Kernel) runDirectionBatch(b *trace.Batch) error {
+	var (
+		sites    = k.sites
+		costs    = k.costs
+		cls      = k.class
+		res      = k.res
+		ghr      = k.ghr
+		counters = k.counters
+		mask     = k.mask
+		likely   = k.siteLikely
+		hists    = k.histories
+		histMask = k.histMask
+		idxMask  = k.idxMask
+		targets  = b.Targets
+		tcur     = 0
+		retErr   error
+	)
+loop:
+	for _, op := range b.Ops {
+		si := op >> trace.OpShift
+		kind := ir.Kind(op >> 1 & (1<<trace.SlotShift - 1))
+		if si < 0 || int(si) >= len(sites) || sites[si].Kind != kind {
+			retErr = k.batchOpErr(op, tcur, len(targets))
+			break
+		}
+		s := &sites[si]
+		res.Events++
+		res.ByKind[kind&7]++
+		c := &costs[si]
+		c.Events++
+		switch kind {
+		case ir.CondBr:
+			res.Cond++
+			taken := op&1 != 0
+			if taken {
+				res.CondTaken++
+			}
+			var pred bool
+			switch cls {
+			case classFallthrough:
+				// pred = false
+			case classBTFNT:
+				pred = s.TakenTarget <= s.PC
+			case classLikely:
+				pred = likely[si]
+			case classPHTDirect:
+				idx := (s.PC / ir.InstrBytes) & mask
+				pred = counters[idx].Taken()
+				counters[idx] = counters[idx].Update(taken)
+			case classPHTGshare:
+				idx := ((s.PC / ir.InstrBytes) ^ ghr) & mask
+				pred = counters[idx].Taken()
+				counters[idx] = counters[idx].Update(taken)
+				var bit uint64
+				if taken {
+					bit = 1
+				}
+				ghr = ((ghr << 1) | bit) & mask
+			case classPHTLocal:
+				lslot := (s.PC / ir.InstrBytes) & idxMask
+				h := hists[lslot] & histMask
+				pred = counters[h].Taken()
+				counters[h] = counters[h].Update(taken)
+				var bit uint16
+				if taken {
+					bit = 1
+				}
+				hists[lslot] = ((hists[lslot] << 1) | bit) & histMask
+			}
+			if pred == taken {
+				res.CondCorrect++
+				if taken {
+					res.Misfetches++
+					c.Misfetches++
+				}
+			} else {
+				res.Mispredicts++
+				c.Mispredicts++
+			}
+		case ir.Br:
+			res.Misfetches++
+			c.Misfetches++
+		case ir.Call:
+			res.Misfetches++
+			c.Misfetches++
+			k.rasPush(s.Fall)
+		case ir.IJump:
+			res.Mispredicts++
+			c.Mispredicts++
+			if tcur >= len(targets) {
+				retErr = k.batchOpErr(op, tcur, len(targets))
+				break loop
+			}
+			tcur++
+		case ir.Ret:
+			if tcur >= len(targets) {
+				retErr = k.batchOpErr(op, tcur, len(targets))
+				break loop
+			}
+			target := targets[tcur]
+			tcur++
+			res.Rets++
+			pred, ok := k.rasPop()
+			if ok && pred == target {
+				res.RetsCorrect++
+			} else {
+				res.Mispredicts++
+				c.Mispredicts++
+			}
+		}
+	}
+	k.res = res
+	k.ghr = ghr
+	return retErr
+}
+
+// runBTBBatch is the packed-op twin of runBTB: the branch-target-buffer
+// charging rules over static site fields, with a conditional's installed
+// target taken from the site table (only the taken direction ever touches
+// the BTB's target word).
+func (k *Kernel) runBTBBatch(b *trace.Batch) error {
+	var (
+		sites   = k.sites
+		costs   = k.costs
+		res     = k.res
+		targets = b.Targets
+		tcur    = 0
+		retErr  error
+	)
+loop:
+	for _, op := range b.Ops {
+		si := op >> trace.OpShift
+		kind := ir.Kind(op >> 1 & (1<<trace.SlotShift - 1))
+		if si < 0 || int(si) >= len(sites) || sites[si].Kind != kind {
+			retErr = k.batchOpErr(op, tcur, len(targets))
+			break
+		}
+		s := &sites[si]
+		res.Events++
+		res.ByKind[kind&7]++
+		c := &costs[si]
+		c.Events++
+		switch kind {
+		case ir.CondBr:
+			res.Cond++
+			taken := op&1 != 0
+			if taken {
+				res.CondTaken++
+			}
+			li := k.btbLookup(s.PC)
+			if li >= 0 {
+				e := &k.btb[li]
+				if e.counter.Taken() == taken {
+					res.CondCorrect++
+					// Taken and correctly predicted: the stored target of
+					// a direct conditional is always right, so no penalty.
+				} else {
+					res.Mispredicts++
+					c.Mispredicts++
+				}
+				e.counter = e.counter.Update(taken)
+				if taken {
+					e.target = s.TakenTarget
+				}
+			} else if taken {
+				res.Mispredicts++
+				c.Mispredicts++
+				k.btbInsert(s.PC, s.TakenTarget)
+			} else {
+				res.CondCorrect++
+			}
+		case ir.Br:
+			if k.btbLookup(s.PC) < 0 {
+				res.Misfetches++
+				c.Misfetches++
+				k.btbInsert(s.PC, s.TakenTarget)
+			}
+		case ir.Call:
+			if k.btbLookup(s.PC) < 0 {
+				res.Misfetches++
+				c.Misfetches++
+				k.btbInsert(s.PC, s.TakenTarget)
+			}
+			k.rasPush(s.Fall)
+		case ir.IJump:
+			if tcur >= len(targets) {
+				retErr = k.batchOpErr(op, tcur, len(targets))
+				break loop
+			}
+			target := targets[tcur]
+			tcur++
+			li := k.btbLookup(s.PC)
+			if li >= 0 && k.btb[li].target == target {
+				// hit with the right target: free
+			} else {
+				res.Mispredicts++
+				c.Mispredicts++
+				if li >= 0 {
+					e := &k.btb[li]
+					e.counter = e.counter.Update(true)
+					e.target = target
+				} else {
+					k.btbInsert(s.PC, target)
+				}
+			}
+		case ir.Ret:
+			if tcur >= len(targets) {
+				retErr = k.batchOpErr(op, tcur, len(targets))
+				break loop
+			}
+			target := targets[tcur]
+			tcur++
+			res.Rets++
+			pred, ok := k.rasPop()
+			if ok && pred == target {
+				res.RetsCorrect++
+			} else {
+				res.Mispredicts++
+				c.Mispredicts++
+			}
+		}
+	}
+	k.res = res
+	return retErr
+}

@@ -1,0 +1,273 @@
+package kernel
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"balign/internal/ir"
+	"balign/internal/predict"
+	"balign/internal/trace"
+	"balign/internal/workload"
+)
+
+// packBatches encodes events against lay into batches of at most batchCap
+// ops each, mimicking what a streaming source produces.
+func packBatches(t *testing.T, lay *trace.Layout, events []trace.Event, batchCap int) []*trace.Batch {
+	t.Helper()
+	var batches []*trace.Batch
+	cur := &trace.Batch{}
+	for _, e := range events {
+		if err := lay.Append(cur, e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if cur.Len() >= batchCap {
+			batches = append(batches, cur)
+			cur = &trace.Batch{}
+		}
+	}
+	if cur.Len() > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
+}
+
+// assertBatchParity feeds the same stream to an event-replay kernel and a
+// batch-consuming kernel and requires identical results, per-site costs and
+// cycles — the RunBatch half of the streaming-vs-recorded oracle.
+func assertBatchParity(t *testing.T, prog *ir.Program, arch predict.ArchID, events []trace.Event, batchCap int) {
+	t.Helper()
+	prof := profileOf(t, prog, 2000)
+	ref, err := Compile(prog, prof, arch, nil)
+	if err != nil {
+		t.Fatalf("%s: Compile: %v", arch, err)
+	}
+	if err := ref.Run(events); err != nil {
+		t.Fatalf("%s: Run: %v", arch, err)
+	}
+
+	lay, err := trace.CompileLayout(prog)
+	if err != nil {
+		t.Fatalf("CompileLayout: %v", err)
+	}
+	k, err := CompileArch(lay, prog, prof, arch, nil)
+	if err != nil {
+		t.Fatalf("%s: CompileArch: %v", arch, err)
+	}
+	for _, b := range packBatches(t, lay, events, batchCap) {
+		if err := k.RunBatch(b); err != nil {
+			t.Fatalf("%s: RunBatch: %v", arch, err)
+		}
+	}
+
+	if got, want := k.Result(), ref.Result(); got != want {
+		t.Errorf("%s cap=%d: Result mismatch:\n batch %+v\n event %+v", arch, batchCap, got, want)
+	}
+	if got, want := k.SiteCosts(), ref.SiteCosts(); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s cap=%d: per-site costs diverge (%d batch sites, %d event sites)",
+			arch, batchCap, len(got), len(want))
+	}
+	if got, want := k.SiteCycles(), ref.SiteCycles(); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s cap=%d: per-site cycles diverge", arch, batchCap)
+	}
+}
+
+// TestRunBatchMatchesRun checks every architecture over a branchy assembled
+// program at several batch granularities, including cap 1 (every event its
+// own batch — maximal state-carry stress).
+func TestRunBatchMatchesRun(t *testing.T) {
+	prog := mustAssemble(t, `
+proc main
+    li   r1, 8
+outer:
+    call helper
+    addi r1, r1, -1
+    bnez r1, outer
+    halt
+endproc
+proc helper
+    li   r2, 3
+inner:
+    addi r2, r2, -1
+    bnez r2, inner
+    ret
+endproc
+`)
+	events := recordEvents(t, prog, 2000)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	for _, arch := range allArchs() {
+		for _, cap := range []int{1, 7, 256, 1 << 16} {
+			assertBatchParity(t, prog, arch, events, cap)
+		}
+	}
+}
+
+// TestRunBatchMatchesRunWorkloads repeats batch-vs-event parity over real
+// suite workloads (walker-generated structure, all event kinds).
+func TestRunBatchMatchesRunWorkloads(t *testing.T) {
+	for _, name := range []string{"doduc", "db++"} {
+		t.Run(name, func(t *testing.T) {
+			w, err := workload.ByName(name, workload.Config{Scale: 0.02})
+			if err != nil {
+				t.Fatalf("ByName: %v", err)
+			}
+			prof, _, err := w.CollectProfile()
+			if err != nil {
+				t.Fatalf("CollectProfile: %v", err)
+			}
+			var events []trace.Event
+			if _, err := w.Run(w.Prog, prof, trace.SinkFunc(func(e trace.Event) {
+				events = append(events, e)
+			}), nil); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			lay, err := trace.CompileLayout(w.Prog)
+			if err != nil {
+				t.Fatalf("CompileLayout: %v", err)
+			}
+			for _, arch := range allArchs() {
+				ref, err := Compile(w.Prog, prof, arch, nil)
+				if err != nil {
+					t.Fatalf("%s: Compile: %v", arch, err)
+				}
+				if err := ref.Run(events); err != nil {
+					t.Fatalf("%s: Run: %v", arch, err)
+				}
+				k, err := CompileArch(lay, w.Prog, prof, arch, nil)
+				if err != nil {
+					t.Fatalf("%s: CompileArch: %v", arch, err)
+				}
+				for _, b := range packBatches(t, lay, events, 512) {
+					if err := k.RunBatch(b); err != nil {
+						t.Fatalf("%s: RunBatch: %v", arch, err)
+					}
+				}
+				if got, want := k.Result(), ref.Result(); got != want {
+					t.Errorf("%s: Result mismatch:\n batch %+v\n event %+v", arch, got, want)
+				}
+				if got, want := k.SiteCosts(), ref.SiteCosts(); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: per-site costs diverge", arch)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsShareLayout compiles every architecture against one layout and
+// runs them over the same batches — the fan-out shape the broadcast stage
+// uses — requiring each to match its independently compiled twin.
+func TestKernelsShareLayout(t *testing.T) {
+	prog := mustAssemble(t, `
+proc main
+    li   r1, 5
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`)
+	prof := profileOf(t, prog, 500)
+	events := recordEvents(t, prog, 500)
+	lay, err := trace.CompileLayout(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := packBatches(t, lay, events, 64)
+	for _, arch := range allArchs() {
+		shared, err := CompileArch(lay, prog, prof, arch, nil)
+		if err != nil {
+			t.Fatalf("%s: CompileArch: %v", arch, err)
+		}
+		solo, err := Compile(prog, prof, arch, nil)
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", arch, err)
+		}
+		for _, b := range batches {
+			if err := shared.RunBatch(b); err != nil {
+				t.Fatalf("%s: RunBatch: %v", arch, err)
+			}
+		}
+		if err := solo.Run(events); err != nil {
+			t.Fatalf("%s: Run: %v", arch, err)
+		}
+		if shared.Result() != solo.Result() {
+			t.Errorf("%s: shared-layout kernel diverges from solo kernel", arch)
+		}
+	}
+}
+
+// TestRunBatchErrors: ops from a different layout or with missing dynamic
+// targets must fail, and a valid batch must still work afterwards.
+func TestRunBatchErrors(t *testing.T) {
+	prog := mustAssemble(t, `
+proc main
+    li   r1, 2
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`)
+	lay, err := trace.CompileLayout(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := CompileArch(lay, prog, nil, predict.ArchFallthrough, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site id far out of range.
+	bad := &trace.Batch{Ops: []int32{9999 << trace.OpShift}}
+	if err := k.RunBatch(bad); err == nil {
+		t.Error("RunBatch accepted an out-of-range site id")
+	}
+	// Kind bits disagreeing with the compiled site.
+	wrongKind := &trace.Batch{Ops: []int32{0<<trace.OpShift | int32(ir.Ret)<<1 | 1}}
+	if err := k.RunBatch(wrongKind); err == nil {
+		t.Error("RunBatch accepted a kind mismatch")
+	}
+	// A Ret op with no dynamic target. The program has no ret, so borrow a
+	// second program to build one against its own layout and feed it here.
+	retProg := mustAssemble(t, `
+proc main
+    call f
+    halt
+endproc
+proc f
+    ret
+endproc
+`)
+	retLay, err := trace.CompileLayout(retProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := CompileArch(retLay, retProg, nil, predict.ArchBTB64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retSite := int32(-1)
+	for i, s := range retLay.Sites() {
+		if s.Kind == ir.Ret {
+			retSite = int32(i)
+		}
+	}
+	if retSite < 0 {
+		t.Fatal("no ret site compiled")
+	}
+	noTarget := &trace.Batch{Ops: []int32{retSite<<trace.OpShift | int32(ir.Ret)<<1 | 1}}
+	if err := rk.RunBatch(noTarget); err == nil {
+		t.Error("RunBatch accepted a ret op with no dynamic target")
+	}
+	// A valid batch still works after the failures above.
+	events := recordEvents(t, prog, 100)
+	for i, b := range packBatches(t, lay, events, 1<<16) {
+		if err := k.RunBatch(b); err != nil {
+			t.Errorf("valid batch %d after errors: %v", i, err)
+		}
+	}
+	if k.Result().Events == 0 {
+		t.Error(fmt.Errorf("valid batch accumulated nothing"))
+	}
+}

@@ -63,14 +63,23 @@ type CacheStats struct {
 	// Live is the number of traces currently held.
 	Live int `json:"live"`
 	// LiveEvents and LiveBytes are the break events and estimated bytes
-	// currently held by live traces.
-	LiveEvents uint64 `json:"live_events"`
-	LiveBytes  uint64 `json:"live_bytes"`
+	// currently held by live traces; PeakLiveEvents and PeakLiveBytes are
+	// their high-water marks over the run — the number the streaming
+	// pipeline's bounded buffer ring is measured against.
+	LiveEvents     uint64 `json:"live_events"`
+	LiveBytes      uint64 `json:"live_bytes"`
+	PeakLiveEvents uint64 `json:"peak_live_events"`
+	PeakLiveBytes  uint64 `json:"peak_live_bytes"`
 }
 
 // TraceCache shares recorded traces between the simulators of one
-// experiment grid. Entries are reference-counted so memory stays bounded by
-// the number of variants in flight rather than the whole grid:
+// experiment grid. It is the recorded-mode (StreamOff) half of the trace
+// lifecycle: the streaming pipeline's Streamer replaces it as the default
+// — same generate-once-per-variant contract, but holding a bounded buffer
+// ring instead of whole traces — and this cache remains as the escape
+// hatch and differential oracle. Entries are reference-counted so memory
+// stays bounded by the number of variants in flight rather than the whole
+// grid:
 //
 //  1. the grid builder calls AddRefs(key, n) with the number of cells that
 //     will replay the variant;
@@ -82,15 +91,17 @@ type CacheStats struct {
 // A TraceCache is safe for concurrent use. The zero value is not usable;
 // call NewTraceCache.
 type TraceCache struct {
-	obs        *obs.Recorder
-	mu         sync.Mutex
-	entries    map[string]*cacheEntry
-	liveEvents uint64
-	liveBytes  uint64
-	hits       atomic.Uint64
-	misses     atomic.Uint64
-	errors     atomic.Uint64
-	freed      atomic.Uint64
+	obs            *obs.Recorder
+	mu             sync.Mutex
+	entries        map[string]*cacheEntry
+	liveEvents     uint64
+	liveBytes      uint64
+	peakLiveEvents uint64
+	peakLiveBytes  uint64
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	errors         atomic.Uint64
+	freed          atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -167,6 +178,12 @@ func (c *TraceCache) Acquire(key string, gen func() (*Recorded, error)) (*Record
 	} else if current && rec != nil {
 		c.liveEvents += uint64(len(rec.Events))
 		c.liveBytes += rec.SizeBytes()
+		if c.liveEvents > c.peakLiveEvents {
+			c.peakLiveEvents = c.liveEvents
+		}
+		if c.liveBytes > c.peakLiveBytes {
+			c.peakLiveBytes = c.liveBytes
+		}
 	}
 	c.setGaugesLocked()
 	c.mu.Unlock()
@@ -205,6 +222,8 @@ func (c *TraceCache) setGaugesLocked() {
 	c.obs.Set("sim.cache.live", int64(len(c.entries)))
 	c.obs.Set("sim.cache.live_events", int64(c.liveEvents))
 	c.obs.Set("sim.cache.live_bytes", int64(c.liveBytes))
+	c.obs.Set("sim.cache.peak_live_events", int64(c.peakLiveEvents))
+	c.obs.Set("sim.cache.peak_live_bytes", int64(c.peakLiveBytes))
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -212,14 +231,17 @@ func (c *TraceCache) Stats() CacheStats {
 	c.mu.Lock()
 	live := len(c.entries)
 	liveEvents, liveBytes := c.liveEvents, c.liveBytes
+	peakEvents, peakBytes := c.peakLiveEvents, c.peakLiveBytes
 	c.mu.Unlock()
 	return CacheStats{
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		Errors:     c.errors.Load(),
-		Freed:      c.freed.Load(),
-		Live:       live,
-		LiveEvents: liveEvents,
-		LiveBytes:  liveBytes,
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Errors:         c.errors.Load(),
+		Freed:          c.freed.Load(),
+		Live:           live,
+		LiveEvents:     liveEvents,
+		LiveBytes:      liveBytes,
+		PeakLiveEvents: peakEvents,
+		PeakLiveBytes:  peakBytes,
 	}
 }

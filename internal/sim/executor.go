@@ -10,6 +10,7 @@ import (
 	"balign/internal/obs"
 	"balign/internal/predict"
 	"balign/internal/profile"
+	"balign/internal/trace"
 )
 
 // KernelMode selects how a grid cell's simulation executes.
@@ -26,16 +27,18 @@ const (
 )
 
 // ParseKernelMode parses a -kernel flag value; the empty string selects the
-// flat default.
+// flat default. The error enumerates KernelModes, so the message cannot
+// drift from the accepted set.
 func ParseKernelMode(s string) (KernelMode, error) {
-	switch s {
-	case "", string(KernelFlat):
+	if s == "" {
 		return KernelFlat, nil
-	case string(KernelRef):
-		return KernelRef, nil
-	default:
-		return "", fmt.Errorf("sim: unknown kernel mode %q (known: flat, ref)", s)
 	}
+	for _, m := range KernelModes() {
+		if s == string(m) {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("sim: unknown kernel mode %q (known: %s)", s, modeList(KernelModes()))
 }
 
 // ExecStats splits an executor's work into its compile and run phases. The
@@ -47,8 +50,11 @@ func ParseKernelMode(s string) (KernelMode, error) {
 type ExecStats struct {
 	// Mode is the executor's kernel mode (flat or ref).
 	Mode string `json:"mode"`
-	// Cells is the number of Simulate calls completed.
-	Cells uint64 `json:"cells"`
+	// Cells is the number of Simulate calls completed (recorded-replay
+	// cells); StreamCells counts per-architecture consumers completed by
+	// SimulateStream.
+	Cells       uint64 `json:"cells"`
+	StreamCells uint64 `json:"stream_cells"`
 	// Events is the total number of break events simulated.
 	Events uint64 `json:"events"`
 	// CompileNs is the summed simulator-construction / kernel-compilation
@@ -65,10 +71,11 @@ type Executor struct {
 	mode KernelMode
 	obs  *obs.Recorder
 
-	cells     atomic.Uint64
-	events    atomic.Uint64
-	compileNs atomic.Int64
-	runNs     atomic.Int64
+	cells       atomic.Uint64
+	streamCells atomic.Uint64
+	events      atomic.Uint64
+	compileNs   atomic.Int64
+	runNs       atomic.Int64
 }
 
 // NewExecutor returns an executor in the given mode ("" = flat). rec
@@ -88,11 +95,12 @@ func (x *Executor) Mode() KernelMode { return x.mode }
 // Stats returns a snapshot of the executor's phase-split counters.
 func (x *Executor) Stats() ExecStats {
 	return ExecStats{
-		Mode:      string(x.mode),
-		Cells:     x.cells.Load(),
-		Events:    x.events.Load(),
-		CompileNs: x.compileNs.Load(),
-		RunNs:     x.runNs.Load(),
+		Mode:        string(x.mode),
+		Cells:       x.cells.Load(),
+		StreamCells: x.streamCells.Load(),
+		Events:      x.events.Load(),
+		CompileNs:   x.compileNs.Load(),
+		RunNs:       x.runNs.Load(),
 	}
 }
 
@@ -129,6 +137,88 @@ func (x *Executor) Simulate(arch predict.ArchID, prog *ir.Program, prof *profile
 	}
 	x.cells.Add(1)
 	return res, nil
+}
+
+// SimulateStream runs every architecture over one streamed generation of a
+// variant: src's batches are broadcast through str, each architecture
+// consuming them incrementally against the shared per-program layout. The
+// returned results are index-aligned with archs and identical to what
+// Simulate would produce over the recorded stream — the streaming-vs-
+// recorded oracles enforce this byte for byte.
+//
+// SimulateStream owns src: it is closed before returning, so an aborted
+// broadcast cannot leave a generator goroutine blocked.
+func (x *Executor) SimulateStream(str *Streamer, lay *trace.Layout, src trace.Source,
+	prog *ir.Program, prof *profile.Profile, archs []predict.ArchID) ([]predict.Result, error) {
+	defer src.Close()
+	n := len(archs)
+	if n == 0 {
+		return nil, nil
+	}
+	consumers := make([]func(*trace.Batch) error, n)
+	finish := make([]func() predict.Result, n)
+	// Per-consumer accumulators, each written only by its own goroutine and
+	// read after Broadcast returns (its WaitGroup orders the accesses).
+	runNs := make([]int64, n)
+	events := make([]uint64, n)
+
+	cstart := time.Now()
+	switch x.mode {
+	case KernelRef:
+		for i, arch := range archs {
+			s, err := predict.NewSimulator(arch, prog, prof)
+			if err != nil {
+				return nil, err
+			}
+			i, s := i, s
+			consumers[i] = func(b *trace.Batch) error {
+				start := time.Now()
+				err := lay.Decode(b, func(e trace.Event) { s.Event(e) })
+				runNs[i] += int64(time.Since(start))
+				events[i] += uint64(b.Len())
+				return err
+			}
+			finish[i] = s.Result
+		}
+	default:
+		for i, arch := range archs {
+			k, err := kernel.CompileArch(lay, prog, prof, arch, x.obs)
+			if err != nil {
+				return nil, err
+			}
+			i, k := i, k
+			consumers[i] = func(b *trace.Batch) error {
+				start := time.Now()
+				err := k.RunBatch(b)
+				runNs[i] += int64(time.Since(start))
+				events[i] += uint64(b.Len())
+				return err
+			}
+			finish[i] = k.Result
+		}
+	}
+	x.noteCompile(cstart)
+
+	if err := str.Broadcast(src, consumers); err != nil {
+		return nil, err
+	}
+	results := make([]predict.Result, n)
+	for i := range finish {
+		results[i] = finish[i]()
+	}
+	var totalNs int64
+	var totalEvents uint64
+	for i := range runNs {
+		totalNs += runNs[i]
+		totalEvents += events[i]
+	}
+	x.runNs.Add(totalNs)
+	x.events.Add(totalEvents)
+	x.obs.Add("sim.exec.run_ns", totalNs)
+	x.obs.Add("sim.exec.events", int64(totalEvents))
+	x.streamCells.Add(uint64(n))
+	x.obs.Add("sim.exec.stream_cells", int64(n))
+	return results, nil
 }
 
 func (x *Executor) noteCompile(start time.Time) {

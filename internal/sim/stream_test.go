@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"balign/internal/ir"
+	"balign/internal/obs"
+	"balign/internal/predict"
+	"balign/internal/profile"
+	"balign/internal/trace"
+	"balign/internal/workload"
+)
+
+func TestParseStreamMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want StreamMode
+		err  bool
+	}{
+		{"", StreamOn, false},
+		{"on", StreamOn, false},
+		{"off", StreamOff, false},
+		{"yes", "", true},
+		{"ON", "", true},
+		{"record", "", true},
+	}
+	for _, c := range cases {
+		got, err := ParseStreamMode(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseStreamMode(%q) error = %v, want error %v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseStreamMode(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if err != nil && !strings.Contains(err.Error(), "on, off") {
+			t.Errorf("ParseStreamMode(%q) error %q does not enumerate the valid modes", c.in, err)
+		}
+	}
+}
+
+// TestParseKernelModeEnumeratesModes pins the error-message contract: the
+// message must list every accepted value.
+func TestParseKernelModeEnumeratesModes(t *testing.T) {
+	_, err := ParseKernelMode("bogus")
+	if err == nil {
+		t.Fatal("ParseKernelMode(bogus) succeeded")
+	}
+	for _, m := range KernelModes() {
+		if !strings.Contains(err.Error(), string(m)) {
+			t.Errorf("error %q does not mention mode %q", err, m)
+		}
+	}
+}
+
+// streamFixture records one workload trace and exposes it both as a
+// Recorded (for Simulate) and as a replaying Source factory (for
+// SimulateStream), so the two paths consume identical streams.
+type streamFixture struct {
+	w    *workload.Workload
+	prof *profile.Profile
+	rec  *Recorded
+	lay  *trace.Layout
+}
+
+func newStreamFixture(t *testing.T) *streamFixture {
+	t.Helper()
+	w, err := workload.ByName("eqntott", workload.Config{Scale: 0.05})
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	prof, _, err := w.CollectProfile()
+	if err != nil {
+		t.Fatalf("CollectProfile: %v", err)
+	}
+	rec, err := Record(func(sink trace.Sink) (uint64, error) {
+		return w.Run(w.Prog, prof, sink, nil)
+	})
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	lay, err := trace.CompileLayout(w.Prog)
+	if err != nil {
+		t.Fatalf("CompileLayout: %v", err)
+	}
+	return &streamFixture{w: w, prof: prof, rec: rec, lay: lay}
+}
+
+// source returns a fresh Source replaying the fixture's recorded stream.
+func (f *streamFixture) source(batchCap int) trace.Source {
+	return trace.NewFuncSource(f.lay, batchCap, func(sink trace.Sink) (uint64, error) {
+		f.rec.Replay(sink)
+		return f.rec.Instrs, nil
+	})
+}
+
+// TestSimulateStreamMatchesSimulate is the executor half of the streaming
+// oracle: for both kernel modes, one broadcast generation over all
+// architectures must reproduce per-cell recorded replay exactly.
+func TestSimulateStreamMatchesSimulate(t *testing.T) {
+	f := newStreamFixture(t)
+	archs := append(predict.AllArchs(), predict.ArchPHTLocal)
+	for _, mode := range []KernelMode{KernelFlat, KernelRef} {
+		t.Run(string(mode), func(t *testing.T) {
+			rec := obs.New("test")
+			x, err := NewExecutor(string(mode), rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]predict.Result, len(archs))
+			for i, arch := range archs {
+				r, err := x.Simulate(arch, f.w.Prog, f.prof, f.rec)
+				if err != nil {
+					t.Fatalf("%s: Simulate: %v", arch, err)
+				}
+				want[i] = r
+			}
+
+			str := NewStreamer(0, 512, rec)
+			got, err := x.SimulateStream(str, f.lay, f.source(512), f.w.Prog, f.prof, archs)
+			if err != nil {
+				t.Fatalf("SimulateStream: %v", err)
+			}
+			for i, arch := range archs {
+				if got[i] != want[i] {
+					t.Errorf("%s: streamed and recorded results differ:\n stream %+v\n record %+v",
+						arch, got[i], want[i])
+				}
+			}
+
+			st := str.Stats()
+			if st.Broadcasts != 1 {
+				t.Errorf("Broadcasts = %d, want 1", st.Broadcasts)
+			}
+			if st.Events != uint64(len(f.rec.Events)) {
+				t.Errorf("stream Events = %d, want %d", st.Events, len(f.rec.Events))
+			}
+			if wantBatches := (uint64(len(f.rec.Events)) + 511) / 512; st.Batches != wantBatches {
+				t.Errorf("Batches = %d, want %d", st.Batches, wantBatches)
+			}
+			if st.PeakLiveBytes == 0 {
+				t.Error("PeakLiveBytes = 0, want ring footprint recorded")
+			}
+			if st.LiveBuffers != 0 || st.LiveBytes != 0 {
+				t.Errorf("ring not released: %d buffers, %d bytes live", st.LiveBuffers, st.LiveBytes)
+			}
+			if xs := x.Stats(); xs.StreamCells != uint64(len(archs)) {
+				t.Errorf("StreamCells = %d, want %d", xs.StreamCells, len(archs))
+			}
+		})
+	}
+}
+
+// TestSimulateStreamBoundedMemory pins the headline memory property: the
+// ring's peak footprint must be far below the recorded trace's.
+func TestSimulateStreamBoundedMemory(t *testing.T) {
+	f := newStreamFixture(t)
+	x, err := NewExecutor("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := NewStreamer(4, 1024, nil)
+	if _, err := x.SimulateStream(str, f.lay, f.source(1024), f.w.Prog, f.prof, predict.AllArchs()); err != nil {
+		t.Fatal(err)
+	}
+	peak, whole := str.Stats().PeakLiveBytes, f.rec.SizeBytes()
+	if peak*5 > whole {
+		t.Errorf("streaming peak %d bytes is not >=5x below the recorded trace's %d bytes", peak, whole)
+	}
+}
+
+// TestBroadcastConsumerError: a failing consumer must abort the broadcast
+// without deadlock and surface its error.
+func TestBroadcastConsumerError(t *testing.T) {
+	f := newStreamFixture(t)
+	str := NewStreamer(2, 64, nil)
+	var healthyBatches atomic.Int64
+	err := str.Broadcast(f.source(64), []func(*trace.Batch) error{
+		func(*trace.Batch) error { healthyBatches.Add(1); return nil },
+		func(*trace.Batch) error { return fmt.Errorf("consumer blew up") },
+	})
+	if err == nil || !strings.Contains(err.Error(), "consumer blew up") {
+		t.Fatalf("Broadcast error = %v, want consumer failure", err)
+	}
+	if st := str.Stats(); st.LiveBuffers != 0 {
+		t.Errorf("ring not released after failure: %d buffers live", st.LiveBuffers)
+	}
+	if healthyBatches.Load() == 0 {
+		t.Error("healthy consumer saw no batches before the abort")
+	}
+}
+
+// TestBroadcastSourceError: a failing source propagates and wins over
+// consumer state.
+func TestBroadcastSourceError(t *testing.T) {
+	f := newStreamFixture(t)
+	boom := trace.NewFuncSource(f.lay, 16, func(sink trace.Sink) (uint64, error) {
+		// A PC with no layout slot makes the packing sink fail the fill.
+		sink.Event(trace.Event{PC: 0xbad0_0000, Kind: ir.CondBr})
+		return 0, nil
+	})
+	defer boom.Close()
+	str := NewStreamer(0, 16, nil)
+	err := str.Broadcast(boom, []func(*trace.Batch) error{func(*trace.Batch) error { return nil }})
+	if err == nil {
+		t.Fatal("Broadcast with failing source succeeded")
+	}
+}
+
+// TestBroadcastBackpressure: a consumer slower than the producer must stall
+// the producer (bounded ring), and the stall must be measured.
+func TestBroadcastBackpressure(t *testing.T) {
+	f := newStreamFixture(t)
+	str := NewStreamer(2, 32, nil)
+	err := str.Broadcast(f.source(32), []func(*trace.Batch) error{
+		func(*trace.Batch) error { time.Sleep(200 * time.Microsecond); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := str.Stats()
+	if st.Batches == 0 {
+		t.Fatal("no batches broadcast")
+	}
+	if st.StallsNs == 0 {
+		t.Error("producer never stalled against a deliberately slow consumer")
+	}
+}
+
+// TestBroadcastConcurrent runs several broadcasts in parallel over one
+// shared Streamer — the engine's per-variant task shape — and checks the
+// aggregate accounting balances. Run with -race this doubles as the
+// broadcast stage's data-race probe.
+func TestBroadcastConcurrent(t *testing.T) {
+	f := newStreamFixture(t)
+	str := NewStreamer(3, 128, obs.New("test"))
+	const grids = 4
+	errc := make(chan error, grids)
+	var events atomic.Uint64
+	for g := 0; g < grids; g++ {
+		go func() {
+			errc <- str.Broadcast(f.source(128), []func(*trace.Batch) error{
+				func(b *trace.Batch) error { events.Add(uint64(b.Len())); return nil },
+				func(b *trace.Batch) error { return nil },
+				func(b *trace.Batch) error { return nil },
+			})
+		}()
+	}
+	for g := 0; g < grids; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := str.Stats()
+	if st.Broadcasts != grids {
+		t.Errorf("Broadcasts = %d, want %d", st.Broadcasts, grids)
+	}
+	if want := uint64(grids) * uint64(len(f.rec.Events)); st.Events != want || events.Load() != want {
+		t.Errorf("events: streamer %d, consumer %d, want %d", st.Events, events.Load(), want)
+	}
+	if st.LiveBuffers != 0 || st.LiveBytes != 0 {
+		t.Errorf("ring not fully released: %d buffers, %d bytes", st.LiveBuffers, st.LiveBytes)
+	}
+}
+
+// TestCachePeakGauges: the demoted recorded-mode cache must report its
+// high-water marks so streaming's bounded ring has a baseline to compare
+// against.
+func TestCachePeakGauges(t *testing.T) {
+	c := NewTraceCache()
+	c.AddRefs("a", 1)
+	c.AddRefs("b", 1)
+	mk := func(n int) func() (*Recorded, error) {
+		return func() (*Recorded, error) {
+			return &Recorded{Events: make([]trace.Event, n), Instrs: uint64(n)}, nil
+		}
+	}
+	if _, err := c.Acquire("a", mk(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire("b", mk(50)); err != nil {
+		t.Fatal(err)
+	}
+	c.Release("a")
+	c.Release("b")
+	st := c.Stats()
+	if st.Live != 0 || st.LiveEvents != 0 {
+		t.Errorf("cache not drained: %+v", st)
+	}
+	if st.PeakLiveEvents != 150 {
+		t.Errorf("PeakLiveEvents = %d, want 150", st.PeakLiveEvents)
+	}
+	if st.PeakLiveBytes == 0 {
+		t.Error("PeakLiveBytes = 0")
+	}
+}

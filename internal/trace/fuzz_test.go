@@ -32,9 +32,9 @@ func FuzzReadFile(f *testing.F) {
 	f.Add([]byte("BATRACE1"))
 	f.Add([]byte("NOTMAGIC")) // wrong magic, right length
 	f.Add(valid)
-	f.Add(valid[:len(valid)-1])                                              // truncated record
-	f.Add(append(append([]byte{}, valid...), 0x80, 0x80, 0x80))              // trailing unterminated varint
-	f.Add(append([]byte("BATRACE1"), 0, 0, 0))                               // kind 0 (Op) is invalid
+	f.Add(valid[:len(valid)-1])                                 // truncated record
+	f.Add(append(append([]byte{}, valid...), 0x80, 0x80, 0x80)) // trailing unterminated varint
+	f.Add(append([]byte("BATRACE1"), 0, 0, 0))                  // kind 0 (Op) is invalid
 	f.Add(append([]byte("BATRACE1"), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
 		0x80, 0x80, 0x80, 0x80, 0x80, 0x01)) // 11-byte varint overflow
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -221,7 +221,14 @@ func (w *Walker) Run(sink Sink, edges EdgeSink) (instrs uint64, runs int) {
 
 // pickTarget samples an indirect-jump target index using the model weights.
 func (w *Walker) pickTarget(rng *rand.Rand, proc int, block ir.BlockID, n int) int {
-	weights := w.Model.IJumpWeights(proc, block)
+	return pickIndex(rng, w.Model.IJumpWeights(proc, block), n)
+}
+
+// pickIndex samples an index in [0, n) from the given relative weights,
+// falling back to uniform when the weights are missing, mis-sized or
+// degenerate. Shared by Walker and WalkSource so both consume the RNG
+// identically.
+func pickIndex(rng *rand.Rand, weights []float64, n int) int {
 	if len(weights) != n {
 		return rng.Intn(n)
 	}

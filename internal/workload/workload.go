@@ -162,6 +162,68 @@ func (w *Workload) Run(prog *ir.Program, pf *profile.Profile, sink trace.Sink, e
 	return instrs, nil
 }
 
+// Stream traces prog exactly as Run does — same model, seed, budget and
+// work-equivalence rules — but as a pull-style trace.Source of packed
+// batches against prog's layout, so the stream can be broadcast to many
+// simulators without materializing the trace. batchCap 0 selects
+// trace.DefaultBatchCap.
+//
+// VM kernels run on a generator goroutine behind a trace.FuncSource;
+// walker-backed workloads use the compiled trace.WalkSource directly. The
+// event stream is byte-identical to what Run would deliver — the
+// streaming-vs-recorded oracles enforce this.
+func (w *Workload) Stream(prog *ir.Program, pf *profile.Profile, lay *trace.Layout, batchCap int) (trace.Source, error) {
+	if w.IsKernel() {
+		return trace.NewFuncSource(lay, batchCap, func(sink trace.Sink) (uint64, error) {
+			return w.Run(prog, pf, sink, nil)
+		}), nil
+	}
+
+	var model trace.Model
+	switch {
+	case pf != nil:
+		model = pf.Model(prog)
+	case prog == w.Prog:
+		model = w.native
+	default:
+		return nil, fmt.Errorf("workload %s: streaming a non-original program requires its profile", w.Name)
+	}
+	walker := &trace.Walker{
+		Prog:      prog,
+		Model:     model,
+		Seed:      w.seed,
+		MaxInstrs: w.budget,
+	}
+	if origRuns := w.origRuns(); prog != w.Prog && origRuns > 0 {
+		walker.MaxRuns = origRuns
+		walker.MaxInstrs = w.budget * 3
+	}
+	ws, err := trace.NewWalkSource(walker, lay, batchCap)
+	if err != nil {
+		return nil, err
+	}
+	if prog == w.Prog {
+		return &origWalkSource{WalkSource: ws, w: w}, nil
+	}
+	return ws, nil
+}
+
+// origWalkSource wraps the original program's walk source so that, like
+// Run, exhausting it records the completed-run count that makes later
+// variant walks work-equivalent.
+type origWalkSource struct {
+	*trace.WalkSource
+	w *Workload
+}
+
+func (s *origWalkSource) Fill(b *trace.Batch) (bool, error) {
+	ok, err := s.WalkSource.Fill(b)
+	if !ok && err == nil {
+		s.w.noteOrigRuns(s.WalkSource.Runs())
+	}
+	return ok, err
+}
+
 // CollectProfile traces the original program and returns its edge profile
 // (the "training run" of profile-guided alignment).
 func (w *Workload) CollectProfile() (*profile.Profile, uint64, error) {
