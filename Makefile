@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify ci staticcheck govulncheck fuzz-smoke bench bench-suite bench-kernel bench-stream tables report
+.PHONY: build test verify ci staticcheck govulncheck fuzz-smoke serve-smoke bench bench-suite bench-kernel bench-stream tables report
 
 # Pinned external analyzer versions; CI installs exactly these, local runs
 # use whatever is on PATH (or skip with a notice).
@@ -33,6 +33,7 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) serve-smoke
 
 # staticcheck / govulncheck run the pinned external analyzers when present
 # on PATH and skip with a notice otherwise, so `make ci` works in offline
@@ -59,7 +60,15 @@ govulncheck:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadFile -fuzztime=10s -run '^$$' ./internal/trace
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm
+	$(GO) test -fuzz=FuzzAlignHandler -fuzztime=10s -run '^$$' ./internal/serve
 	$(GO) test -race -run 'TestBroadcast|TestSimulateStream' ./internal/sim
+
+# serve-smoke boots a real balignd process on an ephemeral port, drives
+# /healthz, /v1/align and /v1/simulate over HTTP, then SIGTERMs it and
+# asserts a clean graceful drain. Complements the in-process httptest
+# coverage in internal/serve with a real listener + signal path.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # report runs a small suite with run telemetry enabled, emitting a JSON
 # run report (per-shard spans, engine stats, trace-cache stats, the

@@ -1,0 +1,70 @@
+package cost
+
+import (
+	"balign/internal/ir"
+	"balign/internal/profile"
+)
+
+// SiteCost is the expected cycle cost of one branch site of a laid-out
+// procedure under a model. It is the per-site decomposition of ProcCost:
+// summing Cost over ProcSiteCosts(p, pp, m) equals ProcCost(p, pp, m)
+// exactly (same floating-point operations in the same per-site order), so
+// site diffs between two layouts always reconcile with the procedure
+// totals they came from.
+type SiteCost struct {
+	// Block is the site's block ID in p; Orig is that block's provenance
+	// (ir.Block.Orig — ir.NoBlock for rewriter-synthesized jump blocks),
+	// which is what lets a site be matched to its counterpart across an
+	// alignment rewrite.
+	Block ir.BlockID
+	Orig  ir.BlockID
+	// PC is the branch instruction's address in the laid-out procedure.
+	PC uint64
+	// Kind is the terminator kind: ir.CondBr or ir.Br.
+	Kind ir.Kind
+	// Cost is the site's expected cycles under the model.
+	Cost float64
+}
+
+// ProcSiteCosts prices each costed branch site of a procedure individually,
+// in block order: the conditional and unconditional direct branches that
+// ProcCost sums (indirect jumps, calls and returns are layout-invariant and
+// excluded there too). The procedure must have addresses assigned.
+func ProcSiteCosts(p *ir.Proc, pp *profile.ProcProfile, m Model) []SiteCost {
+	var sites []SiteCost
+	for id, b := range p.Blocks {
+		term, ok := b.Terminator()
+		if !ok {
+			continue
+		}
+		switch term.Kind() {
+		case ir.CondBr:
+			tgt := p.Block(term.TargetBlock)
+			wTaken := pp.Weight(ir.BlockID(id), term.TargetBlock)
+			var wFall uint64
+			if f := ir.BlockID(id) + 1; int(f) < len(p.Blocks) {
+				wFall = pp.Weight(ir.BlockID(id), f)
+				if term.TargetBlock == f {
+					// Degenerate branch: both directions reach the same
+					// block; use the recorded outcome split if present
+					// (mirrors ProcCost).
+					c := pp.Branches[ir.BlockID(id)]
+					if c.Total() > 0 {
+						wTaken, wFall = c.Taken, c.Fall
+					}
+				}
+			}
+			backward := tgt.Addr <= b.TermAddr()
+			sites = append(sites, SiteCost{
+				Block: ir.BlockID(id), Orig: b.Orig, PC: b.TermAddr(),
+				Kind: ir.CondBr, Cost: m.CondBranch(wFall, wTaken, backward),
+			})
+		case ir.Br:
+			sites = append(sites, SiteCost{
+				Block: ir.BlockID(id), Orig: b.Orig, PC: b.TermAddr(),
+				Kind: ir.Br, Cost: m.Uncond(pp.Weight(ir.BlockID(id), term.TargetBlock)),
+			})
+		}
+	}
+	return sites
+}

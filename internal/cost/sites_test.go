@@ -1,0 +1,79 @@
+package cost_test
+
+import (
+	"math"
+	"testing"
+
+	"balign/internal/asm"
+	"balign/internal/core"
+	"balign/internal/cost"
+	"balign/internal/predict"
+	"balign/internal/profile"
+	"balign/internal/vm"
+)
+
+const sitesSrc = `
+mem 16
+proc main
+    li r1, 50
+loop:
+    addi r2, r2, 1
+    andi r3, r2, 3
+    bnez r3, hot
+    addi r4, r4, 1
+    br join
+hot:
+    addi r5, r5, 1
+join:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`
+
+// TestProcSiteCostsSumEqualsProcCost asserts the per-site decomposition
+// reconciles exactly with the procedure total — on the original layout and
+// on every algorithm's aligned layout, under every architecture's model.
+func TestProcSiteCostsSumEqualsProcCost(t *testing.T) {
+	prog, err := asm.Assemble(sitesSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := profile.NewCollector(prog)
+	if _, err := vm.New(prog).Run(nil, col); err != nil {
+		t.Fatal(err)
+	}
+	pf := col.Profile()
+
+	for _, arch := range predict.AllArchs() {
+		m, err := cost.ForArch(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []core.Algorithm{core.AlgoOriginal, core.AlgoGreedy, core.AlgoCost, core.AlgoTryN} {
+			opts := core.Options{Algorithm: algo}
+			if algo == core.AlgoCost || algo == core.AlgoTryN {
+				opts.Model = m
+			}
+			res, err := core.AlignProgram(prog, pf, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, proc := range res.Prog.Procs {
+				pp, ok := res.Prof.Procs[proc.Name]
+				if !ok {
+					continue
+				}
+				want := cost.ProcCost(proc, pp, m)
+				sum := 0.0
+				for _, sc := range cost.ProcSiteCosts(proc, pp, m) {
+					sum += sc.Cost
+				}
+				if math.Abs(sum-want) > 1e-9 {
+					t.Errorf("%s/%s/%s: site sum %.9f != proc cost %.9f",
+						arch, algo, proc.Name, sum, want)
+				}
+			}
+		}
+	}
+}

@@ -87,6 +87,11 @@ type Config struct {
 	// observation-only, so results are byte-identical with it on or off —
 	// the differential oracle tests assert this.
 	Obs *obs.Recorder
+	// Ctx bounds the whole run: cancelling it (a server request deadline,
+	// an interrupted CLI) aborts in-flight shards promptly — including
+	// broadcasts blocked on the streaming buffer ring — and the run
+	// returns the context's error. Nil means context.Background().
+	Ctx context.Context
 }
 
 func (c Config) window() int {
@@ -110,7 +115,7 @@ func runIndexed(cfg Config, kind string, labels []string, fn func(i int) error) 
 		i := i
 		tasks[i] = sim.Task{Label: kind + "/" + labels[i], Run: func(context.Context) error { return fn(i) }}
 	}
-	return cfg.engine().Run(nil, tasks)
+	return cfg.engine().Run(cfg.Ctx, tasks)
 }
 
 func (c Config) workloads() ([]*workload.Workload, error) {
@@ -344,8 +349,10 @@ func runCell(u *evalUnit, key string, spec simSpec, cache *sim.TraceCache, exec 
 // runVariant simulates every cell of one variant in a single streamed
 // generation: the variant's event stream is generated once and broadcast to
 // all of its architectures' kernels concurrently. cells[base:base+len(specs)]
-// receives the results in spec order.
-func runVariant(u *evalUnit, key string, str *sim.Streamer, exec *sim.Executor, cells []Cell, base int) error {
+// receives the results in spec order. ctx is the shard's context: when the
+// engine cancels (another shard failed, the run's deadline passed) the
+// broadcast aborts promptly instead of draining the stream.
+func runVariant(ctx context.Context, u *evalUnit, key string, str *sim.Streamer, exec *sim.Executor, cells []Cell, base int) error {
 	v := u.variants[key]
 	lay, err := trace.CompileLayout(v.prog)
 	if err != nil {
@@ -360,7 +367,7 @@ func runVariant(u *evalUnit, key string, str *sim.Streamer, exec *sim.Executor, 
 	for i, spec := range specs {
 		archs[i] = spec.arch
 	}
-	results, err := exec.SimulateStream(str, lay, src, v.prog, v.prof, archs)
+	results, err := exec.SimulateStream(ctx, str, lay, src, v.prog, v.prof, archs)
 	if err != nil {
 		return fmt.Errorf("evaluating %s/%s: %w", u.w.Name, key, err)
 	}
@@ -410,7 +417,7 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 			return nil
 		}}
 	}
-	if err := eng.Run(nil, prep); err != nil {
+	if err := eng.Run(cfg.Ctx, prep); err != nil {
 		return nil, err
 	}
 
@@ -447,8 +454,8 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 			u := units[vt.unit]
 			tasks[i] = sim.Task{
 				Label: fmt.Sprintf("%s/%s", u.w.Name, vt.key),
-				Run: func(context.Context) error {
-					return runVariant(u, vt.key, str, exec, cells, vt.base)
+				Run: func(ctx context.Context) error {
+					return runVariant(ctx, u, vt.key, str, exec, cells, vt.base)
 				},
 			}
 		}
@@ -471,7 +478,7 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 			}
 		}
 	}
-	if err := eng.Run(nil, tasks); err != nil {
+	if err := eng.Run(cfg.Ctx, tasks); err != nil {
 		return nil, err
 	}
 

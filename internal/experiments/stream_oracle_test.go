@@ -125,7 +125,7 @@ func TestStreamPerSiteParityAcrossGrid(t *testing.T) {
 					kernels[i] = k
 					consumers[i] = k.RunBatch
 				}
-				if err := str.Broadcast(src, consumers); err != nil {
+				if err := str.Broadcast(nil, src, consumers); err != nil {
 					t.Fatalf("%s: Broadcast: %v", key, err)
 				}
 				if got, want := src.Instrs(), rec.Instrs; got != want {

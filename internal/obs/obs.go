@@ -299,3 +299,9 @@ func (r *Recorder) Publish(name string) {
 func ListenAndServeDebug(addr string) error {
 	return http.ListenAndServe(addr, nil)
 }
+
+// DebugHandler returns the handler behind ListenAndServeDebug — the default
+// mux carrying /debug/pprof (registered by this package's net/http/pprof
+// import) and /debug/vars (expvar) — so a server with its own mux can mount
+// the standard debug endpoints under its /debug/ prefix.
+func DebugHandler() http.Handler { return http.DefaultServeMux }

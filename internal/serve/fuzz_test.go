@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// FuzzAlignHandler throws arbitrary bodies at POST /v1/align and asserts
+// the hardening contract: the handler never panics (the recovery
+// middleware's hook re-panics so a handler panic surfaces as a fuzz crash
+// instead of a silent 500), and every response — success or failure — is
+// valid JSON, with non-200s always carrying the error envelope.
+func FuzzAlignHandler(f *testing.F) {
+	s, err := New(Config{
+		CacheEntries: -1, // no result cache: every input exercises the full path
+		Timeout:      5 * time.Second,
+		MaxBodyBytes: 1 << 16,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.panicHook = func(v any) { panic(v) }
+	handler := s.Handler()
+
+	// Seed with a fully valid request built from the committed fixtures,
+	// plus the committed corpus under testdata/fuzz/FuzzAlignHandler.
+	asmSrc, err := os.ReadFile(filepath.Join("testdata", "sample.asm"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	profSrc, err := os.ReadFile(filepath.Join("testdata", "sample.prof"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(map[string]any{
+		"name": "sample", "asm": string(asmSrc), "profile": string(profSrc),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"asm":"proc main\n halt\nendproc\n","profile":"program p\ninstrs 1\n"}`))
+	f.Add([]byte(`{"asm":"`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/align", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, req)
+
+		resp := w.Result()
+		defer resp.Body.Close()
+		out := w.Body.Bytes()
+		if !json.Valid(out) {
+			t.Fatalf("status %d: response is not valid JSON: %q", resp.StatusCode, out)
+		}
+		if resp.StatusCode == http.StatusOK {
+			return
+		}
+		var env errEnvelope
+		if err := json.Unmarshal(out, &env); err != nil {
+			t.Fatalf("status %d: not an error envelope: %v (%q)", resp.StatusCode, err, out)
+		}
+		if env.Error.Code == "" || env.Error.Message == "" {
+			t.Fatalf("status %d: empty error envelope fields: %q", resp.StatusCode, out)
+		}
+	})
+}

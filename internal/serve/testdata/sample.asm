@@ -1,0 +1,33 @@
+; sample: serve-layer fixture with alignment-sensitive control flow.
+; The main loop's conditional is skewed 7:1 toward `common`, so the
+; original layout (hot path = taken branch) leaves cycles on the table
+; that the alignment algorithms recover; `rare` carries an unconditional
+; detour the rewriter can remove.
+mem 64
+entry main
+
+proc main
+    li r1, 200
+loop:
+    addi r2, r2, 1
+    andi r3, r2, 7
+    bnez r3, common
+    addi r4, r4, 1
+    br join
+common:
+    addi r5, r5, 2
+join:
+    addi r1, r1, -1
+    bnez r1, loop
+    call helper
+    halt
+endproc
+
+proc helper
+    li r6, 24
+hloop:
+    addi r7, r7, 3
+    addi r6, r6, -1
+    bnez r6, hloop
+    ret
+endproc

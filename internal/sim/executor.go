@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -148,7 +149,12 @@ func (x *Executor) Simulate(arch predict.ArchID, prog *ir.Program, prof *profile
 //
 // SimulateStream owns src: it is closed before returning, so an aborted
 // broadcast cannot leave a generator goroutine blocked.
-func (x *Executor) SimulateStream(str *Streamer, lay *trace.Layout, src trace.Source,
+//
+// ctx bounds the broadcast: cancelling it (a request deadline, a failing
+// sibling shard) aborts the stream promptly and SimulateStream returns the
+// context's error with every ring buffer released. A nil ctx means
+// context.Background().
+func (x *Executor) SimulateStream(ctx context.Context, str *Streamer, lay *trace.Layout, src trace.Source,
 	prog *ir.Program, prof *profile.Profile, archs []predict.ArchID) ([]predict.Result, error) {
 	defer src.Close()
 	n := len(archs)
@@ -199,7 +205,7 @@ func (x *Executor) SimulateStream(str *Streamer, lay *trace.Layout, src trace.So
 	}
 	x.noteCompile(cstart)
 
-	if err := str.Broadcast(src, consumers); err != nil {
+	if err := str.Broadcast(ctx, src, consumers); err != nil {
 		return nil, err
 	}
 	results := make([]predict.Result, n)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -132,13 +133,25 @@ type sharedBatch struct {
 // order, each batch shared read-only. A consumer returning an error stops
 // receiving work (its remaining deliveries are drained and released) and
 // aborts the producer at the next batch boundary. The first failure — the
-// source's, else the lowest-indexed consumer's — is returned.
+// context's, else the source's, else the lowest-indexed consumer's — is
+// returned.
+//
+// Cancelling ctx aborts the broadcast promptly: the producer observes the
+// cancellation both between batches and while blocked on the buffer ring,
+// and consumers stop doing work at their next batch boundary (batches are
+// bounded by the batch capacity, so no consumer runs unbounded after the
+// cancel). Either way every ring buffer is drained and released before
+// Broadcast returns, so the live-bytes and live-buffer gauges return to
+// their pre-call values. A nil ctx means context.Background().
 //
 // The caller keeps ownership of src (including Close); Broadcast never
 // returns while any consumer is still running.
-func (s *Streamer) Broadcast(src trace.Source, consumers []func(*trace.Batch) error) error {
+func (s *Streamer) Broadcast(ctx context.Context, src trace.Source, consumers []func(*trace.Batch) error) error {
 	if len(consumers) == 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	n := len(consumers)
 	free := make(chan *sharedBatch, s.buffers)
@@ -167,7 +180,10 @@ func (s *Streamer) Broadcast(src trace.Source, consumers []func(*trace.Batch) er
 		go func() {
 			defer wg.Done()
 			for sb := range chans[i] {
-				if errs[i] == nil {
+				// A cancelled context stops this consumer's work at the
+				// batch boundary; already-queued batches are still drained
+				// and released below so the ring empties out.
+				if errs[i] == nil && ctx.Err() == nil {
 					if err := consume(&sb.b); err != nil {
 						errs[i] = err
 						failed.Store(true)
@@ -187,13 +203,30 @@ func (s *Streamer) Broadcast(src trace.Source, consumers []func(*trace.Batch) er
 		stallsNs int64
 	)
 	for !failed.Load() {
+		if err := ctx.Err(); err != nil {
+			prodErr = err
+			break
+		}
 		var sb *sharedBatch
 		select {
 		case sb = <-free:
 		default:
+			// Blocked on the ring: this wait is the backpressure (stall)
+			// measurement, and also where a cancelled request must not hang
+			// behind a slow consumer — hence the ctx arm.
 			start := time.Now()
-			sb = <-free
-			stallsNs += int64(time.Since(start))
+			select {
+			case sb = <-free:
+				stallsNs += int64(time.Since(start))
+			case <-ctx.Done():
+				stallsNs += int64(time.Since(start))
+				prodErr = ctx.Err()
+			}
+		}
+		if prodErr != nil {
+			// Cancelled while waiting for a buffer; none was taken, so
+			// nothing needs returning to the ring.
+			break
 		}
 		ok, err := src.Fill(&sb.b)
 		if size := sb.b.SizeBytes(); size != sb.size {

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -120,7 +122,7 @@ func TestSimulateStreamMatchesSimulate(t *testing.T) {
 			}
 
 			str := NewStreamer(0, 512, rec)
-			got, err := x.SimulateStream(str, f.lay, f.source(512), f.w.Prog, f.prof, archs)
+			got, err := x.SimulateStream(nil, str, f.lay, f.source(512), f.w.Prog, f.prof, archs)
 			if err != nil {
 				t.Fatalf("SimulateStream: %v", err)
 			}
@@ -163,7 +165,7 @@ func TestSimulateStreamBoundedMemory(t *testing.T) {
 		t.Fatal(err)
 	}
 	str := NewStreamer(4, 1024, nil)
-	if _, err := x.SimulateStream(str, f.lay, f.source(1024), f.w.Prog, f.prof, predict.AllArchs()); err != nil {
+	if _, err := x.SimulateStream(nil, str, f.lay, f.source(1024), f.w.Prog, f.prof, predict.AllArchs()); err != nil {
 		t.Fatal(err)
 	}
 	peak, whole := str.Stats().PeakLiveBytes, f.rec.SizeBytes()
@@ -178,7 +180,7 @@ func TestBroadcastConsumerError(t *testing.T) {
 	f := newStreamFixture(t)
 	str := NewStreamer(2, 64, nil)
 	var healthyBatches atomic.Int64
-	err := str.Broadcast(f.source(64), []func(*trace.Batch) error{
+	err := str.Broadcast(nil, f.source(64), []func(*trace.Batch) error{
 		func(*trace.Batch) error { healthyBatches.Add(1); return nil },
 		func(*trace.Batch) error { return fmt.Errorf("consumer blew up") },
 	})
@@ -204,7 +206,7 @@ func TestBroadcastSourceError(t *testing.T) {
 	})
 	defer boom.Close()
 	str := NewStreamer(0, 16, nil)
-	err := str.Broadcast(boom, []func(*trace.Batch) error{func(*trace.Batch) error { return nil }})
+	err := str.Broadcast(nil, boom, []func(*trace.Batch) error{func(*trace.Batch) error { return nil }})
 	if err == nil {
 		t.Fatal("Broadcast with failing source succeeded")
 	}
@@ -215,7 +217,7 @@ func TestBroadcastSourceError(t *testing.T) {
 func TestBroadcastBackpressure(t *testing.T) {
 	f := newStreamFixture(t)
 	str := NewStreamer(2, 32, nil)
-	err := str.Broadcast(f.source(32), []func(*trace.Batch) error{
+	err := str.Broadcast(nil, f.source(32), []func(*trace.Batch) error{
 		func(*trace.Batch) error { time.Sleep(200 * time.Microsecond); return nil },
 	})
 	if err != nil {
@@ -242,7 +244,7 @@ func TestBroadcastConcurrent(t *testing.T) {
 	var events atomic.Uint64
 	for g := 0; g < grids; g++ {
 		go func() {
-			errc <- str.Broadcast(f.source(128), []func(*trace.Batch) error{
+			errc <- str.Broadcast(nil, f.source(128), []func(*trace.Batch) error{
 				func(b *trace.Batch) error { events.Add(uint64(b.Len())); return nil },
 				func(b *trace.Batch) error { return nil },
 				func(b *trace.Batch) error { return nil },
@@ -295,5 +297,77 @@ func TestCachePeakGauges(t *testing.T) {
 	}
 	if st.PeakLiveBytes == 0 {
 		t.Error("PeakLiveBytes = 0")
+	}
+}
+
+// TestBroadcastContextCancel is the regression test for prompt context
+// cancellation: a broadcast whose producer is stalled against a slow
+// consumer must observe the cancel while blocked on the buffer ring, return
+// well before the consumer would have drained the stream, and still release
+// every ring buffer (the live-bytes gauge returns to zero).
+func TestBroadcastContextCancel(t *testing.T) {
+	f := newStreamFixture(t)
+	str := NewStreamer(2, 32, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// At 32 events per batch the fixture stream is hundreds of batches; a
+	// consumer sleeping 10ms per batch would take seconds to drain it, so a
+	// prompt return is attributable only to the cancellation.
+	var consumed atomic.Int64
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- str.Broadcast(ctx, f.source(32), []func(*trace.Batch) error{
+			func(*trace.Batch) error {
+				consumed.Add(1)
+				time.Sleep(10 * time.Millisecond)
+				return nil
+			},
+		})
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Broadcast error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Broadcast did not return within 2s of cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Broadcast took %v, want prompt abort", elapsed)
+	}
+	if consumed.Load() == 0 {
+		t.Error("consumer saw no batches before the cancel (test raced the stream start)")
+	}
+	st := str.Stats()
+	if st.LiveBuffers != 0 || st.LiveBytes != 0 {
+		t.Errorf("ring not released after cancel: %d buffers, %d bytes live", st.LiveBuffers, st.LiveBytes)
+	}
+}
+
+// TestBroadcastPreCancelledContext: a broadcast handed an already-cancelled
+// context must do no consumer work and release the ring.
+func TestBroadcastPreCancelledContext(t *testing.T) {
+	f := newStreamFixture(t)
+	str := NewStreamer(0, 64, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := f.source(64)
+	defer src.Close()
+	var consumed atomic.Int64
+	err := str.Broadcast(ctx, src, []func(*trace.Batch) error{
+		func(*trace.Batch) error { consumed.Add(1); return nil },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Broadcast error = %v, want context.Canceled", err)
+	}
+	if consumed.Load() != 0 {
+		t.Errorf("consumer ran %d batches under a pre-cancelled context", consumed.Load())
+	}
+	if st := str.Stats(); st.LiveBuffers != 0 || st.LiveBytes != 0 {
+		t.Errorf("ring not released: %d buffers, %d bytes live", st.LiveBuffers, st.LiveBytes)
 	}
 }

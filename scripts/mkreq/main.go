@@ -1,0 +1,53 @@
+// Command mkreq builds a balignd /v1/align request body from asm and
+// profile files. The fields are JSON strings, so encoding them here keeps
+// scripts/serve_smoke.sh free of shell-quoting hazards.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	asmPath := flag.String("asm", "", "assembly source file (required)")
+	profPath := flag.String("profile", "", "edge-profile file (optional)")
+	name := flag.String("name", "smoke", "program name for the request")
+	extra := flag.String("extra", "", "JSON object merged into the request (e.g. archs, generator)")
+	flag.Parse()
+
+	if *asmPath == "" {
+		fmt.Fprintln(os.Stderr, "mkreq: -asm is required")
+		os.Exit(2)
+	}
+	asmSrc, err := os.ReadFile(*asmPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkreq:", err)
+		os.Exit(1)
+	}
+	req := map[string]any{"name": *name, "asm": string(asmSrc)}
+	if *profPath != "" {
+		profSrc, err := os.ReadFile(*profPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mkreq:", err)
+			os.Exit(1)
+		}
+		req["profile"] = string(profSrc)
+	}
+	if *extra != "" {
+		var more map[string]any
+		if err := json.Unmarshal([]byte(*extra), &more); err != nil {
+			fmt.Fprintln(os.Stderr, "mkreq: -extra:", err)
+			os.Exit(1)
+		}
+		for k, v := range more {
+			req[k] = v
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(req); err != nil {
+		fmt.Fprintln(os.Stderr, "mkreq:", err)
+		os.Exit(1)
+	}
+}
