@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify ci staticcheck govulncheck fuzz-smoke serve-smoke bench bench-suite bench-kernel bench-stream tables report
+.PHONY: build test verify ci staticcheck govulncheck fuzz-smoke serve-smoke suite-smoke benchhost bench bench-suite bench-kernel bench-stream tables report
 
 # Pinned external analyzer versions; CI installs exactly these, local runs
 # use whatever is on PATH (or skip with a notice).
@@ -34,6 +34,7 @@ ci:
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) suite-smoke
 
 # staticcheck / govulncheck run the pinned external analyzers when present
 # on PATH and skip with a notice otherwise, so `make ci` works in offline
@@ -70,6 +71,21 @@ fuzz-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# suite-smoke reruns the multi-core determinism oracles with the Go
+# scheduler forced wide (GOMAXPROCS=4) under the race detector: the
+# producer, per-architecture consumers and intra-variant shard goroutines
+# genuinely interleave even on smaller CI hosts, and any ordering bug
+# surfaces as a byte diff or a race report.
+suite-smoke:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestDeterminismAcrossGOMAXPROCS|TestShardedRunActuallyShards' ./internal/experiments
+	GOMAXPROCS=4 $(GO) test -race -run 'TestShardMerge' ./internal/kernel
+
+# benchhost prints the host block (goos/goarch/cpu/go/gomaxprocs/cpus)
+# that the committed BENCH_*.json files record; the bench targets emit it
+# first so pasted logs carry their provenance.
+benchhost:
+	@$(GO) run ./scripts/benchhost
+
 # report runs a small suite with run telemetry enabled, emitting a JSON
 # run report (per-shard spans, engine stats, trace-cache stats, the
 # summary grid), then sanity-checks the report schema via the dedicated
@@ -90,12 +106,14 @@ bench-suite:
 # kernel, both end-to-end (full suite runs) and on the simulation grid in
 # isolation (pre-recorded traces). These are the BENCH_kernel.json numbers.
 bench-kernel:
+	@$(MAKE) --no-print-directory benchhost
 	$(GO) test -bench 'Benchmark(SuiteKernel|SimulateGrid)' -benchtime 3x -run '^$$' .
 
 # bench-stream compares the recorded trace lifecycle (-stream=off) against
 # the streaming broadcast pipeline (-stream=on), end-to-end and on walker
 # generation in isolation. These are the BENCH_stream.json numbers.
 bench-stream:
+	@$(MAKE) --no-print-directory benchhost
 	$(GO) test -bench 'Benchmark(SuiteStream|WalkerGenerate)' -benchtime 3x -run '^$$' .
 
 tables:

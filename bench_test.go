@@ -15,6 +15,7 @@ import (
 	"balign/internal/experiments"
 	"balign/internal/icache"
 	"balign/internal/ir"
+	"balign/internal/kernel"
 	"balign/internal/obs"
 	"balign/internal/predict"
 	"balign/internal/sim"
@@ -256,6 +257,64 @@ func BenchmarkSimulateGridRef(b *testing.B) { benchSimulateGrid(b, "ref") }
 // speedup.
 func BenchmarkSimulateGridFlat(b *testing.B) { benchSimulateGrid(b, "flat") }
 
+// BenchmarkSimulateGridFlatBatch times the same grid through the packed
+// batch path (kernel.RunBatch over pre-packed int32 batches) — the
+// representation every streamed cell consumes in production (-stream=on,
+// the default). Per event this loads one int32 op instead of copying a
+// 48-byte Event, so it is the executor's true steady-state ns/event.
+func BenchmarkSimulateGridFlatBatch(b *testing.B) {
+	units := simulateGridFixture(b)
+	archs := predict.AllArchs()
+	type packed struct {
+		prog    *ir.Program
+		prof    *balign.Profile
+		lay     *trace.Layout
+		batches []*trace.Batch
+	}
+	var ps []packed
+	for _, u := range units {
+		lay, err := trace.CompileLayout(u.prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var batches []*trace.Batch
+		cur := &trace.Batch{}
+		for _, e := range u.rec.Events {
+			if err := lay.Append(cur, e); err != nil {
+				b.Fatal(err)
+			}
+			if cur.Len() >= trace.DefaultBatchCap {
+				batches = append(batches, cur)
+				cur = &trace.Batch{}
+			}
+		}
+		if cur.Len() > 0 {
+			batches = append(batches, cur)
+		}
+		ps = append(ps, packed{u.prog, u.prof, lay, batches})
+	}
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events = 0
+		for _, p := range ps {
+			for _, arch := range archs {
+				k, err := kernel.CompileArch(p.lay, p.prog, p.prof, arch, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, batch := range p.batches {
+					if err := k.RunBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+				events += k.Result().Events
+			}
+		}
+	}
+	b.ReportMetric(float64(events)/float64(len(ps)*len(archs)), "events/cell")
+}
+
 // --- streaming pipeline benchmarks ---
 
 // walkerBenchFixture builds the walker-traced workload the generation
@@ -366,6 +425,39 @@ func BenchmarkSuiteStreamOff(b *testing.B) { benchSuiteStream(b, "off") }
 // output is byte-identical to BenchmarkSuiteStreamOff; compare ns/op for
 // the end-to-end speedup and peak_trace_bytes for the memory bound.
 func BenchmarkSuiteStreamOn(b *testing.B) { benchSuiteStream(b, "on") }
+
+// BenchmarkSuiteStreamOnWorkers runs the streamed grid under GOMAXPROCS=4
+// with a 16-worker budget: the engine splits it between variant-level
+// parallelism and intra-variant stream shards (consumers that forward
+// unowned batches and merge their tallies). The output stays byte-identical
+// to every other leg — the GOMAXPROCS determinism oracle in
+// internal/experiments enforces it — so this row measures overlap only.
+// On a single-core host it matches BenchmarkSuiteStreamOn to within noise;
+// with cores available the generation/simulation overlap and the shard
+// fan-out cut wall clock until the producer is the critical path.
+func BenchmarkSuiteStreamOnWorkers(b *testing.B) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	cfg := experiments.Config{
+		Scale: 0.1, Window: 10,
+		Programs: []string{"ora", "compress", "espresso", "db++", "doduc", "li"},
+		Workers:  16,
+		Stream:   "on",
+	}
+	var peak, stalls int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := obs.New("bench")
+		cfg.Obs = rec
+		if _, err := experiments.Summaries(cfg, predict.AllArchs()); err != nil {
+			b.Fatal(err)
+		}
+		rep := rec.Report()
+		peak = rep.Gauges["sim.stream.peak_live_bytes"]
+		stalls = rep.Counters["sim.stream.stalls_ns"]
+	}
+	b.ReportMetric(float64(peak), "peak_trace_bytes")
+	b.ReportMetric(float64(stalls)/float64(b.N), "stall_ns/op")
+}
 
 // --- substrate micro-benchmarks ---
 

@@ -12,6 +12,12 @@
 //	-programs s  comma-separated subset of the suite
 //	-parallel n  experiment shards to run concurrently (0 = GOMAXPROCS,
 //	             1 = serial oracle path; output is identical either way)
+//	-workers n   total worker-goroutine budget, split between variant-level
+//	             parallelism and intra-variant stream shards (0 = leave
+//	             -parallel/-shards in charge; output is identical either way)
+//	-shards n    intra-variant stream shards per architecture consumer
+//	             (0 = derive from -workers, 1 = unsharded; output is
+//	             identical at every setting)
 //	-kernel s    simulation executor: flat (default, the compiled
 //	             struct-of-arrays kernel) or ref (the interface-dispatched
 //	             reference simulators); output is identical either way
@@ -61,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	window := fs.Int("window", 0, "TryN window (0 = paper's 15)")
 	programs := fs.String("programs", "", "comma-separated program subset")
 	parallel := fs.Int("parallel", 0, "concurrent experiment shards (0 = GOMAXPROCS, 1 = serial)")
+	workers := fs.Int("workers", 0, "total worker budget split across variants and stream shards (0 = unbudgeted)")
+	shards := fs.Int("shards", 0, "intra-variant stream shards per architecture (0 = derive from -workers, 1 = unsharded)")
 	kernelMode := fs.String("kernel", "flat", "simulation executor: flat (compiled kernel) or ref (reference simulators)")
 	streamMode := fs.String("stream", "on", "trace lifecycle: on (streamed broadcast) or off (record then replay)")
 	verbose := fs.Bool("v", false, "log per-shard progress to stderr")
@@ -78,7 +86,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	cfg := experiments.Config{
 		Scale: *scale, Seed: *seed, Window: *window,
-		Parallelism: *parallel, Verbose: *verbose, Log: stderr,
+		Parallelism: *parallel, Workers: *workers, Shards: *shards,
+		Verbose: *verbose, Log: stderr,
 		Kernel: *kernelMode, Stream: *streamMode,
 	}
 	if *programs != "" {

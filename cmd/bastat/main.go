@@ -13,8 +13,10 @@
 // -pprof addr it serves net/http/pprof and expvar on addr while the
 // measurement runs. -kernel flat|ref selects the compiled flat simulation
 // kernel (default) or the reference simulators; -stream on|off selects the
-// streamed-broadcast trace lifecycle (default) or record-then-replay. None
-// of these flags change any measured output.
+// streamed-broadcast trace lifecycle (default) or record-then-replay;
+// -workers/-shards budget the worker goroutines across variant-level
+// parallelism and intra-variant stream shards. None of these flags change
+// any measured output.
 package main
 
 import (
@@ -45,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scale := fs.Float64("scale", 1.0, "trace budget scale")
 	seed := fs.Int64("seed", 0, "workload seed")
 	parallel := fs.Int("parallel", 0, "concurrent measurement shards (0 = GOMAXPROCS, 1 = serial)")
+	workers := fs.Int("workers", 0, "total worker budget split across variants and stream shards (0 = unbudgeted)")
+	shards := fs.Int("shards", 0, "intra-variant stream shards per architecture (0 = derive from -workers, 1 = unsharded)")
 	kernelMode := fs.String("kernel", "flat", "simulation executor: flat (compiled kernel) or ref (reference simulators)")
 	streamMode := fs.String("stream", "on", "trace lifecycle: on (streamed broadcast) or off (record then replay)")
 	report := fs.String("report", "", "write a JSON run report to this file")
@@ -65,7 +69,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if _, err := sim.ParseStreamMode(*streamMode); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *parallel, Kernel: *kernelMode, Stream: *streamMode}
+	cfg := experiments.Config{
+		Scale: *scale, Seed: *seed,
+		Parallelism: *parallel, Workers: *workers, Shards: *shards,
+		Kernel: *kernelMode, Stream: *streamMode,
+	}
 	switch {
 	case *bench != "":
 		cfg.Programs = []string{*bench}

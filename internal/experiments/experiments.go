@@ -76,6 +76,19 @@ type Config struct {
 	// shards. 0 means runtime.GOMAXPROCS(0); 1 selects the serial oracle
 	// path. Results are byte-identical at every setting.
 	Parallelism int
+	// Workers is the run's total worker-goroutine budget, split between
+	// variant-level parallelism and intra-variant stream shards (see
+	// Config.splitWorkers). 0 leaves Parallelism and Shards in charge.
+	// Results are byte-identical at every setting.
+	Workers int
+	// Shards is the intra-variant stream shard count: in flat streaming
+	// mode each architecture consumer fans out to this many kernel shards
+	// that split the variant's batches round-robin and merge exactly
+	// (sim.Executor.SetShards). 0 derives the count from Workers (1 when
+	// Workers is also unset); 1 disables intra-variant sharding. Results
+	// are byte-identical at every setting — the shard-merge property tests
+	// and parallel-determinism oracle enforce this.
+	Shards int
 	// Verbose enables per-shard progress logging to Log.
 	Verbose bool
 	// Log receives -v progress output; nil discards it.
@@ -101,9 +114,49 @@ func (c Config) window() int {
 	return c.Window
 }
 
-// engine returns the experiment engine configured by c.
+// engine returns the experiment engine configured by c. A Workers budget
+// with Parallelism unset bounds the engine by the budget.
 func (c Config) engine() *sim.Engine {
-	return sim.New(sim.Options{Parallelism: c.Parallelism, Verbose: c.Verbose, Log: c.Log, Obs: c.Obs})
+	par := c.Parallelism
+	if par == 0 && c.Workers > 0 {
+		par = c.Workers
+	}
+	return sim.New(sim.Options{Parallelism: par, Verbose: c.Verbose, Log: c.Log, Obs: c.Obs})
+}
+
+// maxStreamShards caps derived intra-variant shard counts: every shard
+// forwards predictor state over the batches it does not own, so forwarding
+// overhead grows linearly with the shard count and past a handful of shards
+// it eats the parallel win.
+const maxStreamShards = 4
+
+// splitWorkers resolves the run's worker budget into the variant-level
+// engine parallelism and the intra-variant stream shard count, given how
+// many consumer goroutines one variant's broadcast runs before sharding
+// (its architecture count). Explicit Parallelism / Shards settings always
+// win; a Workers budget fills in whichever is unset. With nothing set the
+// split is the pre-sharding default: GOMAXPROCS-bounded variant
+// parallelism, no intra-variant sharding. The split only chooses how the
+// work is scheduled — results are byte-identical for every split.
+func (c Config) splitWorkers(consumersPerVariant int) (parallelism, shards int) {
+	parallelism = c.Parallelism
+	shards = c.Shards
+	if shards < 1 {
+		shards = 1
+		if c.Workers > 0 && consumersPerVariant > 0 {
+			// Shard within variants only when the budget exceeds what one
+			// variant's producer + unsharded consumers already occupy.
+			if s := c.Workers / (consumersPerVariant + 1); s > 1 {
+				shards = min(s, maxStreamShards)
+			}
+		}
+	}
+	if parallelism == 0 && c.Workers > 0 {
+		// Whatever budget sharding did not consume bounds how many variant
+		// broadcasts run at once.
+		parallelism = max(1, c.Workers/(1+consumersPerVariant*shards))
+	}
+	return parallelism, shards
 }
 
 // runIndexed shards fn(i) over n items on the configured engine. Each call
@@ -390,6 +443,18 @@ type cellSlot struct {
 // flat {program x architecture x algorithm} cell grid (sharded per cell,
 // replaying each variant's cached trace), then a canonical-order reduction.
 func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Config) ([]*ProgramResult, error) {
+	smode, err := sim.ParseStreamMode(cfg.Stream)
+	if err != nil {
+		return nil, err
+	}
+	// Split the worker budget between variant-level parallelism and
+	// intra-variant stream shards, then pin the resolved parallelism so
+	// every engine this run builds sees the same bound.
+	par, shards := cfg.splitWorkers(len(archs))
+	cfg.Parallelism = par
+	if smode != sim.StreamOn {
+		shards = 1
+	}
 	eng := cfg.engine()
 	cache := sim.NewTraceCache()
 	cache.Observe(cfg.Obs)
@@ -397,11 +462,15 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 	if err != nil {
 		return nil, err
 	}
-	smode, err := sim.ParseStreamMode(cfg.Stream)
-	if err != nil {
-		return nil, err
+	exec.SetShards(shards)
+	// Sharded consumers interleave Run (slow) and Forward (fast) batches,
+	// so a deeper ring keeps the producer from stalling behind whichever
+	// shard owns the current batch.
+	buffers := 0
+	if shards > 1 {
+		buffers = sim.DefaultStreamBuffers * shards
 	}
-	str := sim.NewStreamer(0, 0, cfg.Obs)
+	str := sim.NewStreamer(buffers, 0, cfg.Obs)
 
 	// Phase 1: per-program preparation.
 	units := make([]*evalUnit, len(ws))

@@ -1,0 +1,220 @@
+package kernel
+
+import (
+	"balign/internal/ir"
+	"balign/internal/trace"
+)
+
+// ForwardBatch advances the kernel's dynamic predictor state over one packed
+// batch without accumulating any tallies: after ForwardBatch(b) the kernel's
+// predictor tables, global history, BTB (including its LRU ticks) and return
+// stack are bit-for-bit what they would be after RunBatch(b); res and the
+// per-site cost accumulators are untouched.
+//
+// This is the primitive behind intra-variant stream sharding: a shard that
+// owns batches S of one variant's stream Forwards every batch not in S and
+// Runs every batch in S, so each owned batch executes from exactly the
+// predictor state the unsharded run had there. Summing the shards' results
+// with Merge then reproduces the unsharded run exactly, for any partition of
+// the batch sequence — the shard merge property tests enforce this.
+//
+// Forwarding is cheaper than running: it skips all result and per-site cost
+// accounting, and the architectures without trainable direction state
+// (FALLTHROUGH, BT/FNT, LIKELY) only have to maintain the return stack, so
+// their forward pass touches nothing but Call and Ret events. The BTB
+// architectures gain the least — their lookup/insert metadata (LRU ticks)
+// is itself predictor state and must be replayed in full.
+//
+// Malformed ops abort with the same diagnostics as RunBatch: a shard must
+// fail on exactly the batch the unsharded run would have failed on.
+func (k *Kernel) ForwardBatch(b *trace.Batch) error {
+	start := k.obs.Now()
+	var err error
+	switch k.class {
+	case classBTB:
+		err = k.forwardBTBBatch(b)
+	case classPHTDirect, classPHTGshare, classPHTLocal:
+		err = k.forwardPHTBatch(b)
+	default:
+		err = k.forwardStaticBatch(b)
+	}
+	k.obs.AddSince("kernel.forward_ns", start)
+	k.obs.Add("kernel.forward_batches", 1)
+	k.obs.Add("kernel.forward_events", int64(b.Len()))
+	return err
+}
+
+// forwardStaticBatch forwards the architectures whose only dynamic state is
+// the return stack (FALLTHROUGH, BT/FNT, LIKELY): conditional and
+// unconditional branches change nothing, so the loop reduces to Call
+// pushes, Ret pops and dynamic-target bookkeeping.
+func (k *Kernel) forwardStaticBatch(b *trace.Batch) error {
+	var (
+		sites   = k.sites
+		targets = b.Targets
+		tcur    = 0
+	)
+	for _, op := range b.Ops {
+		si := op >> trace.OpShift
+		kind := ir.Kind(op >> 1 & (1<<trace.SlotShift - 1))
+		if si < 0 || int(si) >= len(sites) || sites[si].Kind != kind {
+			return k.batchOpErr(op, tcur, len(targets))
+		}
+		switch kind {
+		case ir.Call:
+			k.rasPush(sites[si].Fall)
+		case ir.IJump:
+			if tcur >= len(targets) {
+				return k.batchOpErr(op, tcur, len(targets))
+			}
+			tcur++
+		case ir.Ret:
+			if tcur >= len(targets) {
+				return k.batchOpErr(op, tcur, len(targets))
+			}
+			tcur++
+			k.rasPop()
+		}
+	}
+	return nil
+}
+
+// forwardPHTBatch forwards the pattern-history-table architectures: 2-bit
+// counter training, global/local history shifts and the return stack, with
+// all charging skipped.
+func (k *Kernel) forwardPHTBatch(b *trace.Batch) error {
+	var (
+		sites    = k.sites
+		cls      = k.class
+		ghr      = k.ghr
+		counters = k.counters
+		mask     = k.mask
+		hists    = k.histories
+		histMask = k.histMask
+		idxMask  = k.idxMask
+		targets  = b.Targets
+		tcur     = 0
+		retErr   error
+	)
+loop:
+	for _, op := range b.Ops {
+		si := op >> trace.OpShift
+		kind := ir.Kind(op >> 1 & (1<<trace.SlotShift - 1))
+		if si < 0 || int(si) >= len(sites) || sites[si].Kind != kind {
+			retErr = k.batchOpErr(op, tcur, len(targets))
+			break
+		}
+		switch kind {
+		case ir.CondBr:
+			taken := op&1 != 0
+			switch cls {
+			case classPHTDirect:
+				idx := (sites[si].PC / ir.InstrBytes) & mask
+				counters[idx] = counterStep(counters[idx], taken)
+			case classPHTGshare:
+				idx := ((sites[si].PC / ir.InstrBytes) ^ ghr) & mask
+				counters[idx] = counterStep(counters[idx], taken)
+				var bit uint64
+				if taken {
+					bit = 1
+				}
+				ghr = ((ghr << 1) | bit) & mask
+			case classPHTLocal:
+				lslot := (sites[si].PC / ir.InstrBytes) & idxMask
+				h := hists[lslot] & histMask
+				counters[h] = counterStep(counters[h], taken)
+				var bit uint16
+				if taken {
+					bit = 1
+				}
+				hists[lslot] = ((hists[lslot] << 1) | bit) & histMask
+			}
+		case ir.Call:
+			k.rasPush(sites[si].Fall)
+		case ir.IJump:
+			if tcur >= len(targets) {
+				retErr = k.batchOpErr(op, tcur, len(targets))
+				break loop
+			}
+			tcur++
+		case ir.Ret:
+			if tcur >= len(targets) {
+				retErr = k.batchOpErr(op, tcur, len(targets))
+				break loop
+			}
+			tcur++
+			k.rasPop()
+		}
+	}
+	k.ghr = ghr
+	return retErr
+}
+
+// forwardBTBBatch forwards the branch-target-buffer architectures. The
+// BTB's LRU ticks advance on every lookup and insert, so the full
+// lookup/insert sequence must be replayed — only the result and per-site
+// charging is skipped.
+func (k *Kernel) forwardBTBBatch(b *trace.Batch) error {
+	var (
+		sites   = k.sites
+		targets = b.Targets
+		tcur    = 0
+		retErr  error
+	)
+loop:
+	for _, op := range b.Ops {
+		si := op >> trace.OpShift
+		kind := ir.Kind(op >> 1 & (1<<trace.SlotShift - 1))
+		if si < 0 || int(si) >= len(sites) || sites[si].Kind != kind {
+			retErr = k.batchOpErr(op, tcur, len(targets))
+			break
+		}
+		s := &sites[si]
+		switch kind {
+		case ir.CondBr:
+			taken := op&1 != 0
+			li := k.btbLookup(s.PC)
+			if li >= 0 {
+				k.btbCtr[li] = counterStep(k.btbCtr[li], taken)
+				if taken {
+					k.btbTargets[li] = s.TakenTarget
+				}
+			} else if taken {
+				k.btbInsert(s.PC, s.TakenTarget)
+			}
+		case ir.Br:
+			if k.btbLookup(s.PC) < 0 {
+				k.btbInsert(s.PC, s.TakenTarget)
+			}
+		case ir.Call:
+			if k.btbLookup(s.PC) < 0 {
+				k.btbInsert(s.PC, s.TakenTarget)
+			}
+			k.rasPush(s.Fall)
+		case ir.IJump:
+			if tcur >= len(targets) {
+				retErr = k.batchOpErr(op, tcur, len(targets))
+				break loop
+			}
+			target := targets[tcur]
+			tcur++
+			li := k.btbLookup(s.PC)
+			if li >= 0 {
+				if k.btbTargets[li] != target {
+					k.btbCtr[li] = counterStep(k.btbCtr[li], true)
+					k.btbTargets[li] = target
+				}
+			} else {
+				k.btbInsert(s.PC, target)
+			}
+		case ir.Ret:
+			if tcur >= len(targets) {
+				retErr = k.batchOpErr(op, tcur, len(targets))
+				break loop
+			}
+			tcur++
+			k.rasPop()
+		}
+	}
+	return retErr
+}

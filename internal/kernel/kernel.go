@@ -72,16 +72,6 @@ func (c SiteCost) Cycles(misfetchPenalty, mispredictPenalty uint64) uint64 {
 	return c.Misfetches*misfetchPenalty + c.Mispredicts*mispredictPenalty
 }
 
-// btbLine is one flattened branch-target-buffer line. Semantics replicate
-// predict.BTBEntry exactly, including the global-tick LRU.
-type btbLine struct {
-	tag     uint64
-	target  uint64
-	lru     uint64
-	counter predict.Counter2
-	valid   bool
-}
-
 // Kernel is one compiled (program, architecture) simulation. Compile it
 // once, feed it event batches with Run, read totals with Result and the
 // per-site breakdown with SiteCosts. A Kernel is not safe for concurrent
@@ -97,11 +87,25 @@ type Kernel struct {
 	// loops. siteOf packs each instruction slot's site id and static kind
 	// into one int32 (id<<siteShift | kind), so the inner loop resolves and
 	// validates an event with a single load; empty slots hold -1.
-	lay        *trace.Layout
-	base       uint64
-	siteOf     []int32
-	sites      []Site // descriptor rows in (proc, block, instr) order
-	siteLikely []bool // LIKELY hint bit per site (classLikely only)
+	lay    *trace.Layout
+	base   uint64
+	siteOf []int32
+	sites  []Site // descriptor rows in (proc, block, instr) order
+
+	// Compact per-site hot tables, derived from sites at compile time so
+	// the batch inner loops never touch the 40-byte descriptor rows: a
+	// one-byte kind for op validation, the PC's instruction slot (the PHT
+	// index source), the Call return address, and — for the static
+	// direction classes only — the site's fixed prediction bit
+	// (FALLTHROUGH: always 0; BT/FNT: target <= PC; LIKELY: the profile's
+	// majority direction).
+	kindOf []uint8
+	slotOf []uint64
+	fallOf []uint64
+	predOf []uint8
+	// takenOf is the per-site taken target, built for classBTB only (the
+	// install path writes it into evicted lines).
+	takenOf []uint64
 
 	// Per-site cost accumulators: one struct per site so an event's three
 	// counter bumps share a cache line.
@@ -115,11 +119,20 @@ type Kernel struct {
 	histMask  uint16
 	idxMask   uint64
 
-	// BTB state (classBTB).
-	btbSets int
-	btbWays int
-	btb     []btbLine
-	btbTick uint64
+	// BTB state (classBTB), in structure-of-arrays form so a set's way
+	// scan reads one cache line of tags instead of striding over full
+	// lines. Semantics replicate predict.BTBEntry exactly, including the
+	// global-tick LRU. A tag stores pc+1 so zero means invalid; btbSetMask
+	// is btbSets-1 (predict.NewBTB enforces a power-of-two set count, so
+	// set selection is a mask, not a modulo).
+	btbSets    int
+	btbSetMask uint64
+	btbWays    int
+	btbTags    []uint64
+	btbTargets []uint64
+	btbLRU     []uint64
+	btbCtr     []predict.Counter2
+	btbTick    uint64
 
 	// Return stack (all classes), replicating predict.ReturnStack.
 	ras      [predict.ReturnStackDepth]uint64
@@ -204,11 +217,30 @@ func CompileArch(lay *trace.Layout, prog *ir.Program, prof *profile.Profile, arc
 
 	n := len(k.sites)
 	k.costs = make([]SiteCost, n)
+	k.kindOf = make([]uint8, n)
+	k.slotOf = make([]uint64, n)
+	k.fallOf = make([]uint64, n)
+	for i := range k.sites {
+		s := &k.sites[i]
+		k.kindOf[i] = uint8(s.Kind)
+		k.slotOf[i] = s.PC / ir.InstrBytes
+		k.fallOf[i] = s.Fall
+	}
 
 	// Architecture state.
 	switch cls {
+	case classFallthrough:
+		k.predOf = make([]uint8, n)
+	case classBTFNT:
+		k.predOf = make([]uint8, n)
+		for i := range k.sites {
+			s := &k.sites[i]
+			if s.Kind == ir.CondBr && s.TakenTarget <= s.PC {
+				k.predOf[i] = 1
+			}
+		}
 	case classLikely:
-		k.siteLikely = make([]bool, n)
+		k.predOf = make([]uint8, n)
 		k.compileLikely(prog, prof)
 	case classPHTDirect, classPHTGshare:
 		k.counters = newCounters(4096)
@@ -224,8 +256,16 @@ func CompileArch(lay *trace.Layout, prog *ir.Program, prof *profile.Profile, arc
 			entries, ways = 256, 4
 		}
 		k.btbSets = entries / ways
+		k.btbSetMask = uint64(k.btbSets - 1)
 		k.btbWays = ways
-		k.btb = make([]btbLine, entries)
+		k.btbTags = make([]uint64, entries)
+		k.btbTargets = make([]uint64, entries)
+		k.btbLRU = make([]uint64, entries)
+		k.btbCtr = make([]predict.Counter2, entries)
+		k.takenOf = make([]uint64, n)
+		for i := range k.sites {
+			k.takenOf[i] = k.sites[i].TakenTarget
+		}
 	}
 
 	rec.AddSince("kernel.compile_ns", start)
@@ -254,8 +294,8 @@ func (k *Kernel) compileLikely(prog *ir.Program, prof *profile.Profile) {
 				continue
 			}
 			pc := b.TermAddr()
-			if si, ok := k.lookup(pc); ok {
-				k.siteLikely[si] = c.Taken > c.Fall
+			if si, ok := k.lookup(pc); ok && c.Taken > c.Fall {
+				k.predOf[si] = 1
 			}
 		}
 	}
@@ -350,8 +390,11 @@ func (k *Kernel) Reset() {
 		k.histories[i] = 0
 	}
 	k.ghr = 0
-	for i := range k.btb {
-		k.btb[i] = btbLine{}
+	for i := range k.btbTags {
+		k.btbTags[i] = 0
+		k.btbTargets[i] = 0
+		k.btbLRU[i] = 0
+		k.btbCtr[i] = 0
 	}
 	k.btbTick = 0
 	k.rasTop, k.rasDepth = 0, 0

@@ -1,0 +1,65 @@
+package kernel
+
+import (
+	"fmt"
+
+	"balign/internal/predict"
+)
+
+// counterNextTab packs the 2-bit saturating counter's transition table into
+// one word: entry (state<<1 | taken) holds the next state, two bits each.
+// The table is the branchless twin of predict.Counter2.Update — the kernel
+// hot loops step counters with one shift-and-mask instead of two compare
+// branches per conditional event. TestCounterStepMatchesUpdate holds it to
+// the reference transition function state for state.
+const counterNextTab = 0xED84
+
+// counterStep returns Update(taken) for a 2-bit saturating counter,
+// branchlessly.
+func counterStep(c predict.Counter2, taken bool) predict.Counter2 {
+	var t uint8
+	if taken {
+		t = 1
+	}
+	return counterStepBit(c, t)
+}
+
+// counterStepBit is counterStep with the outcome already in bit form (a
+// packed op's low bit).
+func counterStepBit(c predict.Counter2, takenBit uint8) predict.Counter2 {
+	return predict.Counter2(uint32(counterNextTab) >> ((uint32(c)<<1 | uint32(takenBit)) << 1) & 3)
+}
+
+// Merge adds other's SiteCost into c. Like predict.Result.Merge it is a
+// plain field sum: exact, commutative and associative.
+func (c *SiteCost) Merge(other SiteCost) {
+	c.Events += other.Events
+	c.Misfetches += other.Misfetches
+	c.Mispredicts += other.Mispredicts
+}
+
+// Merge folds other's accumulated tallies — the Result totals and every
+// per-site cost row — into k. Both kernels must have been compiled from the
+// same layout for the same architecture; anything else would sum
+// accumulators whose site ids name different instructions.
+//
+// Merge only touches accumulators, never predictor state, and summing is
+// order-independent, so merging the shards of a partitioned stream in any
+// order yields exactly the unsharded run's tallies (given each shard ran
+// its batches from the forwarded state — see ForwardBatch).
+func (k *Kernel) Merge(other *Kernel) error {
+	if other == nil {
+		return fmt.Errorf("kernel: merging a nil kernel")
+	}
+	if k.arch != other.arch {
+		return fmt.Errorf("kernel: merging %s tallies into a %s kernel", other.arch, k.arch)
+	}
+	if k.lay != other.lay {
+		return fmt.Errorf("kernel: merging kernels compiled from different layouts")
+	}
+	k.res.Merge(other.res)
+	for i := range k.costs {
+		k.costs[i].Merge(other.costs[i])
+	}
+	return nil
+}

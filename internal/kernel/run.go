@@ -57,12 +57,20 @@ func (k *Kernel) runDirection(events []trace.Event) error {
 		ghr      = k.ghr
 		counters = k.counters
 		mask     = k.mask
-		likely   = k.siteLikely
+		predOf   = k.predOf
 		hists    = k.histories
 		histMask = k.histMask
 		idxMask  = k.idxMask
 		retErr   error
 	)
+	// Reslice the predictor tables to their masks so the compiler can prove
+	// every masked index in bounds and drop the per-event bounds checks.
+	if counters != nil {
+		counters = counters[:(mask|uint64(histMask))+1]
+	}
+	if hists != nil {
+		hists = hists[:idxMask+1]
+	}
 	for i := range events {
 		ev := &events[i]
 		d := ev.PC - base
@@ -88,6 +96,10 @@ func (k *Kernel) runDirection(events []trace.Event) error {
 			if taken {
 				res.CondTaken++
 			}
+			var tbit uint8
+			if taken {
+				tbit = 1
+			}
 			var pred bool
 			switch cls {
 			case classFallthrough:
@@ -95,30 +107,25 @@ func (k *Kernel) runDirection(events []trace.Event) error {
 			case classBTFNT:
 				pred = ev.TakenTarget <= ev.PC
 			case classLikely:
-				pred = likely[si]
+				pred = predOf[si] != 0
 			case classPHTDirect:
 				idx := (ev.PC / ir.InstrBytes) & mask
-				pred = counters[idx].Taken()
-				counters[idx] = counters[idx].Update(taken)
+				c := counters[idx]
+				pred = c.Taken()
+				counters[idx] = counterStepBit(c, tbit)
 			case classPHTGshare:
 				idx := ((ev.PC / ir.InstrBytes) ^ ghr) & mask
-				pred = counters[idx].Taken()
-				counters[idx] = counters[idx].Update(taken)
-				var bit uint64
-				if taken {
-					bit = 1
-				}
-				ghr = ((ghr << 1) | bit) & mask
+				c := counters[idx]
+				pred = c.Taken()
+				counters[idx] = counterStepBit(c, tbit)
+				ghr = ((ghr << 1) | uint64(tbit)) & mask
 			case classPHTLocal:
 				lslot := (ev.PC / ir.InstrBytes) & idxMask
 				h := hists[lslot] & histMask
-				pred = counters[h].Taken()
-				counters[h] = counters[h].Update(taken)
-				var bit uint16
-				if taken {
-					bit = 1
-				}
-				hists[lslot] = ((hists[lslot] << 1) | bit) & histMask
+				c := counters[h]
+				pred = c.Taken()
+				counters[h] = counterStepBit(c, tbit)
+				hists[lslot] = ((hists[lslot] << 1) | uint16(tbit)) & histMask
 			}
 			if pred == taken {
 				res.CondCorrect++
@@ -193,8 +200,7 @@ func (k *Kernel) runBTB(events []trace.Event) error {
 			}
 			li := k.btbLookup(ev.PC)
 			if li >= 0 {
-				e := &k.btb[li]
-				if e.counter.Taken() == ev.Taken {
+				if k.btbCtr[li].Taken() == ev.Taken {
 					res.CondCorrect++
 					// Taken and correctly predicted: the stored target of
 					// a direct conditional is always right, so no penalty.
@@ -202,9 +208,9 @@ func (k *Kernel) runBTB(events []trace.Event) error {
 					res.Mispredicts++
 					c.Mispredicts++
 				}
-				e.counter = e.counter.Update(ev.Taken)
+				k.btbCtr[li] = counterStep(k.btbCtr[li], ev.Taken)
 				if ev.Taken {
-					e.target = ev.Target
+					k.btbTargets[li] = ev.Target
 				}
 			} else if ev.Taken {
 				res.Mispredicts++
@@ -228,15 +234,14 @@ func (k *Kernel) runBTB(events []trace.Event) error {
 			k.rasPush(ev.Fall)
 		case ir.IJump:
 			li := k.btbLookup(ev.PC)
-			if li >= 0 && k.btb[li].target == ev.Target {
+			if li >= 0 && k.btbTargets[li] == ev.Target {
 				// hit with the right target: free
 			} else {
 				res.Mispredicts++
 				c.Mispredicts++
 				if li >= 0 {
-					e := &k.btb[li]
-					e.counter = e.counter.Update(true)
-					e.target = ev.Target
+					k.btbCtr[li] = counterStepBit(k.btbCtr[li], 1)
+					k.btbTargets[li] = ev.Target
 				} else {
 					k.btbInsert(ev.PC, ev.Target)
 				}
@@ -260,12 +265,12 @@ func (k *Kernel) runBTB(events []trace.Event) error {
 // refreshes the line's LRU tick, exactly as predict.BTB.Lookup does.
 func (k *Kernel) btbLookup(pc uint64) int {
 	k.btbTick++
-	set := int((pc / ir.InstrBytes) % uint64(k.btbSets))
+	set := int((pc / ir.InstrBytes) & k.btbSetMask)
 	base := set * k.btbWays
+	tag := pc + 1
 	for w := 0; w < k.btbWays; w++ {
-		e := &k.btb[base+w]
-		if e.valid && e.tag == pc {
-			e.lru = k.btbTick
+		if k.btbTags[base+w] == tag {
+			k.btbLRU[base+w] = k.btbTick
 			return base + w
 		}
 	}
@@ -277,20 +282,22 @@ func (k *Kernel) btbLookup(pc uint64) int {
 // then lowest tick).
 func (k *Kernel) btbInsert(pc, target uint64) {
 	k.btbTick++
-	set := int((pc / ir.InstrBytes) % uint64(k.btbSets))
+	set := int((pc / ir.InstrBytes) & k.btbSetMask)
 	base := set * k.btbWays
 	victim := base
 	for w := 0; w < k.btbWays; w++ {
-		e := &k.btb[base+w]
-		if !e.valid {
+		if k.btbTags[base+w] == 0 {
 			victim = base + w
 			break
 		}
-		if e.lru < k.btb[victim].lru {
+		if k.btbLRU[base+w] < k.btbLRU[victim] {
 			victim = base + w
 		}
 	}
-	k.btb[victim] = btbLine{valid: true, tag: pc, target: target, counter: 3, lru: k.btbTick}
+	k.btbTags[victim] = pc + 1
+	k.btbTargets[victim] = target
+	k.btbLRU[victim] = k.btbTick
+	k.btbCtr[victim] = 3
 }
 
 // rasPush records a return address, wrapping past the fixed capacity as

@@ -23,10 +23,13 @@ import (
 func (k *Kernel) RunBatch(b *trace.Batch) error {
 	start := k.obs.Now()
 	var err error
-	if k.class == classBTB {
+	switch k.class {
+	case classBTB:
 		err = k.runBTBBatch(b)
-	} else {
+	case classPHTDirect, classPHTGshare, classPHTLocal:
 		err = k.runDirectionBatch(b)
+	default:
+		err = k.runStaticBatch(b)
 	}
 	k.obs.AddSince("kernel.run_ns", start)
 	k.obs.Add("kernel.batches", 1)
@@ -50,96 +53,64 @@ func (k *Kernel) batchOpErr(op int32, tcur, ntargets int) error {
 		ntargets, tcur, kind, k.sites[si].PC)
 }
 
-// runDirectionBatch is the packed-op twin of runDirection: the same
-// charging rules and predictor updates, with every static event field read
-// from the site table.
-func (k *Kernel) runDirectionBatch(b *trace.Batch) error {
+// runStaticBatch is the batch loop for the direction architectures with no
+// trainable state (FALLTHROUGH, BT/FNT, LIKELY): each site's prediction is
+// the compile-time predOf bit, so a conditional event reduces to one table
+// load plus the branchless charging arithmetic.
+func (k *Kernel) runStaticBatch(b *trace.Batch) error {
 	var (
-		sites    = k.sites
-		costs    = k.costs
-		cls      = k.class
-		res      = k.res
-		ghr      = k.ghr
-		counters = k.counters
-		mask     = k.mask
-		likely   = k.siteLikely
-		hists    = k.histories
-		histMask = k.histMask
-		idxMask  = k.idxMask
-		targets  = b.Targets
-		tcur     = 0
-		retErr   error
+		kindOf  = k.kindOf
+		predOf  = k.predOf
+		fallOf  = k.fallOf
+		costs   = k.costs
+		res     = k.res
+		targets = b.Targets
+		tcur    = 0
+		retErr  error
 	)
+	n := len(kindOf)
+	costs = costs[:n]
+	fallOf = fallOf[:n]
+	predOf = predOf[:n]
 loop:
 	for _, op := range b.Ops {
-		si := op >> trace.OpShift
+		si := int(op >> trace.OpShift)
 		kind := ir.Kind(op >> 1 & (1<<trace.SlotShift - 1))
-		if si < 0 || int(si) >= len(sites) || sites[si].Kind != kind {
+		if uint(si) >= uint(n) || ir.Kind(kindOf[si]) != kind {
 			retErr = k.batchOpErr(op, tcur, len(targets))
 			break
 		}
-		s := &sites[si]
 		res.Events++
-		res.ByKind[kind&7]++
 		c := &costs[si]
 		c.Events++
 		switch kind {
 		case ir.CondBr:
+			res.ByKind[ir.CondBr&7]++
+			tbit := uint8(op & 1)
 			res.Cond++
-			taken := op&1 != 0
-			if taken {
-				res.CondTaken++
-			}
-			var pred bool
-			switch cls {
-			case classFallthrough:
-				// pred = false
-			case classBTFNT:
-				pred = s.TakenTarget <= s.PC
-			case classLikely:
-				pred = likely[si]
-			case classPHTDirect:
-				idx := (s.PC / ir.InstrBytes) & mask
-				pred = counters[idx].Taken()
-				counters[idx] = counters[idx].Update(taken)
-			case classPHTGshare:
-				idx := ((s.PC / ir.InstrBytes) ^ ghr) & mask
-				pred = counters[idx].Taken()
-				counters[idx] = counters[idx].Update(taken)
-				var bit uint64
-				if taken {
-					bit = 1
-				}
-				ghr = ((ghr << 1) | bit) & mask
-			case classPHTLocal:
-				lslot := (s.PC / ir.InstrBytes) & idxMask
-				h := hists[lslot] & histMask
-				pred = counters[h].Taken()
-				counters[h] = counters[h].Update(taken)
-				var bit uint16
-				if taken {
-					bit = 1
-				}
-				hists[lslot] = ((hists[lslot] << 1) | bit) & histMask
-			}
-			if pred == taken {
-				res.CondCorrect++
-				if taken {
-					res.Misfetches++
-					c.Misfetches++
-				}
-			} else {
-				res.Mispredicts++
-				c.Mispredicts++
-			}
+			res.CondTaken += uint64(tbit)
+			pbit := predOf[si]
+			// Branchless charging: eq = predicted correctly; a correct
+			// taken conditional misfetches, a wrong one mispredicts.
+			eq := uint64(1 ^ (pbit ^ tbit))
+			mf := eq & uint64(tbit)
+			mp := 1 - eq
+			res.CondCorrect += eq
+			res.Misfetches += mf
+			res.Mispredicts += mp
+			c.Misfetches += mf
+			c.Mispredicts += mp
 		case ir.Br:
+			res.ByKind[ir.Br&7]++
 			res.Misfetches++
 			c.Misfetches++
 		case ir.Call:
+			res.ByKind[ir.Call&7]++
 			res.Misfetches++
 			c.Misfetches++
-			k.rasPush(s.Fall)
+			k.rasPush(fallOf[si])
 		case ir.IJump:
+			res.ByKind[ir.IJump&7]++
 			res.Mispredicts++
 			c.Mispredicts++
 			if tcur >= len(targets) {
@@ -148,6 +119,132 @@ loop:
 			}
 			tcur++
 		case ir.Ret:
+			res.ByKind[ir.Ret&7]++
+			if tcur >= len(targets) {
+				retErr = k.batchOpErr(op, tcur, len(targets))
+				break loop
+			}
+			target := targets[tcur]
+			tcur++
+			res.Rets++
+			pred, ok := k.rasPop()
+			if ok && pred == target {
+				res.RetsCorrect++
+			} else {
+				res.Mispredicts++
+				c.Mispredicts++
+			}
+		}
+	}
+	k.res = res
+	return retErr
+}
+
+// runDirectionBatch is the packed-op twin of runDirection for the
+// pattern-history-table architectures: the same charging rules and
+// predictor updates, with every per-event load drawn from the compact
+// per-site tables (one-byte kind validation, PC slots) and the
+// conditional-branch accounting fully branchless — per event the only
+// unpredictable branches left are the kind dispatch itself.
+func (k *Kernel) runDirectionBatch(b *trace.Batch) error {
+	var (
+		kindOf   = k.kindOf
+		slotOf   = k.slotOf
+		fallOf   = k.fallOf
+		costs    = k.costs
+		cls      = k.class
+		res      = k.res
+		ghr      = k.ghr
+		counters = k.counters
+		mask     = k.mask
+		hists    = k.histories
+		histMask = k.histMask
+		idxMask  = k.idxMask
+		targets  = b.Targets
+		tcur     = 0
+		retErr   error
+	)
+	// Reslice every per-site table to len(kindOf) and the predictor tables
+	// to their masks, so after the single validation compare the compiler
+	// can prove each index in bounds and drop the per-event bounds checks.
+	n := len(kindOf)
+	costs = costs[:n]
+	slotOf = slotOf[:n]
+	fallOf = fallOf[:n]
+	if counters != nil {
+		counters = counters[:(mask|uint64(histMask))+1]
+	}
+	if hists != nil {
+		hists = hists[:idxMask+1]
+	}
+loop:
+	for _, op := range b.Ops {
+		si := int(op >> trace.OpShift)
+		kind := ir.Kind(op >> 1 & (1<<trace.SlotShift - 1))
+		if uint(si) >= uint(n) || ir.Kind(kindOf[si]) != kind {
+			retErr = k.batchOpErr(op, tcur, len(targets))
+			break
+		}
+		res.Events++
+		c := &costs[si]
+		c.Events++
+		switch kind {
+		case ir.CondBr:
+			res.ByKind[ir.CondBr&7]++
+			tbit := uint8(op & 1)
+			res.Cond++
+			res.CondTaken += uint64(tbit)
+			var pbit uint8
+			switch cls {
+			case classPHTDirect:
+				idx := slotOf[si] & mask
+				cc := counters[idx]
+				pbit = uint8(cc) >> 1
+				counters[idx] = counterStepBit(cc, tbit)
+			case classPHTGshare:
+				idx := (slotOf[si] ^ ghr) & mask
+				cc := counters[idx]
+				pbit = uint8(cc) >> 1
+				counters[idx] = counterStepBit(cc, tbit)
+				ghr = ((ghr << 1) | uint64(tbit)) & mask
+			case classPHTLocal:
+				lslot := slotOf[si] & idxMask
+				h := hists[lslot] & histMask
+				cc := counters[h]
+				pbit = uint8(cc) >> 1
+				counters[h] = counterStepBit(cc, tbit)
+				hists[lslot] = ((hists[lslot] << 1) | uint16(tbit)) & histMask
+			}
+			// Branchless charging: eq = predicted correctly; a correct
+			// taken conditional misfetches, a wrong one mispredicts.
+			eq := uint64(1 ^ (pbit ^ tbit))
+			mf := eq & uint64(tbit)
+			mp := 1 - eq
+			res.CondCorrect += eq
+			res.Misfetches += mf
+			res.Mispredicts += mp
+			c.Misfetches += mf
+			c.Mispredicts += mp
+		case ir.Br:
+			res.ByKind[ir.Br&7]++
+			res.Misfetches++
+			c.Misfetches++
+		case ir.Call:
+			res.ByKind[ir.Call&7]++
+			res.Misfetches++
+			c.Misfetches++
+			k.rasPush(fallOf[si])
+		case ir.IJump:
+			res.ByKind[ir.IJump&7]++
+			res.Mispredicts++
+			c.Mispredicts++
+			if tcur >= len(targets) {
+				retErr = k.batchOpErr(op, tcur, len(targets))
+				break loop
+			}
+			tcur++
+		case ir.Ret:
+			res.ByKind[ir.Ret&7]++
 			if tcur >= len(targets) {
 				retErr = k.batchOpErr(op, tcur, len(targets))
 				break loop
@@ -170,42 +267,94 @@ loop:
 }
 
 // runBTBBatch is the packed-op twin of runBTB: the branch-target-buffer
-// charging rules over static site fields, with a conditional's installed
-// target taken from the site table (only the taken direction ever touches
-// the BTB's target word).
+// charging rules over the compact site tables, with a conditional's
+// installed target taken from takenOf (only the taken direction ever
+// touches the BTB's target word). The lookup/insert scans live in local
+// closures over the structure-of-arrays BTB state so the global LRU tick
+// stays out of the Kernel struct for the whole batch.
 func (k *Kernel) runBTBBatch(b *trace.Batch) error {
 	var (
-		sites   = k.sites
+		kindOf  = k.kindOf
+		slotOf  = k.slotOf
+		fallOf  = k.fallOf
+		takenOf = k.takenOf
 		costs   = k.costs
 		res     = k.res
+		tags    = k.btbTags
+		tgts    = k.btbTargets
+		lrus    = k.btbLRU
+		ctrs    = k.btbCtr
+		tick    = k.btbTick
+		ways    = k.btbWays
+		setMask = k.btbSetMask
 		targets = b.Targets
 		tcur    = 0
 		retErr  error
 	)
+	n := len(kindOf)
+	costs = costs[:n]
+	slotOf = slotOf[:n]
+	fallOf = fallOf[:n]
+	takenOf = takenOf[:n]
+	e := len(tags)
+	tgts = tgts[:e]
+	lrus = lrus[:e]
+	ctrs = ctrs[:e]
+	// lookup and insert mirror btbLookup/btbInsert exactly (tags hold pc+1,
+	// a hit refreshes the LRU tick, first invalid way wins eviction then
+	// lowest tick) — keep all three in sync.
+	lookup := func(pc uint64) int {
+		tick++
+		base := int((pc/ir.InstrBytes)&setMask) * ways
+		tag := pc + 1
+		for w := 0; w < ways; w++ {
+			if tags[base+w] == tag {
+				lrus[base+w] = tick
+				return base + w
+			}
+		}
+		return -1
+	}
+	insert := func(pc, target uint64) {
+		tick++
+		base := int((pc/ir.InstrBytes)&setMask) * ways
+		victim := base
+		for w := 0; w < ways; w++ {
+			if tags[base+w] == 0 {
+				victim = base + w
+				break
+			}
+			if lrus[base+w] < lrus[victim] {
+				victim = base + w
+			}
+		}
+		tags[victim] = pc + 1
+		tgts[victim] = target
+		lrus[victim] = tick
+		ctrs[victim] = 3
+	}
 loop:
 	for _, op := range b.Ops {
-		si := op >> trace.OpShift
+		si := int(op >> trace.OpShift)
 		kind := ir.Kind(op >> 1 & (1<<trace.SlotShift - 1))
-		if si < 0 || int(si) >= len(sites) || sites[si].Kind != kind {
+		if uint(si) >= uint(n) || ir.Kind(kindOf[si]) != kind {
 			retErr = k.batchOpErr(op, tcur, len(targets))
 			break
 		}
-		s := &sites[si]
+		pc := slotOf[si] * ir.InstrBytes
 		res.Events++
-		res.ByKind[kind&7]++
 		c := &costs[si]
 		c.Events++
 		switch kind {
 		case ir.CondBr:
+			res.ByKind[ir.CondBr&7]++
 			res.Cond++
-			taken := op&1 != 0
-			if taken {
-				res.CondTaken++
-			}
-			li := k.btbLookup(s.PC)
+			tb := uint8(op & 1)
+			taken := tb != 0
+			res.CondTaken += uint64(tb)
+			li := lookup(pc)
 			if li >= 0 {
-				e := &k.btb[li]
-				if e.counter.Taken() == taken {
+				if ctrs[li].Taken() == taken {
 					res.CondCorrect++
 					// Taken and correctly predicted: the stored target of
 					// a direct conditional is always right, so no penalty.
@@ -213,52 +362,55 @@ loop:
 					res.Mispredicts++
 					c.Mispredicts++
 				}
-				e.counter = e.counter.Update(taken)
+				ctrs[li] = counterStepBit(ctrs[li], tb)
 				if taken {
-					e.target = s.TakenTarget
+					tgts[li] = takenOf[si]
 				}
 			} else if taken {
 				res.Mispredicts++
 				c.Mispredicts++
-				k.btbInsert(s.PC, s.TakenTarget)
+				insert(pc, takenOf[si])
 			} else {
 				res.CondCorrect++
 			}
 		case ir.Br:
-			if k.btbLookup(s.PC) < 0 {
+			res.ByKind[ir.Br&7]++
+			if lookup(pc) < 0 {
 				res.Misfetches++
 				c.Misfetches++
-				k.btbInsert(s.PC, s.TakenTarget)
+				insert(pc, takenOf[si])
 			}
 		case ir.Call:
-			if k.btbLookup(s.PC) < 0 {
+			res.ByKind[ir.Call&7]++
+			if lookup(pc) < 0 {
 				res.Misfetches++
 				c.Misfetches++
-				k.btbInsert(s.PC, s.TakenTarget)
+				insert(pc, takenOf[si])
 			}
-			k.rasPush(s.Fall)
+			k.rasPush(fallOf[si])
 		case ir.IJump:
+			res.ByKind[ir.IJump&7]++
 			if tcur >= len(targets) {
 				retErr = k.batchOpErr(op, tcur, len(targets))
 				break loop
 			}
 			target := targets[tcur]
 			tcur++
-			li := k.btbLookup(s.PC)
-			if li >= 0 && k.btb[li].target == target {
+			li := lookup(pc)
+			if li >= 0 && tgts[li] == target {
 				// hit with the right target: free
 			} else {
 				res.Mispredicts++
 				c.Mispredicts++
 				if li >= 0 {
-					e := &k.btb[li]
-					e.counter = e.counter.Update(true)
-					e.target = target
+					ctrs[li] = counterStepBit(ctrs[li], 1)
+					tgts[li] = target
 				} else {
-					k.btbInsert(s.PC, target)
+					insert(pc, target)
 				}
 			}
 		case ir.Ret:
+			res.ByKind[ir.Ret&7]++
 			if tcur >= len(targets) {
 				retErr = k.batchOpErr(op, tcur, len(targets))
 				break loop
@@ -276,5 +428,6 @@ loop:
 		}
 	}
 	k.res = res
+	k.btbTick = tick
 	return retErr
 }

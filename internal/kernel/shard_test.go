@@ -1,0 +1,291 @@
+package kernel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"balign/internal/ir"
+	"balign/internal/predict"
+	"balign/internal/profile"
+	"balign/internal/trace"
+	"balign/internal/workload"
+)
+
+// TestCounterStepMatchesUpdate holds the packed branchless transition table
+// to the reference 2-bit saturating counter, state for state and outcome for
+// outcome — including out-of-range states that Update would saturate.
+func TestCounterStepMatchesUpdate(t *testing.T) {
+	for c := predict.Counter2(0); c < 4; c++ {
+		for _, taken := range []bool{false, true} {
+			want := c.Update(taken)
+			if got := counterStep(c, taken); got != want {
+				t.Errorf("counterStep(%d, %v) = %d, want %d", c, taken, got, want)
+			}
+			var bit uint8
+			if taken {
+				bit = 1
+			}
+			if got := counterStepBit(c, bit); got != want {
+				t.Errorf("counterStepBit(%d, %d) = %d, want %d", c, bit, got, want)
+			}
+		}
+	}
+}
+
+// shardPlan assigns each batch index to an owning shard.
+type shardPlan func(batch int) int
+
+// roundRobinPlan owns batch b on shard b mod n — the executor's runtime
+// policy, usable when the stream length is unknown.
+func roundRobinPlan(n int) shardPlan {
+	return func(b int) int { return b % n }
+}
+
+// contiguousPlan splits nbatches into n contiguous segments at randomized
+// boundaries (some possibly empty), shard k owning segment k.
+func contiguousPlan(rng *rand.Rand, nbatches, n int) shardPlan {
+	cuts := make([]int, n-1)
+	for i := range cuts {
+		cuts[i] = rng.Intn(nbatches + 1)
+	}
+	// Insertion-sort the boundaries; n is tiny.
+	for i := 1; i < len(cuts); i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	return func(b int) int {
+		for k, c := range cuts {
+			if b < c {
+				return k
+			}
+		}
+		return n - 1
+	}
+}
+
+// runSharded executes batches over n shard kernels under plan — each shard
+// Forwarding every batch it does not own and Running every batch it does —
+// then merges the shards in a shuffled order and returns the merge target.
+func runSharded(t *testing.T, lay *trace.Layout, prog *irProg, arch predict.ArchID,
+	batches []*trace.Batch, n int, plan shardPlan, rng *rand.Rand) *Kernel {
+	t.Helper()
+	shards := make([]*Kernel, n)
+	for j := range shards {
+		k, err := CompileArch(lay, prog.prog, prog.prof, arch, nil)
+		if err != nil {
+			t.Fatalf("%s: CompileArch: %v", arch, err)
+		}
+		shards[j] = k
+	}
+	for b, batch := range batches {
+		owner := plan(b)
+		for j, k := range shards {
+			var err error
+			if j == owner {
+				err = k.RunBatch(batch)
+			} else {
+				err = k.ForwardBatch(batch)
+			}
+			if err != nil {
+				t.Fatalf("%s: shard %d batch %d: %v", arch, j, b, err)
+			}
+		}
+	}
+	// Merge in a shuffled order: the sum must be order-independent.
+	order := rng.Perm(n)
+	dst := shards[order[0]]
+	for _, j := range order[1:] {
+		if err := dst.Merge(shards[j]); err != nil {
+			t.Fatalf("%s: Merge: %v", arch, err)
+		}
+	}
+	return dst
+}
+
+// irProg pairs a program with its profile for the shard helpers.
+type irProg struct {
+	prog *ir.Program
+	prof *profile.Profile
+}
+
+// assertShardParity requires the sharded-and-merged kernel to reproduce the
+// unsharded kernel bit for bit: totals, per-site costs and per-site cycles.
+func assertShardParity(t *testing.T, lay *trace.Layout, p *irProg, arch predict.ArchID,
+	batches []*trace.Batch, n int, plan shardPlan, rng *rand.Rand, label string) {
+	t.Helper()
+	whole, err := CompileArch(lay, p.prog, p.prof, arch, nil)
+	if err != nil {
+		t.Fatalf("%s: CompileArch: %v", arch, err)
+	}
+	for b, batch := range batches {
+		if err := whole.RunBatch(batch); err != nil {
+			t.Fatalf("%s: RunBatch %d: %v", arch, b, err)
+		}
+	}
+	merged := runSharded(t, lay, p, arch, batches, n, plan, rng)
+	if got, want := merged.Result(), whole.Result(); got != want {
+		t.Errorf("%s %s shards=%d: Result mismatch:\n sharded   %+v\n unsharded %+v",
+			arch, label, n, got, want)
+	}
+	if got, want := merged.SiteCosts(), whole.SiteCosts(); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s %s shards=%d: per-site costs diverge", arch, label, n)
+	}
+	if got, want := merged.SiteCycles(), whole.SiteCycles(); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s %s shards=%d: per-site cycles diverge", arch, label, n)
+	}
+}
+
+// TestShardMergeGrid is the shard-merge property test over the full
+// architecture grid: for every architecture and shard count, both the
+// executor's round-robin partition and randomized contiguous partitions
+// must merge bit-exactly back to the unsharded run.
+func TestShardMergeGrid(t *testing.T) {
+	prog := mustAssemble(t, `
+proc main
+    li   r1, 16
+outer:
+    call helper
+    addi r1, r1, -1
+    bnez r1, outer
+    halt
+endproc
+proc helper
+    li   r2, 5
+inner:
+    addi r2, r2, -1
+    bnez r2, inner
+    ret
+endproc
+`)
+	prof := profileOf(t, prog, 4000)
+	events := recordEvents(t, prog, 4000)
+	lay, err := trace.CompileLayout(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small batches so every shard count produces a real interleaving.
+	batches := packBatches(t, lay, events, 37)
+	p := &irProg{prog: prog, prof: prof}
+	rng := rand.New(rand.NewSource(7))
+	for _, arch := range allArchs() {
+		for _, n := range []int{1, 2, 3, 5} {
+			assertShardParity(t, lay, p, arch, batches, n, roundRobinPlan(n), rng, "roundrobin")
+			for trial := 0; trial < 3; trial++ {
+				plan := contiguousPlan(rng, len(batches), n)
+				assertShardParity(t, lay, p, arch, batches, n, plan, rng, "contiguous")
+			}
+		}
+	}
+}
+
+// TestShardMergeWorkloads repeats the shard-merge property over fuzzed
+// synthetic workloads: walker-generated traces with every event kind, at
+// several seeds, split at randomized boundaries.
+func TestShardMergeWorkloads(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1337} {
+		w, err := workload.ByName("doduc", workload.Config{Scale: 0.02, Seed: seed})
+		if err != nil {
+			t.Fatalf("ByName: %v", err)
+		}
+		prof, _, err := w.CollectProfile()
+		if err != nil {
+			t.Fatalf("CollectProfile: %v", err)
+		}
+		var events []trace.Event
+		if _, err := w.Run(w.Prog, prof, trace.SinkFunc(func(e trace.Event) {
+			events = append(events, e)
+		}), nil); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		lay, err := trace.CompileLayout(w.Prog)
+		if err != nil {
+			t.Fatalf("CompileLayout: %v", err)
+		}
+		batches := packBatches(t, lay, events, 256)
+		p := &irProg{prog: w.Prog, prof: prof}
+		rng := rand.New(rand.NewSource(seed))
+		for _, arch := range allArchs() {
+			for _, n := range []int{2, 4} {
+				assertShardParity(t, lay, p, arch, batches, n, roundRobinPlan(n), rng, "roundrobin")
+				plan := contiguousPlan(rng, len(batches), n)
+				assertShardParity(t, lay, p, arch, batches, n, plan, rng, "contiguous")
+			}
+		}
+	}
+}
+
+// TestForwardBatchRejectsMalformedOps: a shard must fail on exactly the
+// batches the unsharded run would have failed on, with ForwardBatch
+// sharing RunBatch's diagnostics.
+func TestForwardBatchRejectsMalformedOps(t *testing.T) {
+	prog := mustAssemble(t, `
+proc main
+    li   r1, 2
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`)
+	lay, err := trace.CompileLayout(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &trace.Batch{Ops: []int32{9999 << trace.OpShift}}
+	prof := profileOf(t, prog, 100)
+	for _, arch := range allArchs() {
+		k, err := CompileArch(lay, prog, prof, arch, nil)
+		if err != nil {
+			t.Fatalf("%s: CompileArch: %v", arch, err)
+		}
+		if err := k.ForwardBatch(bad); err == nil {
+			t.Errorf("%s: ForwardBatch accepted an out-of-range site id", arch)
+		}
+	}
+}
+
+// TestMergeRejectsMismatchedKernels: merging across architectures or
+// layouts would sum accumulators whose site ids name different
+// instructions, so Merge must refuse.
+func TestMergeRejectsMismatchedKernels(t *testing.T) {
+	prog := mustAssemble(t, `
+proc main
+    li   r1, 2
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+endproc
+`)
+	lay, err := trace.CompileLayout(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := CompileArch(lay, prog, nil, predict.ArchFallthrough, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("Merge accepted a nil kernel")
+	}
+	b, err := CompileArch(lay, prog, nil, predict.ArchBTFNT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Error("Merge accepted a kernel for a different architecture")
+	}
+	lay2, err := trace.CompileLayout(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileArch(lay2, prog, nil, predict.ArchFallthrough, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("Merge accepted a kernel compiled from a different layout")
+	}
+}

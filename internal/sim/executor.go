@@ -62,6 +62,13 @@ type ExecStats struct {
 	// time; RunNs the summed event-consumption time.
 	CompileNs int64 `json:"compile_ns"`
 	RunNs     int64 `json:"run_ns"`
+	// Shards is the configured intra-variant shard count (1 = unsharded).
+	// ForwardNs and ForwardEvents sum the shards' state-forwarding passes
+	// over batches they do not own — the sharding overhead that buys the
+	// parallel accumulation (see kernel.ForwardBatch).
+	Shards        int    `json:"shards"`
+	ForwardNs     int64  `json:"forward_ns"`
+	ForwardEvents uint64 `json:"forward_events"`
 }
 
 // Executor runs one evaluation cell's simulation — one architecture over
@@ -69,14 +76,17 @@ type ExecStats struct {
 // use; the engine's shards share one executor so the compile/run split
 // aggregates across the grid.
 type Executor struct {
-	mode KernelMode
-	obs  *obs.Recorder
+	mode   KernelMode
+	obs    *obs.Recorder
+	shards int
 
-	cells       atomic.Uint64
-	streamCells atomic.Uint64
-	events      atomic.Uint64
-	compileNs   atomic.Int64
-	runNs       atomic.Int64
+	cells         atomic.Uint64
+	streamCells   atomic.Uint64
+	events        atomic.Uint64
+	compileNs     atomic.Int64
+	runNs         atomic.Int64
+	forwardNs     atomic.Int64
+	forwardEvents atomic.Uint64
 }
 
 // NewExecutor returns an executor in the given mode ("" = flat). rec
@@ -93,15 +103,41 @@ func NewExecutor(mode string, rec *obs.Recorder) (*Executor, error) {
 // Mode returns the resolved kernel mode.
 func (x *Executor) Mode() KernelMode { return x.mode }
 
+// SetShards sets the intra-variant shard count SimulateStream uses in flat
+// mode: each architecture gets n kernel consumers that split the stream's
+// batches round-robin, every shard forwarding predictor state over batches
+// it does not own and accumulating over batches it does, so the merged
+// tallies are bit-identical to the unsharded run (see kernel.ForwardBatch
+// and kernel.Merge). Values below 2 mean unsharded; the ref mode always
+// runs unsharded. SetShards must be called before the executor is shared
+// across goroutines — it is configuration, not a runtime control.
+func (x *Executor) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	x.shards = n
+}
+
+// Shards returns the configured intra-variant shard count (minimum 1).
+func (x *Executor) Shards() int {
+	if x.shards < 1 {
+		return 1
+	}
+	return x.shards
+}
+
 // Stats returns a snapshot of the executor's phase-split counters.
 func (x *Executor) Stats() ExecStats {
 	return ExecStats{
-		Mode:        string(x.mode),
-		Cells:       x.cells.Load(),
-		StreamCells: x.streamCells.Load(),
-		Events:      x.events.Load(),
-		CompileNs:   x.compileNs.Load(),
-		RunNs:       x.runNs.Load(),
+		Mode:          string(x.mode),
+		Cells:         x.cells.Load(),
+		StreamCells:   x.streamCells.Load(),
+		Events:        x.events.Load(),
+		CompileNs:     x.compileNs.Load(),
+		RunNs:         x.runNs.Load(),
+		Shards:        x.Shards(),
+		ForwardNs:     x.forwardNs.Load(),
+		ForwardEvents: x.forwardEvents.Load(),
 	}
 }
 
@@ -147,6 +183,16 @@ func (x *Executor) Simulate(arch predict.ArchID, prog *ir.Program, prof *profile
 // Simulate would produce over the recorded stream — the streaming-vs-
 // recorded oracles enforce this byte for byte.
 //
+// In flat mode with SetShards(S>1), each architecture fans out to S shard
+// consumers on their own goroutines. Shard j owns the batches whose stream
+// index is ≡ j (mod S): it accumulates tallies over those with RunBatch and
+// replays only predictor state over the rest with ForwardBatch, so each
+// owned batch executes from exactly the predictor state the unsharded run
+// had there. The shards' accumulators are then folded with kernel.Merge —
+// a plain field sum — which makes the sharded result bit-identical to the
+// unsharded one for every shard count; the shard-merge property tests and
+// the parallel-determinism oracle enforce this.
+//
 // SimulateStream owns src: it is closed before returning, so an aborted
 // broadcast cannot leave a generator goroutine blocked.
 //
@@ -161,12 +207,21 @@ func (x *Executor) SimulateStream(ctx context.Context, str *Streamer, lay *trace
 	if n == 0 {
 		return nil, nil
 	}
-	consumers := make([]func(*trace.Batch) error, n)
-	finish := make([]func() predict.Result, n)
+	shards := x.Shards()
+	if x.mode == KernelRef {
+		// The reference simulators have no state-forwarding primitive;
+		// they always consume whole streams.
+		shards = 1
+	}
+	nc := n * shards
+	consumers := make([]func(*trace.Batch) error, nc)
+	finish := make([]func() (predict.Result, error), n)
 	// Per-consumer accumulators, each written only by its own goroutine and
 	// read after Broadcast returns (its WaitGroup orders the accesses).
-	runNs := make([]int64, n)
-	events := make([]uint64, n)
+	runNs := make([]int64, nc)
+	events := make([]uint64, nc)
+	forwardNs := make([]int64, nc)
+	forwardEvents := make([]uint64, nc)
 
 	cstart := time.Now()
 	switch x.mode {
@@ -176,7 +231,6 @@ func (x *Executor) SimulateStream(ctx context.Context, str *Streamer, lay *trace
 			if err != nil {
 				return nil, err
 			}
-			i, s := i, s
 			consumers[i] = func(b *trace.Batch) error {
 				start := time.Now()
 				err := lay.Decode(b, func(e trace.Event) { s.Event(e) })
@@ -184,23 +238,46 @@ func (x *Executor) SimulateStream(ctx context.Context, str *Streamer, lay *trace
 				events[i] += uint64(b.Len())
 				return err
 			}
-			finish[i] = s.Result
+			finish[i] = func() (predict.Result, error) { return s.Result(), nil }
 		}
 	default:
 		for i, arch := range archs {
-			k, err := kernel.CompileArch(lay, prog, prof, arch, x.obs)
-			if err != nil {
-				return nil, err
+			ks := make([]*kernel.Kernel, shards)
+			for j := range ks {
+				k, err := kernel.CompileArch(lay, prog, prof, arch, x.obs)
+				if err != nil {
+					return nil, err
+				}
+				ks[j] = k
+				c := i*shards + j
+				// Each consumer sees every batch in stream order, so a
+				// local index decides ownership: batch b belongs to shard
+				// b mod shards.
+				var batchIdx int
+				consumers[c] = func(b *trace.Batch) error {
+					own := shards == 1 || batchIdx%shards == j
+					batchIdx++
+					start := time.Now()
+					if !own {
+						err := k.ForwardBatch(b)
+						forwardNs[c] += int64(time.Since(start))
+						forwardEvents[c] += uint64(b.Len())
+						return err
+					}
+					err := k.RunBatch(b)
+					runNs[c] += int64(time.Since(start))
+					events[c] += uint64(b.Len())
+					return err
+				}
 			}
-			i, k := i, k
-			consumers[i] = func(b *trace.Batch) error {
-				start := time.Now()
-				err := k.RunBatch(b)
-				runNs[i] += int64(time.Since(start))
-				events[i] += uint64(b.Len())
-				return err
+			finish[i] = func() (predict.Result, error) {
+				for j := 1; j < len(ks); j++ {
+					if err := ks[0].Merge(ks[j]); err != nil {
+						return predict.Result{}, err
+					}
+				}
+				return ks[0].Result(), nil
 			}
-			finish[i] = k.Result
 		}
 	}
 	x.noteCompile(cstart)
@@ -210,20 +287,30 @@ func (x *Executor) SimulateStream(ctx context.Context, str *Streamer, lay *trace
 	}
 	results := make([]predict.Result, n)
 	for i := range finish {
-		results[i] = finish[i]()
+		r, err := finish[i]()
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
 	}
-	var totalNs int64
-	var totalEvents uint64
+	var totalNs, totalFwdNs int64
+	var totalEvents, totalFwdEvents uint64
 	for i := range runNs {
 		totalNs += runNs[i]
 		totalEvents += events[i]
+		totalFwdNs += forwardNs[i]
+		totalFwdEvents += forwardEvents[i]
 	}
 	x.runNs.Add(totalNs)
 	x.events.Add(totalEvents)
+	x.forwardNs.Add(totalFwdNs)
+	x.forwardEvents.Add(totalFwdEvents)
 	x.obs.Add("sim.exec.run_ns", totalNs)
 	x.obs.Add("sim.exec.events", int64(totalEvents))
-	x.streamCells.Add(uint64(n))
-	x.obs.Add("sim.exec.stream_cells", int64(n))
+	x.obs.Add("sim.exec.forward_ns", totalFwdNs)
+	x.obs.Add("sim.exec.forward_events", int64(totalFwdEvents))
+	x.streamCells.Add(uint64(nc))
+	x.obs.Add("sim.exec.stream_cells", int64(nc))
 	return results, nil
 }
 

@@ -73,12 +73,22 @@ type StreamStats struct {
 	// StallsNs is the time producers spent blocked waiting for a free
 	// buffer — the backpressure signal: consumers were the bottleneck.
 	StallsNs int64 `json:"stalls_ns"`
+	// GenNs is the time producers spent inside Source.Fill — the
+	// generation half of the pipeline, measured at the same boundary the
+	// consumer half reports as sim.exec.run_ns, so overlap is visible as
+	// gen_ns + run_ns exceeding wall time.
+	GenNs int64 `json:"gen_ns"`
 	// LiveBuffers and LiveBytes gauge the ring buffers currently pinned
 	// across in-flight broadcasts; PeakLiveBytes is the high-water mark —
 	// the streaming replacement for the trace cache's live-bytes gauge.
 	LiveBuffers   int64  `json:"live_buffers"`
 	LiveBytes     uint64 `json:"live_bytes"`
 	PeakLiveBytes uint64 `json:"peak_live_bytes"`
+	// ArenaReuses counts ring buffers served from the streamer's arena
+	// instead of freshly allocated: broadcasts after the first reuse the
+	// previous variants' buffers, so steady-state streaming allocates no
+	// batch memory at all.
+	ArenaReuses uint64 `json:"arena_reuses"`
 }
 
 // Streamer is the broadcast stage of the streaming pipeline: it pulls
@@ -99,9 +109,18 @@ type Streamer struct {
 	batches       atomic.Uint64
 	events        atomic.Uint64
 	stallsNs      atomic.Int64
+	genNs         atomic.Int64
 	liveBuffers   atomic.Int64
 	liveBytes     atomic.Int64
 	peakLiveBytes atomic.Int64
+	arenaReuses   atomic.Uint64
+
+	// arena holds idle ring buffers between broadcasts so successive
+	// variants reuse one another's batch memory. Idle buffers are not
+	// accounted in the live gauges — those gauge what in-flight broadcasts
+	// have pinned, and must drain to zero when no broadcast is running.
+	mu    sync.Mutex
+	arena []*sharedBatch
 }
 
 // NewStreamer returns a streamer with the given ring size and per-batch
@@ -127,6 +146,41 @@ type sharedBatch struct {
 	b    trace.Batch
 	refs atomic.Int32
 	size uint64
+}
+
+// takeBuffer hands out a ring buffer — from the arena when one is idle,
+// freshly allocated otherwise — and accounts it into the live gauges.
+func (s *Streamer) takeBuffer() *sharedBatch {
+	s.mu.Lock()
+	var sb *sharedBatch
+	if n := len(s.arena); n > 0 {
+		sb = s.arena[n-1]
+		s.arena[n-1] = nil
+		s.arena = s.arena[:n-1]
+	}
+	s.mu.Unlock()
+	if sb == nil {
+		sb = &sharedBatch{}
+		sb.b.Ops = make([]int32, 0, s.batchCap)
+		sb.size = sb.b.SizeBytes()
+	} else {
+		s.arenaReuses.Add(1)
+		s.obs.Add("sim.stream.arena_reuses", 1)
+	}
+	s.accountBytes(int64(sb.size))
+	s.accountBuffers(1)
+	return sb
+}
+
+// returnBuffer drains a ring buffer out of the live gauges and parks it in
+// the arena for the next broadcast. The batch's backing arrays are kept at
+// their grown capacity — that is the reuse.
+func (s *Streamer) returnBuffer(sb *sharedBatch) {
+	s.accountBytes(-int64(sb.size))
+	s.accountBuffers(-1)
+	s.mu.Lock()
+	s.arena = append(s.arena, sb)
+	s.mu.Unlock()
 }
 
 // Broadcast pulls src dry and delivers every batch to all consumers, in
@@ -156,12 +210,7 @@ func (s *Streamer) Broadcast(ctx context.Context, src trace.Source, consumers []
 	n := len(consumers)
 	free := make(chan *sharedBatch, s.buffers)
 	for i := 0; i < s.buffers; i++ {
-		sb := &sharedBatch{}
-		sb.b.Ops = make([]int32, 0, s.batchCap)
-		sb.size = sb.b.SizeBytes()
-		s.accountBytes(int64(sb.size))
-		s.accountBuffers(1)
-		free <- sb
+		free <- s.takeBuffer()
 	}
 	// Per-consumer queues sized to the ring: with only s.buffers buffers in
 	// existence a queue can never fill, so the producer blocks only on the
@@ -201,6 +250,7 @@ func (s *Streamer) Broadcast(ctx context.Context, src trace.Source, consumers []
 		batches  uint64
 		events   uint64
 		stallsNs int64
+		genNs    int64
 	)
 	for !failed.Load() {
 		if err := ctx.Err(); err != nil {
@@ -228,7 +278,9 @@ func (s *Streamer) Broadcast(ctx context.Context, src trace.Source, consumers []
 			// nothing needs returning to the ring.
 			break
 		}
+		gstart := time.Now()
 		ok, err := src.Fill(&sb.b)
+		genNs += int64(time.Since(gstart))
 		if size := sb.b.SizeBytes(); size != sb.size {
 			s.accountBytes(int64(size) - int64(sb.size))
 			sb.size = size
@@ -252,19 +304,19 @@ func (s *Streamer) Broadcast(ctx context.Context, src trace.Source, consumers []
 	}
 	wg.Wait()
 	for i := 0; i < s.buffers; i++ {
-		sb := <-free
-		s.accountBytes(-int64(sb.size))
-		s.accountBuffers(-1)
+		s.returnBuffer(<-free)
 	}
 
 	s.broadcasts.Add(1)
 	s.batches.Add(batches)
 	s.events.Add(events)
 	s.stallsNs.Add(stallsNs)
+	s.genNs.Add(genNs)
 	s.obs.Add("sim.stream.broadcasts", 1)
 	s.obs.Add("sim.stream.batches", int64(batches))
 	s.obs.Add("sim.stream.events", int64(events))
 	s.obs.Add("sim.stream.stalls_ns", stallsNs)
+	s.obs.Add("sim.stream.gen_ns", genNs)
 
 	if prodErr != nil {
 		return prodErr
@@ -314,8 +366,10 @@ func (s *Streamer) Stats() StreamStats {
 		Batches:       s.batches.Load(),
 		Events:        s.events.Load(),
 		StallsNs:      s.stallsNs.Load(),
+		GenNs:         s.genNs.Load(),
 		LiveBuffers:   s.liveBuffers.Load(),
 		LiveBytes:     uint64(live),
 		PeakLiveBytes: uint64(peak),
+		ArenaReuses:   s.arenaReuses.Load(),
 	}
 }

@@ -1,0 +1,67 @@
+// Command benchhost prints the host block the committed BENCH_*.json
+// files carry, so benchmark numbers are always recorded with the machine
+// shape that produced them — in particular the scheduler width
+// (gomaxprocs) and the physical parallelism available (cpus), which the
+// streaming-overlap numbers depend on.
+//
+//	$ go run ./scripts/benchhost
+//	{
+//	  "goos": "linux",
+//	  ...
+//	  "gomaxprocs": 4,
+//	  "cpus": 4
+//	}
+//
+// The Makefile bench targets print it before running, so a pasted bench
+// log carries its provenance.
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// hostBlock mirrors the "host" object in BENCH_kernel.json and
+// BENCH_stream.json, field order included.
+type hostBlock struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu"`
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUs       int    `json:"cpus"`
+}
+
+func main() {
+	h := hostBlock{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        cpuModel(),
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(h); err != nil {
+		os.Exit(1)
+	}
+}
+
+// cpuModel reads the first "model name" line from /proc/cpuinfo; on hosts
+// without one (non-Linux, restricted containers) it falls back to the
+// architecture string so the field is never empty.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			name, value, ok := strings.Cut(line, ":")
+			if ok && strings.TrimSpace(name) == "model name" {
+				return strings.TrimSpace(value)
+			}
+		}
+	}
+	return runtime.GOARCH
+}
