@@ -84,6 +84,9 @@ const (
 	AlgoCost = core.AlgoCost
 	// AlgoTryN is the paper's Try15 windowed exhaustive search.
 	AlgoTryN = core.AlgoTryN
+	// AlgoExtTSP maximizes the distance-weighted ExtTSP objective by
+	// greedy chain merging with bounded splitting (Newell & Pupyrev).
+	AlgoExtTSP = core.AlgoExtTSP
 )
 
 // Chain layout orders.
@@ -213,6 +216,14 @@ func Unroll(prog *Program, prof *Profile, opts UnrollOptions) (*Program, *Profil
 // which is keyed by procedure name, remains valid for the result.
 func ReorderProcedures(prog *Program, prof *Profile) (*Program, error) {
 	return core.ReorderProcs(prog, prof)
+}
+
+// ReorderProceduresExtTSP orders whole procedures by the ExtTSP objective
+// over the call graph, with I-cache-scale distance windows, so hot
+// caller/callee pairs land close. Call targets are remapped; the profile
+// remains valid for the result.
+func ReorderProceduresExtTSP(prog *Program, prof *Profile) (*Program, error) {
+	return core.ReorderProcsExtTSP(prog, prof)
 }
 
 // Summary is one evaluation-grid cell — a (program, architecture, algorithm)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"balign/internal/experiments"
 	"balign/internal/predict"
 )
 
@@ -158,7 +159,7 @@ func reportFor(t *testing.T, extra ...string) *runReport {
 		t.Errorf("executor/kernel counters missing: %v", rep.Counters)
 	}
 	// The grid section must be the full {program x arch x algo} matrix.
-	if want := len(predict.AllArchs()) * 3; len(rep.Sections.Grid) != want {
+	if want := len(predict.AllArchs()) * len(experiments.Algos()); len(rep.Sections.Grid) != want {
 		t.Errorf("grid rows = %d, want %d", len(rep.Sections.Grid), want)
 	}
 	for _, row := range rep.Sections.Grid {
@@ -198,7 +199,7 @@ func TestRunReportSchema(t *testing.T) {
 	}
 	// ...and counts consumers as stream cells, not recorded-replay cells.
 	ex := rep.Sections.Executor
-	if want := uint64(len(predict.AllArchs()) * 3); ex.StreamCells != want || ex.Cells != 0 {
+	if want := uint64(len(predict.AllArchs()) * len(experiments.Algos())); ex.StreamCells != want || ex.Cells != 0 {
 		t.Errorf("executor cells = %d recorded / %d streamed, want 0 / %d",
 			ex.Cells, ex.StreamCells, want)
 	}
@@ -224,7 +225,7 @@ func TestRunReportSchemaRecorded(t *testing.T) {
 		t.Errorf("trace-cache peak gauges missing: %+v", tc)
 	}
 	ex := rep.Sections.Executor
-	if want := uint64(len(predict.AllArchs()) * 3); ex.Cells != want || ex.StreamCells != 0 {
+	if want := uint64(len(predict.AllArchs()) * len(experiments.Algos())); ex.Cells != want || ex.StreamCells != 0 {
 		t.Errorf("executor cells = %d recorded / %d streamed, want %d / 0",
 			ex.Cells, ex.StreamCells, want)
 	}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	balign -prog file.asm -profile file.prof [-algo tryn] [-arch btfnt]
-//	       [-order hottest|btfnt] [-window 15] [-o out.asm] [-v]
+//	       [-order hottest|btfnt] [-window 15] [-procorder] [-o out.asm] [-v]
 package main
 
 import (
@@ -35,10 +35,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	progFile := fs.String("prog", "", "assembly file to transform (required)")
 	profFile := fs.String("profile", "", "edge profile from batrace (required)")
-	algo := fs.String("algo", "tryn", "alignment algorithm: orig | greedy | cost | tryn")
+	algo := fs.String("algo", "tryn", "alignment algorithm: orig | greedy | cost | tryn | exttsp")
 	arch := fs.String("arch", "btfnt", "architecture cost model: fallthrough | btfnt | likely | pht-direct | pht-gshare | btb64 | btb256")
 	order := fs.String("order", "hottest", "chain layout order: hottest | btfnt")
 	window := fs.Int("window", core.DefaultWindow, "TryN window size")
+	procOrder := fs.Bool("procorder", false, "also reorder whole procedures by the ExtTSP call-graph objective")
 	out := fs.String("o", "", "output assembly file (default: stdout)")
 	verbose := fs.Bool("v", false, "print rewrite statistics")
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +76,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		opts.Algorithm = core.AlgoCost
 	case "tryn":
 		opts.Algorithm = core.AlgoTryN
+	case "exttsp":
+		opts.Algorithm = core.AlgoExtTSP
 	case "orig":
 		opts.Algorithm = core.AlgoOriginal
 	default:
@@ -99,6 +102,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	res, err := core.AlignProgram(prog, pf, opts)
 	if err != nil {
 		return err
+	}
+	if *procOrder {
+		reordered, err := core.ReorderProcsExtTSP(res.Prog, res.Prof)
+		if err != nil {
+			return err
+		}
+		res.Prog = reordered
 	}
 
 	if *verbose {

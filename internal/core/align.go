@@ -28,6 +28,11 @@ const (
 	// combinations of their nodes' alignment choices are evaluated under
 	// the cost model.
 	AlgoTryN Algorithm = "tryn"
+	// AlgoExtTSP is Newell & Pupyrev's distance-weighted layout objective
+	// (short-forward / short-backward / long-jump scoring) optimized by
+	// chain merging with bounded chain splitting. It needs no architecture
+	// cost model: the objective itself encodes fetch locality.
+	AlgoExtTSP Algorithm = "exttsp"
 )
 
 // DefaultWindow is the paper's Try15 window size.
@@ -107,6 +112,12 @@ type Result struct {
 // statistics. Procedures without profile data keep their original layout.
 // The input program and profile are not modified.
 func AlignProgram(prog *ir.Program, pf *profile.Profile, opts Options) (*Result, error) {
+	// Feed entry blocks their invocation counts (derived from caller block
+	// weights) so absolute-weight consumers — ExtTSP distances, chain
+	// weights, downstream procedure ordering on the aligned result — see
+	// full-strength entry executions. The input profile is not modified;
+	// the enriched counts flow into the transferred output profile.
+	pf = withEntryCounts(prog, pf)
 	out := &ir.Program{
 		Name:      prog.Name,
 		EntryProc: prog.EntryProc,
@@ -187,6 +198,8 @@ func planLayout(p *ir.Proc, pp *profile.ProcProfile, opts Options) ([]ir.BlockID
 		}
 		layout, force := tryNLayout(p, pp, opts)
 		return layout, force, nil
+	case AlgoExtTSP:
+		return extTSPLayout(p, pp), nil, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown algorithm %q", opts.Algorithm)
 	}
@@ -237,6 +250,7 @@ func assignProcAddrs(p *ir.Proc, base uint64) {
 
 func clonePP(pp *profile.ProcProfile) *profile.ProcProfile {
 	np := profile.NewProcProfile()
+	np.EntryCount = pp.EntryCount
 	for e, w := range pp.Edges {
 		np.Edges[e] = w
 	}
@@ -244,4 +258,43 @@ func clonePP(pp *profile.ProcProfile) *profile.ProcProfile {
 		np.Branches[b] = cnt
 	}
 	return np
+}
+
+// withEntryCounts returns a view of pf whose procedure profiles carry entry
+// invocation counts, deriving missing ones from caller block weights
+// (ProcHotness). Profiles that already record every entry count are
+// returned as-is; otherwise the returned profile shares pf's maps and pf is
+// not modified.
+func withEntryCounts(prog *ir.Program, pf *profile.Profile) *profile.Profile {
+	needs := false
+	for _, p := range prog.Procs {
+		if pp, ok := pf.Procs[p.Name]; ok && pp.EntryCount == 0 {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return pf
+	}
+	hot := ProcHotness(prog, pf)
+	out := &profile.Profile{
+		Program: pf.Program,
+		Instrs:  pf.Instrs,
+		Procs:   make(map[string]*profile.ProcProfile, len(pf.Procs)),
+	}
+	for name, pp := range pf.Procs {
+		out.Procs[name] = pp
+	}
+	for pi, p := range prog.Procs {
+		pp, ok := pf.Procs[p.Name]
+		if !ok || pp.EntryCount > 0 || hot[pi] == 0 {
+			continue
+		}
+		out.Procs[p.Name] = &profile.ProcProfile{
+			Edges:      pp.Edges,
+			Branches:   pp.Branches,
+			EntryCount: hot[pi],
+		}
+	}
+	return out
 }

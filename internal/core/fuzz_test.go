@@ -136,6 +136,8 @@ func fuzzOptions() []Options {
 		{Algorithm: AlgoTryN, Model: cost.BTFNTModel{}, Window: 6, Order: OrderBTFNT},
 		{Algorithm: AlgoTryN, Model: cost.LikelyModel{}, Window: 4},
 		{Algorithm: AlgoTryN, Model: cost.BTBModel{}, Window: 10},
+		{Algorithm: AlgoExtTSP},
+		{Algorithm: AlgoExtTSP, Model: cost.PHTModel{}},
 	}
 }
 

@@ -53,6 +53,9 @@ func orderChains(c *chains, pp *profile.ProcProfile, order ChainOrder) []ir.Bloc
 			blockWeight[e.To] += w
 		}
 	}
+	// The entry block also executes once per invocation, with no incoming
+	// edge to show for it.
+	blockWeight[p.Entry()] += pp.EntryCount
 	chainWeight := make(map[ir.BlockID]uint64, len(heads))
 	for _, h := range heads {
 		var w uint64

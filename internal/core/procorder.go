@@ -8,14 +8,33 @@ import (
 	"balign/internal/profile"
 )
 
-// ProcHotness estimates each procedure's dynamic call frequency from an
+// ProcHotness estimates each procedure's dynamic invocation count from an
 // edge profile: the execution count of every block containing a call,
-// accumulated per callee. (The paper's tool chain had exact call counts
-// from ATOM; block weights are the equivalent information our profile
-// keeps.)
+// accumulated per callee, plus one initial invocation for the program entry
+// procedure. (The paper's tool chain had exact call counts from ATOM; block
+// weights are the equivalent information our profile keeps.)
+//
+// Entry-block weights come from ProcProfile.EntryCount when the profile
+// carries it; otherwise they are derived by a second pass that feeds the
+// first pass's invocation counts back into entry-block weights, so calls
+// made from entry blocks are counted at full strength instead of the
+// at-least-once floor the bootstrap pass uses.
 func ProcHotness(prog *ir.Program, pf *profile.Profile) []uint64 {
+	hot := procHotnessPass(prog, pf, nil)
+	hot = procHotnessPass(prog, pf, hot)
+	if prog.EntryProc >= 0 && prog.EntryProc < len(hot) {
+		hot[prog.EntryProc]++
+	}
+	return hot
+}
+
+// procHotnessPass accumulates callee invocation counts over one sweep.
+// entry supplies per-procedure entry-block weights for procedures whose
+// profile lacks an EntryCount; a nil entry falls back to the at-least-once
+// bootstrap floor.
+func procHotnessPass(prog *ir.Program, pf *profile.Profile, entry []uint64) []uint64 {
 	hot := make([]uint64, len(prog.Procs))
-	for _, p := range prog.Procs {
+	for pi, p := range prog.Procs {
 		pp, ok := pf.Procs[p.Name]
 		if !ok {
 			continue
@@ -26,8 +45,16 @@ func ProcHotness(prog *ir.Program, pf *profile.Profile) []uint64 {
 		}
 		for id, b := range p.Blocks {
 			w := blockWeight[ir.BlockID(id)]
-			if id == int(p.Entry()) && w == 0 {
-				w = 1 // entry executes at least once per call
+			if ir.BlockID(id) == p.Entry() {
+				switch {
+				case pp.EntryCount > 0:
+					w += pp.EntryCount
+				case entry != nil:
+					w += entry[pi]
+				}
+				if w == 0 {
+					w = 1 // entry executes at least once per call
+				}
 			}
 			for ii := range b.Instrs {
 				in := &b.Instrs[ii]
@@ -40,32 +67,41 @@ func ProcHotness(prog *ir.Program, pf *profile.Profile) []uint64 {
 	return hot
 }
 
-// ReorderProcs lays procedures out hottest-first — the inter-procedural
-// counterpart of chain ordering, analogous to Pettis & Hansen's procedure
-// positioning (which the paper deliberately leaves out; provided here as an
-// extension). The entry procedure always stays first; call targets are
-// remapped, so semantics are unchanged. The profile needs no transfer: it
-// is keyed by procedure name.
-func ReorderProcs(prog *ir.Program, pf *profile.Profile) (*ir.Program, error) {
-	hot := ProcHotness(prog, pf)
-	order := make([]int, len(prog.Procs))
-	for i := range order {
-		order[i] = i
+// checkCallTargets verifies that every call in prog names a remappable
+// procedure, returning a descriptive error for indirect calls
+// (TargetProc < 0, which carry no static callee to remap) and for
+// out-of-range targets (a malformed program that would otherwise corrupt
+// the remap or panic).
+func checkCallTargets(prog *ir.Program) error {
+	for _, p := range prog.Procs {
+		for bid, b := range p.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Kind() != ir.Call {
+					continue
+				}
+				if in.TargetProc < 0 {
+					return fmt.Errorf("core: proc %q block %d instr %d: indirect call (TargetProc %d) cannot be remapped across a procedure reorder",
+						p.Name, bid, ii, in.TargetProc)
+				}
+				if in.TargetProc >= len(prog.Procs) {
+					return fmt.Errorf("core: proc %q block %d instr %d: call target %d out of range (program has %d procs)",
+						p.Name, bid, ii, in.TargetProc, len(prog.Procs))
+				}
+			}
+		}
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ia, ib := order[a], order[b]
-		if ia == prog.EntryProc {
-			return true
-		}
-		if ib == prog.EntryProc {
-			return false
-		}
-		if hot[ia] != hot[ib] {
-			return hot[ia] > hot[ib]
-		}
-		return ia < ib
-	})
+	return nil
+}
 
+// applyProcOrder rebuilds prog with its procedures in the given order
+// (a permutation of procedure indices), remapping every call target and
+// reassigning addresses. The entry procedure may move; EntryProc is
+// remapped with everything else.
+func applyProcOrder(prog *ir.Program, order []int) (*ir.Program, error) {
+	if err := checkCallTargets(prog); err != nil {
+		return nil, err
+	}
 	oldToNew := make([]int, len(prog.Procs))
 	out := &ir.Program{Name: prog.Name, MemWords: prog.MemWords}
 	for newIdx, oldIdx := range order {
@@ -89,4 +125,97 @@ func ReorderProcs(prog *ir.Program, pf *profile.Profile) (*ir.Program, error) {
 		return nil, fmt.Errorf("core: reordered program invalid: %w", err)
 	}
 	return out, nil
+}
+
+// ReorderProcs lays procedures out hottest-first — the inter-procedural
+// counterpart of chain ordering, analogous to Pettis & Hansen's procedure
+// positioning (which the paper deliberately leaves out; provided here as an
+// extension). The entry procedure always stays first; call targets are
+// remapped, so semantics are unchanged. The profile needs no transfer: it
+// is keyed by procedure name. Programs containing indirect calls
+// (TargetProc < 0) or out-of-range call targets are rejected with a
+// descriptive error — their call sites cannot be remapped.
+func ReorderProcs(prog *ir.Program, pf *profile.Profile) (*ir.Program, error) {
+	if err := checkCallTargets(prog); err != nil {
+		return nil, err
+	}
+	hot := ProcHotness(prog, pf)
+	order := make([]int, len(prog.Procs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if ia == prog.EntryProc {
+			return true
+		}
+		if ib == prog.EntryProc {
+			return false
+		}
+		if hot[ia] != hot[ib] {
+			return hot[ia] > hot[ib]
+		}
+		return ia < ib
+	})
+	return applyProcOrder(prog, order)
+}
+
+// Procedure-ordering distance windows: the block-level ExtTSP windows model
+// a fetch window and a BTB reach; across procedures the relevant locality
+// radius is the instruction cache, so the windows scale up accordingly
+// (8 KB I-cache default in internal/icache).
+const (
+	procForwardWindow  = 8192
+	procBackwardWindow = 4096
+	procJumpWeight     = 0.2
+)
+
+// ReorderProcsExtTSP orders whole procedures by the ExtTSP objective over
+// the call graph: each procedure is a node sized by its code bytes, each
+// call site an edge weighted by its block's execution count (entry counts
+// included), and the chain-merging optimizer maximizes the
+// distance-weighted score with I-cache-scale windows so hot caller/callee
+// pairs land close. The entry procedure stays first. Like ReorderProcs it
+// rejects indirect and out-of-range call targets with a descriptive error.
+func ReorderProcsExtTSP(prog *ir.Program, pf *profile.Profile) (*ir.Program, error) {
+	if err := checkCallTargets(prog); err != nil {
+		return nil, err
+	}
+	hot := ProcHotness(prog, pf)
+	sizes := make([]uint64, len(prog.Procs))
+	edges := make([]tspEdge, 0, len(prog.Procs))
+	for pi, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			sizes[pi] += uint64(len(b.Instrs)) * ir.InstrBytes
+		}
+		pp, ok := pf.Procs[p.Name]
+		if !ok {
+			continue
+		}
+		for bid, b := range p.Blocks {
+			w := pp.BlockWeight(ir.BlockID(bid))
+			if ir.BlockID(bid) == p.Entry() && pp.EntryCount == 0 {
+				w += hot[pi] // derived invocation count (profile lacks one)
+			}
+			if w == 0 {
+				continue
+			}
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Kind() == ir.Call && in.TargetProc != pi {
+					edges = append(edges, tspEdge{from: pi, to: in.TargetProc, weight: w})
+				}
+			}
+		}
+	}
+	params := tspParams{
+		forwardWindow:  procForwardWindow,
+		backwardWindow: procBackwardWindow,
+		fallWeight:     extTSPFallWeight,
+		jumpWeight:     procJumpWeight,
+		maxSplit:       extTSPMaxSplit,
+		orderBySlot:    true,
+	}
+	order := extTSPOrder(sizes, edges, prog.EntryProc, params)
+	return applyProcOrder(prog, order)
 }

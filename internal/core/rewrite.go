@@ -189,8 +189,10 @@ func rewriteProc(p *ir.Proc, pp *profile.ProcProfile, layout []ir.BlockID, model
 		}
 	}
 
-	// Transfer the profile.
+	// Transfer the profile. The entry block keeps ID 0 across the rewrite
+	// (layouts start with the entry), so the invocation count carries over.
 	npp := profile.NewProcProfile()
+	npp.EntryCount = pp.EntryCount
 	for e, w := range pp.Edges {
 		if int(e.From) >= len(oldToNew) || int(e.To) >= len(oldToNew) {
 			continue

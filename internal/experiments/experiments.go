@@ -20,9 +20,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"balign/internal/core"
 	"balign/internal/cost"
+	"balign/internal/icache"
 	"balign/internal/ir"
 	"balign/internal/metrics"
 	"balign/internal/obs"
@@ -33,18 +35,22 @@ import (
 	"balign/internal/workload"
 )
 
-// Algo names the three program versions every table compares.
+// Algo names the program versions every table compares.
 type Algo string
 
-// The paper's three columns per architecture.
+// The paper's three columns per architecture, plus the Cost heuristic the
+// paper describes (previously evaluated only in the §6.1 ablation) and the
+// ExtTSP chain-merging layout with cross-procedure ordering.
 const (
 	AlgoOrig   Algo = "orig"
 	AlgoGreedy Algo = "greedy"
+	AlgoCost   Algo = "cost"
 	AlgoTry    Algo = "try15"
+	AlgoExtTSP Algo = "exttsp"
 )
 
-// Algos returns the column order.
-func Algos() []Algo { return []Algo{AlgoOrig, AlgoGreedy, AlgoTry} }
+// Algos returns the column order (the algorithm ladder, weakest first).
+func Algos() []Algo { return []Algo{AlgoOrig, AlgoGreedy, AlgoCost, AlgoTry, AlgoExtTSP} }
 
 // Config scopes an experiment run.
 type Config struct {
@@ -202,6 +208,10 @@ type Cell struct {
 	BEP uint64
 	// Res holds the exact simulation counts behind the derived metrics.
 	Res predict.Result
+	// IC is the variant's instruction-cache measurement (shared by every
+	// architecture cell of the variant; the fetch stream does not depend on
+	// the predictor).
+	IC ICacheCell
 }
 
 // ProgramResult is the full evaluation matrix of one program.
@@ -247,6 +257,19 @@ func variantKeyForTry(arch predict.ArchID) string {
 	}
 }
 
+// variantKeyForCost groups architectures sharing one Cost alignment, with
+// the same model sharing as the TryN columns.
+func variantKeyForCost(arch predict.ArchID) string {
+	switch arch {
+	case predict.ArchPHTDirect, predict.ArchPHTGshare:
+		return "cost-pht"
+	case predict.ArchBTB64, predict.ArchBTB256:
+		return "cost-btb"
+	default:
+		return "cost-" + string(arch)
+	}
+}
+
 // variantKeyForGreedy: the paper lays Greedy chains hottest-first for every
 // simulation except BT/FNT, which uses the Pettis-Hansen precedence order.
 func variantKeyForGreedy(arch predict.ArchID) string {
@@ -280,6 +303,21 @@ type evalUnit struct {
 	keys     []string
 	specs    map[string][]simSpec
 	tryStats core.RewriteStats
+	// ic holds each variant's instruction-cache simulation, computed once
+	// during preparation (the fetch stream depends only on the variant's
+	// layout and trace, not on the predictor architecture) and attached to
+	// every cell of the variant during reduction.
+	ic map[string]ICacheCell
+}
+
+// ICacheCell is one variant's instruction-cache measurement: the exact
+// counters of an icache.Sim replay of the variant's trace, plus the derived
+// MPKI metric.
+type ICacheCell struct {
+	Fetches  uint64
+	Accesses uint64
+	Misses   uint64
+	MPKI     float64
 }
 
 // newEvalUnit profiles one workload and builds every variant the given
@@ -296,6 +334,7 @@ func newEvalUnit(w *workload.Workload, archs []predict.ArchID, cfg Config) (*eva
 		w: w, pf: pf, origInstrs: origInstrs,
 		variants: map[string]*variant{"orig": {prog: w.Prog, prof: pf}},
 		specs:    map[string][]simSpec{},
+		ic:       map[string]ICacheCell{},
 	}
 
 	add := func(key string, spec simSpec) {
@@ -307,7 +346,9 @@ func newEvalUnit(w *workload.Workload, archs []predict.ArchID, cfg Config) (*eva
 	for _, arch := range archs {
 		add("orig", simSpec{arch, AlgoOrig})
 		add(variantKeyForGreedy(arch), simSpec{arch, AlgoGreedy})
+		add(variantKeyForCost(arch), simSpec{arch, AlgoCost})
 		add(variantKeyForTry(arch), simSpec{arch, AlgoTry})
+		add("exttsp", simSpec{arch, AlgoExtTSP})
 	}
 
 	buildGreedy := func(order core.ChainOrder) (*variant, error) {
@@ -324,19 +365,44 @@ func newEvalUnit(w *workload.Workload, archs []predict.ArchID, cfg Config) (*eva
 		if u.variants[key] != nil {
 			continue
 		}
-		switch key {
-		case "greedy":
+		switch {
+		case key == "greedy":
 			v, err := buildGreedy(core.OrderHottest)
 			if err != nil {
 				return nil, err
 			}
 			u.variants[key] = v
-		case "greedy-btfnt":
+		case key == "greedy-btfnt":
 			v, err := buildGreedy(core.OrderBTFNT)
 			if err != nil {
 				return nil, err
 			}
 			u.variants[key] = v
+		case key == "exttsp":
+			// ExtTSP is architecture-independent (its objective encodes
+			// fetch locality, not predictor behaviour): one variant serves
+			// every architecture. Block layout only: the suite generator
+			// emits procedures in call-tree order, which measures better in
+			// the i-cache than any reordering (see DESIGN.md §13), so the
+			// whole-binary ReorderProcsExtTSP pass stays opt-in
+			// (balign -procorder).
+			ares, err := core.AlignProgram(w.Prog, pf, core.Options{
+				Algorithm: core.AlgoExtTSP, Obs: cfg.Obs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			u.variants[key] = &variant{prog: ares.Prog, prof: ares.Prof}
+		case strings.HasPrefix(key, "cost-"):
+			arch := u.specs[key][0].arch
+			m, order := trynModelFor(arch)
+			ares, err := core.AlignProgram(w.Prog, pf, core.Options{
+				Algorithm: core.AlgoCost, Model: m, Order: order, Obs: cfg.Obs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			u.variants[key] = &variant{prog: ares.Prog, prof: ares.Prof}
 		default:
 			// try-* variants: the first arch that maps here picks the model.
 			arch := u.specs[key][0].arch
@@ -354,6 +420,28 @@ func newEvalUnit(w *workload.Workload, archs []predict.ArchID, cfg Config) (*eva
 			}
 		}
 	}
+
+	// Instruction-cache pass: replay each variant's trace once through the
+	// icache model. The fetch stream is architecture-independent, so one
+	// replay per variant covers all of its cells; running it here (in the
+	// sequential per-program preparation, from the same deterministic
+	// generators as the simulation phase) keeps reports byte-identical at
+	// every parallelism and in both stream modes.
+	icStart := cfg.Obs.Now()
+	for _, key := range u.keys {
+		v := u.variants[key]
+		sim := icache.New(icache.DefaultConfig())
+		if _, err := w.Run(v.prog, v.prof, sim, nil); err != nil {
+			return nil, fmt.Errorf("icache %s/%s: %w", w.Name, key, err)
+		}
+		u.ic[key] = ICacheCell{
+			Fetches:  sim.Fetches,
+			Accesses: sim.Accesses,
+			Misses:   sim.Misses,
+			MPKI:     sim.MPKI(),
+		}
+	}
+	cfg.Obs.AddSince("exp.icache.ns", icStart)
 	return u, nil
 }
 
@@ -566,7 +654,9 @@ func evaluatePrograms(ws []*workload.Workload, archs []predict.ArchID, cfg Confi
 		if r.Cells[s.spec.arch] == nil {
 			r.Cells[s.spec.arch] = make(map[Algo]Cell)
 		}
-		r.Cells[s.spec.arch][s.spec.algo] = cells[i]
+		c := cells[i]
+		c.IC = units[s.unit].ic[s.key]
+		r.Cells[s.spec.arch][s.spec.algo] = c
 	}
 
 	st, cst, sst := eng.Stats(), cache.Stats(), str.Stats()
@@ -619,6 +709,8 @@ func Summaries(cfg Config, archs []predict.ArchID) ([]metrics.Summary, error) {
 				// NewSummary derives CPI from its own denominator; keep the
 				// grid's exact values instead.
 				s.CPI, s.FallPct, s.CondAccuracy = c.CPI, c.FallPct, c.CondAccuracy
+				s.ICFetches, s.ICAccesses, s.ICMisses = c.IC.Fetches, c.IC.Accesses, c.IC.Misses
+				s.ICMPKI = c.IC.MPKI
 				out = append(out, s)
 			}
 		}

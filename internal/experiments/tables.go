@@ -117,15 +117,26 @@ func hasClass(rs []*ProgramResult, class workload.Class) bool {
 	return false
 }
 
-// FormatCPITable renders Table 3/4-style results: one row per program,
-// arch x {Orig, Greedy, Try15} relative CPI columns, and (when
-// withFallPct) the fall-through percentage columns.
+// algoHeading maps an algorithm to its table-column heading.
+var algoHeading = map[Algo]string{
+	AlgoOrig:   "Orig",
+	AlgoGreedy: "Greedy",
+	AlgoCost:   "Cost",
+	AlgoTry:    "Try15",
+	AlgoExtTSP: "ExtTSP",
+}
+
+// FormatCPITable renders Table 3/4-style results: one row per program, an
+// arch x algorithm grid of relative CPI columns (one column per entry of
+// Algos()), and (when withFallPct) the fall-through percentage columns.
 func FormatCPITable(results []*ProgramResult, archs []predict.ArchID, withFallPct bool) string {
 	var sb strings.Builder
 	tw := tabwriter.NewWriter(&sb, 2, 4, 1, ' ', tabwriter.AlignRight)
 	fmt.Fprint(tw, "Program\t")
 	for _, arch := range archs {
-		fmt.Fprintf(tw, "%s:Orig\t%s:Greedy\t%s:Try15\t", arch, arch, arch)
+		for _, algo := range Algos() {
+			fmt.Fprintf(tw, "%s:%s\t", arch, algoHeading[algo])
+		}
 	}
 	if withFallPct {
 		fmt.Fprintf(tw, "%%FT:Orig\t%%FT:Greedy\t")

@@ -14,6 +14,11 @@ type BlockID int32
 // NoBlock marks an absent block reference (e.g. no fall-through successor).
 const NoBlock BlockID = -1
 
+// EntryBlock is the entry block's ID: every procedure enters at its first
+// block (Proc.Entry returns it), an invariant consumers like profile entry
+// counts rely on.
+const EntryBlock BlockID = 0
+
 // Block is a basic block: a maximal straight-line instruction sequence.
 // Control enters only at the first instruction. A block ends either with a
 // terminator instruction (CondBr, Br, IJump, Ret, Halt) or falls through to
@@ -86,7 +91,7 @@ type Proc struct {
 }
 
 // Entry returns the procedure's entry block ID (always 0).
-func (p *Proc) Entry() BlockID { return 0 }
+func (p *Proc) Entry() BlockID { return EntryBlock }
 
 // Block returns the block with the given ID, or nil when out of range.
 func (p *Proc) Block(id BlockID) *Block {

@@ -208,6 +208,14 @@ type Summary struct {
 	CondTaken   uint64
 	CondCorrect uint64
 
+	// Exact instruction-cache counts (an icache.Sim replay of the variant's
+	// trace; zero when the producer ran no cache simulation) and the derived
+	// misses-per-kilo-instruction metric.
+	ICFetches  uint64
+	ICAccesses uint64
+	ICMisses   uint64
+	ICMPKI     float64
+
 	// Derived paper metrics.
 	CPI          float64
 	FallPct      float64
@@ -250,10 +258,11 @@ func SortSummaries(s []Summary) {
 func EncodeSummaries(s []Summary) string {
 	var sb strings.Builder
 	for _, r := range s {
-		fmt.Fprintf(&sb, "%s %s %s instrs=%d bep=%d events=%d misfetch=%d mispredict=%d cond=%d taken=%d correct=%d cpi=%.9f fall=%.9f acc=%.9f\n",
+		fmt.Fprintf(&sb, "%s %s %s instrs=%d bep=%d events=%d misfetch=%d mispredict=%d cond=%d taken=%d correct=%d icfetch=%d icacc=%d icmiss=%d cpi=%.9f fall=%.9f acc=%.9f icmpki=%.9f\n",
 			r.Program, r.Arch, r.Algo, r.Instrs, r.BEP, r.Events, r.Misfetches,
 			r.Mispredicts, r.Cond, r.CondTaken, r.CondCorrect,
-			r.CPI, r.FallPct, r.CondAccuracy)
+			r.ICFetches, r.ICAccesses, r.ICMisses,
+			r.CPI, r.FallPct, r.CondAccuracy, r.ICMPKI)
 	}
 	return sb.String()
 }

@@ -1,0 +1,82 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The entry block executes once per invocation with no incoming edge to
+// show for it; BlockWeight must add EntryCount for block 0 and only there.
+func TestBlockWeightIncludesEntryCount(t *testing.T) {
+	p := NewProcProfile()
+	p.EntryCount = 40
+	p.Edges[Edge{0, 1}] = 5
+	p.Edges[Edge{1, 0}] = 3
+	if w := p.BlockWeight(0); w != 43 {
+		t.Errorf("BlockWeight(entry) = %d, want 43 (3 edge + 40 invocations)", w)
+	}
+	if w := p.BlockWeight(1); w != 5 {
+		t.Errorf("BlockWeight(1) = %d, want 5 (no entry increment)", w)
+	}
+}
+
+func TestEntryCountMergeScaleRoundTrip(t *testing.T) {
+	a := New("p")
+	a.Proc("main").EntryCount = 10
+	a.Proc("main").Edges[Edge{0, 1}] = 4
+
+	b := New("p")
+	b.Proc("main").EntryCount = 5
+	a.Merge(b)
+	if got := a.Proc("main").EntryCount; got != 15 {
+		t.Errorf("merged EntryCount = %d, want 15", got)
+	}
+
+	a.Scale(1, 2)
+	if got := a.Proc("main").EntryCount; got != 7 {
+		t.Errorf("scaled EntryCount = %d, want 7 (truncating, never scaled to zero)", got)
+	}
+
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "entry 7") {
+		t.Fatalf("encoded profile missing entry record:\n%s", buf.String())
+	}
+	back, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Proc("main").EntryCount; got != 7 {
+		t.Errorf("round-tripped EntryCount = %d, want 7", got)
+	}
+}
+
+// Profiles without invocation counts (every profile written before the
+// entry record existed) must encode byte-identically to the old format:
+// the entry line is emitted only when nonzero.
+func TestEntryCountZeroOmittedFromEncoding(t *testing.T) {
+	a := New("p")
+	a.Proc("main").Edges[Edge{0, 1}] = 4
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "entry") {
+		t.Fatalf("zero EntryCount emitted an entry record:\n%s", buf.String())
+	}
+}
+
+func TestEntryCountReadErrors(t *testing.T) {
+	for _, src := range []string{
+		"profile p\nentry 3\n",            // entry before proc
+		"profile p\nproc main\nentry\n",   // missing count
+		"profile p\nproc main\nentry x\n", // bad count
+	} {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -46,6 +46,14 @@ func (b BranchCount) TakenProb() float64 {
 type ProcProfile struct {
 	Edges    map[Edge]uint64
 	Branches map[ir.BlockID]BranchCount
+	// EntryCount is the procedure's invocation count: how many times control
+	// entered at the entry block from a call (or, for the program entry
+	// procedure, from program start). Entry blocks have no incoming
+	// intraprocedural edge for these executions, so without it the entry
+	// block's weight undercounts by one full invocation per call —
+	// core.ProcHotness derives it from caller block weights when the
+	// collector could not record it directly.
+	EntryCount uint64
 }
 
 // NewProcProfile returns an empty procedure profile.
@@ -62,16 +70,20 @@ func (p *ProcProfile) Weight(from, to ir.BlockID) uint64 {
 }
 
 // BlockWeight returns the execution count of a block: the sum of its
-// incoming edge weights. The entry block additionally counts one execution
-// per procedure invocation only if callers recorded it; within this system
-// block weights are used for relative ordering so the missing entry
-// increment is immaterial.
+// incoming edge weights, plus — for the entry block — one execution per
+// procedure invocation (EntryCount). The entry increment is NOT immaterial:
+// relative-ordering consumers tolerate its absence, but absolute-weight
+// consumers (ExtTSP's distance-weighted objective, procedure hotness and
+// cross-procedure layout) mis-rank call-heavy entry blocks without it.
 func (p *ProcProfile) BlockWeight(id ir.BlockID) uint64 {
 	var n uint64
 	for e, w := range p.Edges {
 		if e.To == id {
 			n += w
 		}
+	}
+	if id == ir.EntryBlock {
+		n += p.EntryCount
 	}
 	return n
 }
@@ -105,6 +117,7 @@ func (pf *Profile) Merge(other *Profile) {
 	pf.Instrs += other.Instrs
 	for name, opp := range other.Procs {
 		pp := pf.Proc(name)
+		pp.EntryCount += opp.EntryCount
 		for e, w := range opp.Edges {
 			pp.Edges[e] += w
 		}
@@ -135,6 +148,7 @@ func (pf *Profile) Scale(num, den uint64) {
 	}
 	pf.Instrs = sc(pf.Instrs)
 	for _, pp := range pf.Procs {
+		pp.EntryCount = sc(pp.EntryCount)
 		for e, w := range pp.Edges {
 			pp.Edges[e] = sc(w)
 		}
@@ -261,6 +275,13 @@ func (pf *Profile) WriteTo(w io.Writer) (int64, error) {
 		if err := count(fmt.Fprintf(bw, "proc %s\n", name)); err != nil {
 			return n, err
 		}
+		// entry records only appear when nonzero, so profiles written before
+		// entry counts existed round-trip byte-identically.
+		if pp.EntryCount > 0 {
+			if err := count(fmt.Fprintf(bw, "entry %d\n", pp.EntryCount)); err != nil {
+				return n, err
+			}
+		}
 		edges := make([]Edge, 0, len(pp.Edges))
 		for e := range pp.Edges {
 			edges = append(edges, e)
@@ -326,6 +347,18 @@ func Read(r io.Reader) (*Profile, error) {
 				return nil, bad("proc takes one name")
 			}
 			cur = pf.Proc(fields[1])
+		case "entry":
+			if cur == nil {
+				return nil, bad("entry before proc")
+			}
+			if len(fields) != 2 {
+				return nil, bad("entry takes one count")
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, bad("bad entry count")
+			}
+			cur.EntryCount += v
 		case "edge":
 			if cur == nil {
 				return nil, bad("edge before proc")

@@ -30,7 +30,7 @@ type AlignRequest struct {
 	// (default btfnt).
 	Arch string `json:"arch"`
 	// Algos lists the alignment algorithms to plan: orig, greedy, cost,
-	// tryn (default greedy, cost, tryn).
+	// tryn, exttsp (default greedy, cost, tryn, exttsp).
 	Algos []string `json:"algos"`
 	// Order is the chain layout order: hottest or btfnt (default hottest).
 	Order string `json:"order"`
@@ -105,6 +105,7 @@ var validAlignAlgos = map[string]core.Algorithm{
 	"greedy": core.AlgoGreedy,
 	"cost":   core.AlgoCost,
 	"tryn":   core.AlgoTryN,
+	"exttsp": core.AlgoExtTSP,
 }
 
 // parseAlignRequest decodes and canonicalizes an align body.
@@ -126,11 +127,11 @@ func parseAlignRequest(body []byte) (any, *apiError) {
 		return nil, badRequest("bad_request", "%v", err)
 	}
 	if len(req.Algos) == 0 {
-		req.Algos = []string{"greedy", "cost", "tryn"}
+		req.Algos = []string{"greedy", "cost", "tryn", "exttsp"}
 	}
 	for _, a := range req.Algos {
 		if _, ok := validAlignAlgos[a]; !ok {
-			return nil, badRequest("bad_request", "unknown algorithm %q (known: cost, greedy, orig, tryn)", a)
+			return nil, badRequest("bad_request", "unknown algorithm %q (known: cost, exttsp, greedy, orig, tryn)", a)
 		}
 	}
 	switch req.Order {

@@ -68,7 +68,7 @@ func alignRequest(t *testing.T) map[string]any {
 		"name":    "sample",
 		"asm":     readFixture(t, "sample.asm"),
 		"profile": readFixture(t, "sample.prof"),
-		"algos":   []string{"orig", "greedy", "cost", "tryn"},
+		"algos":   []string{"orig", "greedy", "cost", "tryn", "exttsp"},
 	}
 }
 

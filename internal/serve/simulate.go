@@ -66,7 +66,8 @@ type SimulateRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Archs lists simulated architectures (default: all, paper order).
 	Archs []string `json:"archs"`
-	// Algos lists alignment columns: orig, greedy, try15 (default all).
+	// Algos lists alignment columns: orig, greedy, cost, try15, exttsp
+	// (default all).
 	Algos []string `json:"algos"`
 	// Window is the TryN window size (0 = the paper's 15).
 	Window int `json:"window,omitempty"`
@@ -86,9 +87,13 @@ type SummaryJSON struct {
 	Cond         uint64  `json:"cond"`
 	CondTaken    uint64  `json:"cond_taken"`
 	CondCorrect  uint64  `json:"cond_correct"`
+	ICFetches    uint64  `json:"ic_fetches,omitempty"`
+	ICAccesses   uint64  `json:"ic_accesses,omitempty"`
+	ICMisses     uint64  `json:"ic_misses,omitempty"`
 	CPI          float64 `json:"cpi"`
 	FallPct      float64 `json:"fall_pct"`
 	CondAccuracy float64 `json:"cond_accuracy"`
+	ICMPKI       float64 `json:"ic_mpki,omitempty"`
 }
 
 // SimulateResponse is the /v1/simulate result: the cell grid in canonical
@@ -100,7 +105,9 @@ type SimulateResponse struct {
 	Report    string        `json:"report"`
 }
 
-var validSimAlgos = map[string]bool{"orig": true, "greedy": true, "try15": true}
+var validSimAlgos = map[string]bool{
+	"orig": true, "greedy": true, "cost": true, "try15": true, "exttsp": true,
+}
 
 // parseSimulateRequest decodes and canonicalizes a simulate body.
 func parseSimulateRequest(body []byte) (any, *apiError) {
@@ -168,12 +175,12 @@ func parseSimulateRequest(body []byte) (any, *apiError) {
 		seen[a] = true
 	}
 	if len(req.Algos) == 0 {
-		req.Algos = []string{"orig", "greedy", "try15"}
+		req.Algos = []string{"orig", "greedy", "cost", "try15", "exttsp"}
 	}
 	seen = make(map[string]bool)
 	for _, a := range req.Algos {
 		if !validSimAlgos[a] {
-			return nil, badRequest("bad_request", "unknown algorithm %q (known: greedy, orig, try15)", a)
+			return nil, badRequest("bad_request", "unknown algorithm %q (known: cost, exttsp, greedy, orig, try15)", a)
 		}
 		if seen[a] {
 			return nil, badRequest("bad_request", "duplicate algorithm %q", a)
@@ -215,7 +222,9 @@ func (s *Server) computeSimulate(ctx context.Context, reqAny any) (any, *apiErro
 			Instrs: sm.Instrs, BEP: sm.BEP, Events: sm.Events,
 			Misfetches: sm.Misfetches, Mispredicts: sm.Mispredicts,
 			Cond: sm.Cond, CondTaken: sm.CondTaken, CondCorrect: sm.CondCorrect,
+			ICFetches: sm.ICFetches, ICAccesses: sm.ICAccesses, ICMisses: sm.ICMisses,
 			CPI: sm.CPI, FallPct: sm.FallPct, CondAccuracy: sm.CondAccuracy,
+			ICMPKI: sm.ICMPKI,
 		}
 	}
 	return resp, nil
@@ -387,13 +396,16 @@ func buildInlineVariants(ctx context.Context, prog *ir.Program, pf *profile.Prof
 		return v
 	}
 	// Variant grouping mirrors the suite: Greedy lays chains hottest-first
-	// except for BT/FNT (Pettis-Hansen precedence order); Try15 aligns
-	// under each architecture's cost model, with both PHTs and both BTBs
-	// sharing theirs.
+	// except for BT/FNT (Pettis-Hansen precedence order); Cost and Try15
+	// align under each architecture's cost model, with both PHTs and both
+	// BTBs sharing theirs; ExtTSP's objective is architecture-independent,
+	// so one variant serves every architecture.
 	keyFor := func(algo string, arch predict.ArchID) string {
 		switch algo {
 		case "orig":
 			return "orig"
+		case "exttsp":
+			return "exttsp"
 		case "greedy":
 			if arch == predict.ArchBTFNT {
 				return "greedy-btfnt"
@@ -402,11 +414,11 @@ func buildInlineVariants(ctx context.Context, prog *ir.Program, pf *profile.Prof
 		default:
 			switch arch {
 			case predict.ArchPHTDirect, predict.ArchPHTGshare:
-				return "try-pht"
+				return algo + "-pht"
 			case predict.ArchBTB64, predict.ArchBTB256:
-				return "try-btb"
+				return algo + "-btb"
 			default:
-				return "try-" + string(arch)
+				return algo + "-" + string(arch)
 			}
 		}
 	}
@@ -426,20 +438,24 @@ func buildInlineVariants(ctx context.Context, prog *ir.Program, pf *profile.Prof
 				return nil, nil, ctxError(err)
 			}
 			opts := core.Options{Window: req.Window}
-			if algo == "greedy" {
+			switch algo {
+			case "greedy":
 				opts.Algorithm = core.AlgoGreedy
-				if arch == predict.ArchBTFNT {
-					opts.Order = core.OrderBTFNT
-				} else {
-					opts.Order = core.OrderHottest
-				}
-			} else {
+			case "exttsp":
+				opts.Algorithm = core.AlgoExtTSP
+			default: // cost, try15: model-guided, per architecture group
 				m, err := cost.ForArch(arch)
 				if err != nil {
 					return nil, nil, badRequest("bad_request", "%v", err)
 				}
-				opts.Algorithm = core.AlgoTryN
+				if algo == "cost" {
+					opts.Algorithm = core.AlgoCost
+				} else {
+					opts.Algorithm = core.AlgoTryN
+				}
 				opts.Model = m
+			}
+			if algo != "exttsp" {
 				if arch == predict.ArchBTFNT {
 					opts.Order = core.OrderBTFNT
 				} else {
