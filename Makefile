@@ -63,6 +63,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s -run '^$$' ./internal/asm
 	$(GO) test -fuzz=FuzzAlignHandler -fuzztime=10s -run '^$$' ./internal/serve
 	$(GO) test -fuzz=FuzzExtTSPSemantics -fuzztime=10s -run '^$$' ./internal/core
+	$(GO) test -fuzz=FuzzImportCFG -fuzztime=10s -run '^$$' ./internal/cfgio
+	$(GO) test -fuzz=FuzzImportDOT -fuzztime=10s -run '^$$' ./internal/cfgio
 	$(GO) test -race -run 'TestBroadcast|TestSimulateStream' ./internal/sim
 
 # serve-smoke boots a real balignd process on an ephemeral port, drives
@@ -76,9 +78,14 @@ serve-smoke:
 # scheduler forced wide (GOMAXPROCS=4) under the race detector: the
 # producer, per-architecture consumers and intra-variant shard goroutines
 # genuinely interleave even on smaller CI hosts, and any ordering bug
-# surfaces as a byte diff or a race report.
+# surfaces as a byte diff or a race report. The extended-families leg runs
+# the adversarial workloads (phase-flipping branches included) and an
+# imported CFG document across the stream on/off matrix; the cfgio leg is
+# the importer/exporter round-trip oracle on the same machinery.
 suite-smoke:
 	GOMAXPROCS=4 $(GO) test -race -run 'TestDeterminismAcrossGOMAXPROCS|TestShardedRunActuallyShards' ./internal/experiments
+	GOMAXPROCS=4 $(GO) test -race -run 'TestExtendedFamiliesStreamParity' ./internal/experiments
+	GOMAXPROCS=4 $(GO) test -race -run 'TestImportExportRoundTripOracle|TestEmptyFallBlockRoundTrips' ./internal/cfgio
 	GOMAXPROCS=4 $(GO) test -race -run 'TestShardMerge' ./internal/kernel
 
 # benchhost prints the host block (goos/goarch/cpu/go/gomaxprocs/cpus)

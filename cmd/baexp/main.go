@@ -9,7 +9,10 @@
 //	-scale f     trace budget scale (1.0 = ~1.5-2M instruction traces)
 //	-seed n      workload seed
 //	-window n    TryN window (default 15, the paper's Try15)
-//	-programs s  comma-separated subset of the suite
+//	-programs s  comma-separated subset of the suite (extended family
+//	             names like kmp, phased or sc-meld work here too)
+//	-cfg s       comma-separated CFG documents (JSON or DOT, see
+//	             internal/cfgio) imported as additional workloads
 //	-parallel n  experiment shards to run concurrently (0 = GOMAXPROCS,
 //	             1 = serial oracle path; output is identical either way)
 //	-workers n   total worker-goroutine budget, split between variant-level
@@ -65,7 +68,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scale := fs.Float64("scale", 1.0, "trace budget scale")
 	seed := fs.Int64("seed", 0, "workload seed")
 	window := fs.Int("window", 0, "TryN window (0 = paper's 15)")
-	programs := fs.String("programs", "", "comma-separated program subset")
+	programs := fs.String("programs", "", "comma-separated program subset (suite or extended names)")
+	cfgPaths := fs.String("cfg", "", "comma-separated CFG documents (JSON or DOT) to import as workloads")
 	parallel := fs.Int("parallel", 0, "concurrent experiment shards (0 = GOMAXPROCS, 1 = serial)")
 	workers := fs.Int("workers", 0, "total worker budget split across variants and stream shards (0 = unbudgeted)")
 	shards := fs.Int("shards", 0, "intra-variant stream shards per architecture (0 = derive from -workers, 1 = unsharded)")
@@ -93,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *programs != "" {
 		cfg.Programs = strings.Split(*programs, ",")
 	}
+	if *cfgPaths != "" {
+		cfg.CFG = strings.Split(*cfgPaths, ",")
+	}
 	if *report != "" || *pprofAddr != "" {
 		cfg.Obs = obs.New("baexp")
 	}
@@ -114,7 +121,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ids = []string{"table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "ablation"}
 	}
 	if len(rest) == 1 && rest[0] == "ext" {
-		ids = []string{"penalty", "crosstrain", "unroll", "icache", "hints", "seeds"}
+		ids = []string{"penalty", "crosstrain", "unroll", "icache", "hints", "seeds", "meld"}
 	}
 	for _, id := range ids {
 		if err := runOne(id, cfg, stdout); err != nil {
@@ -261,6 +268,13 @@ func runOne(id string, cfg experiments.Config, w io.Writer) error {
 			return err
 		}
 		fmt.Fprint(w, experiments.FormatSeedSweep(rows))
+	case "meld":
+		fmt.Fprintln(w, "== Extension: alignment vs branch elimination (cmov if-conversion) ==")
+		rows, err := experiments.MeldStudy(cfg.Programs, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.FormatMeldStudy(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

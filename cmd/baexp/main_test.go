@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +12,48 @@ import (
 	"balign/internal/experiments"
 	"balign/internal/predict"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// cfgFixture is the committed real-shaped CFG document (a simplified
+// pprof-derived Go runtime scan loop) shared by the cmd-level golden tests.
+const cfgFixture = "../../testdata/cfg/go_scanobject.dot"
+
+// checkGolden compares got to testdata/golden/<name>, rewriting under
+// -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden (run with -update after intended changes)\n got: %s\nwant: %s",
+			name, got, want)
+	}
+}
+
+// TestGoldenCFGExperiments pins the full evaluation grid over the committed
+// CFG fixture: with -cfg and no -programs the imported program is the whole
+// workload set, and both the Table 2 attributes and the suite grid encoding
+// must be byte-stable.
+func TestGoldenCFGExperiments(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-cfg", cfgFixture, "table2", "suite"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cfg_experiments.txt", out.Bytes())
+}
 
 func TestRunTable1(t *testing.T) {
 	var out, errBuf bytes.Buffer

@@ -1,13 +1,15 @@
 // Command balign performs profile-guided branch alignment on an assembly
 // program — the paper's OM-style link-time transformation. It reads a
-// program and an edge profile (from batrace), applies the selected
+// program and an edge profile (from batrace), or a single CFG document
+// carrying both (JSON or DOT, see internal/cfgio), applies the selected
 // algorithm and architecture cost model, and writes the transformed
-// assembly.
+// program as assembly or as a CFG document with the transferred profile.
 //
 // Usage:
 //
 //	balign -prog file.asm -profile file.prof [-algo tryn] [-arch btfnt]
 //	       [-order hottest|btfnt] [-window 15] [-procorder] [-o out.asm] [-v]
+//	balign -cfg prog.cfg.json [-emit json|dot|asm] [flags]
 package main
 
 import (
@@ -17,8 +19,10 @@ import (
 	"os"
 
 	"balign/internal/asm"
+	"balign/internal/cfgio"
 	"balign/internal/core"
 	"balign/internal/cost"
+	"balign/internal/ir"
 	"balign/internal/predict"
 	"balign/internal/profile"
 )
@@ -33,8 +37,10 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("balign", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	progFile := fs.String("prog", "", "assembly file to transform (required)")
-	profFile := fs.String("profile", "", "edge profile from batrace (required)")
+	progFile := fs.String("prog", "", "assembly file to transform (required unless -cfg)")
+	profFile := fs.String("profile", "", "edge profile from batrace (required unless -cfg)")
+	cfgFile := fs.String("cfg", "", "CFG document (JSON or DOT) carrying both program and profile")
+	emit := fs.String("emit", "", "output encoding: asm (default) | json | dot (CFG with the transferred profile)")
 	algo := fs.String("algo", "tryn", "alignment algorithm: orig | greedy | cost | tryn | exttsp")
 	arch := fs.String("arch", "btfnt", "architecture cost model: fallthrough | btfnt | likely | pht-direct | pht-gshare | btb64 | btb256")
 	order := fs.String("order", "hottest", "chain layout order: hottest | btfnt")
@@ -45,27 +51,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *progFile == "" || *profFile == "" {
-		return fmt.Errorf("-prog and -profile are required")
-	}
-
-	src, err := os.ReadFile(*progFile)
-	if err != nil {
-		return err
-	}
-	prog, err := asm.Assemble(string(src))
-	if err != nil {
-		return err
-	}
-
-	pfFile, err := os.Open(*profFile)
-	if err != nil {
-		return err
-	}
-	pf, err := profile.Read(pfFile)
-	pfFile.Close()
-	if err != nil {
-		return err
+	var prog *ir.Program
+	var pf *profile.Profile
+	switch {
+	case *cfgFile != "":
+		if *progFile != "" || *profFile != "" {
+			return fmt.Errorf("-cfg replaces both -prog and -profile")
+		}
+		data, err := os.ReadFile(*cfgFile)
+		if err != nil {
+			return err
+		}
+		prog, pf, err = cfgio.Import(data)
+		if err != nil {
+			return err
+		}
+	case *progFile != "" && *profFile != "":
+		src, err := os.ReadFile(*progFile)
+		if err != nil {
+			return err
+		}
+		prog, err = asm.Assemble(string(src))
+		if err != nil {
+			return err
+		}
+		pfFile, err := os.Open(*profFile)
+		if err != nil {
+			return err
+		}
+		pf, err = profile.Read(pfFile)
+		pfFile.Close()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -cfg, or both -prog and -profile, are required")
 	}
 
 	opts := core.Options{Window: *window}
@@ -122,10 +142,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 			m.Name(), cost.ProgramCost(prog, pf, m), cost.ProgramCost(res.Prog, res.Prof, m))
 	}
 
-	text := res.Prog.Format()
+	var output []byte
+	switch *emit {
+	case "", "asm":
+		output = []byte(res.Prog.Format())
+	case "json":
+		output, err = cfgio.ExportJSON(res.Prog, res.Prof)
+	case "dot":
+		output, err = cfgio.ExportDOT(res.Prog, res.Prof)
+	default:
+		return fmt.Errorf("unknown -emit encoding %q (want asm, json or dot)", *emit)
+	}
+	if err != nil {
+		return err
+	}
 	if *out == "" {
-		fmt.Fprint(stdout, text)
+		fmt.Fprintf(stdout, "%s", output)
 		return nil
 	}
-	return os.WriteFile(*out, []byte(text), 0o644)
+	return os.WriteFile(*out, output, 0o644)
 }

@@ -2,15 +2,73 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"balign/internal/asm"
+	"balign/internal/cfgio"
 	"balign/internal/profile"
 	"balign/internal/vm"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// cfgFixture is the committed real-shaped CFG document (a simplified
+// pprof-derived Go runtime scan loop) shared by the cmd-level golden tests.
+const cfgFixture = "../../testdata/cfg/go_scanobject.dot"
+
+// checkGolden compares got to testdata/golden/<name>, rewriting under
+// -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden (run with -update after intended changes)\n got: %s\nwant: %s",
+			name, got, want)
+	}
+}
+
+// TestGoldenCFGAlign pins the end-to-end CFG front door: align the committed
+// fixture and emit the transformed program plus transferred profile as a
+// DOT document. The emitted document must re-import (the transfer preserves
+// validity) and re-export byte-identically (the encoding is canonical).
+func TestGoldenCFGAlign(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-cfg", cfgFixture, "-algo", "tryn", "-arch", "btfnt", "-emit", "dot"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	checkGolden(t, "cfg_aligned.dot", stdout.Bytes())
+
+	prog, pf, err := cfgio.Import(stdout.Bytes())
+	if err != nil {
+		t.Fatalf("aligned CFG document does not re-import: %v", err)
+	}
+	again, err := cfgio.ExportDOT(prog, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, stdout.Bytes()) {
+		t.Errorf("aligned CFG document is not byte-stable under re-import/re-export\n got: %s\nwant: %s",
+			again, stdout.Bytes())
+	}
+}
 
 const testSrc = `
 mem 16

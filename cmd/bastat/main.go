@@ -6,6 +6,7 @@
 //
 //	bastat -list
 //	bastat -bench gcc [-scale 1.0] [-seed 0]
+//	bastat -cfg prog.cfg.json
 //	bastat -all [-scale 1.0] [-seed 0]
 //
 // With -report f the run additionally writes a JSON run report (timing
@@ -42,8 +43,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bastat", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list suite benchmark names")
-	bench := fs.String("bench", "", "single benchmark to measure")
+	bench := fs.String("bench", "", "single benchmark to measure (suite or extended name)")
 	all := fs.Bool("all", false, "measure the full suite (paper Table 2)")
+	cfgPath := fs.String("cfg", "", "measure an imported CFG document (JSON or DOT) instead of a suite benchmark")
 	scale := fs.Float64("scale", 1.0, "trace budget scale")
 	seed := fs.Int64("seed", 0, "workload seed")
 	parallel := fs.Int("parallel", 0, "concurrent measurement shards (0 = GOMAXPROCS, 1 = serial)")
@@ -77,9 +79,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	switch {
 	case *bench != "":
 		cfg.Programs = []string{*bench}
+		if *cfgPath != "" {
+			cfg.CFG = []string{*cfgPath}
+		}
+	case *cfgPath != "":
+		cfg.CFG = []string{*cfgPath}
 	case *all:
 	default:
-		return fmt.Errorf("one of -list, -bench or -all is required")
+		return fmt.Errorf("one of -list, -bench, -cfg or -all is required")
 	}
 	if *report != "" || *pprofAddr != "" {
 		cfg.Obs = obs.New("bastat")

@@ -3,11 +3,53 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// cfgFixture is the committed real-shaped CFG document (a simplified
+// pprof-derived Go runtime scan loop) shared by the cmd-level golden tests.
+const cfgFixture = "../../testdata/cfg/go_scanobject.dot"
+
+// checkGolden compares got to testdata/golden/<name>, rewriting under
+// -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden (run with -update after intended changes)\n got: %s\nwant: %s",
+			name, got, want)
+	}
+}
+
+// TestGoldenCFGTable pins the exact Table 2 row bastat derives from the
+// committed CFG fixture: the imported program's native trace model is
+// deterministic, so the measured attributes are stable bytes.
+func TestGoldenCFGTable(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-cfg", cfgFixture}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cfg_table2.txt", out.Bytes())
+}
 
 func TestRunList(t *testing.T) {
 	var out, errBuf bytes.Buffer

@@ -45,7 +45,7 @@ func errf(line int, format string, args ...any) error {
 // mnemonic table: name -> opcode.
 var mnemonics = func() map[string]ir.Opcode {
 	m := make(map[string]ir.Opcode)
-	for op := ir.OpNop; op <= ir.OpHalt; op++ {
+	for op := ir.OpNop; op <= ir.LastOpcode; op++ {
 		m[op.String()] = op
 	}
 	return m
@@ -358,7 +358,7 @@ func parseInstr(op ir.Opcode, args []string, line int) (pendingInstr, error) {
 			}
 		}
 	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod, ir.OpAnd, ir.OpOr,
-		ir.OpXor, ir.OpShl, ir.OpShr, ir.OpSlt:
+		ir.OpXor, ir.OpShl, ir.OpShr, ir.OpSlt, ir.OpCmovz, ir.OpCmovnz:
 		if err = need(3); err == nil {
 			if pi.in.Rd, err = parseReg(args[0], line); err == nil {
 				if pi.in.Rs, err = parseReg(args[1], line); err == nil {

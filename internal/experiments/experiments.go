@@ -20,8 +20,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 
+	"balign/internal/cfgio"
 	"balign/internal/core"
 	"balign/internal/cost"
 	"balign/internal/icache"
@@ -64,8 +67,14 @@ type Config struct {
 	Window int
 	// MaxCombos caps TryN window enumeration; 0 means the default.
 	MaxCombos int
-	// Programs restricts the suite (nil = all 24 programs).
+	// Programs restricts the suite (nil = all 24 programs). Extended
+	// workload families (workload.ExtNames) are addressable here too.
 	Programs []string
+	// CFG lists paths of external CFG documents (JSON or DOT; see
+	// internal/cfgio) to import and append to the run's workloads, each
+	// walked from its embedded edge profile. With Programs empty, a run
+	// with CFG paths evaluates only the imported programs.
+	CFG []string
 	// Kernel selects the simulation executor: "flat" (default) runs the
 	// compiled flattened kernel in internal/kernel; "ref" runs the
 	// interface-dispatched reference simulators. Both produce byte-identical
@@ -179,7 +188,7 @@ func runIndexed(cfg Config, kind string, labels []string, fn func(i int) error) 
 
 func (c Config) workloads() ([]*workload.Workload, error) {
 	wcfg := workload.Config{Scale: c.Scale, Seed: c.Seed}
-	if len(c.Programs) == 0 {
+	if len(c.Programs) == 0 && len(c.CFG) == 0 {
 		return workload.Suite(wcfg)
 	}
 	var out []*workload.Workload
@@ -190,7 +199,34 @@ func (c Config) workloads() ([]*workload.Workload, error) {
 		}
 		out = append(out, w)
 	}
+	for _, path := range c.CFG {
+		w, err := ImportWorkload(path, wcfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
 	return out, nil
+}
+
+// ImportWorkload reads a CFG document (JSON or DOT) from path and wraps it
+// as a walker-backed workload named after the document (or, when the
+// document is anonymous, the file's base name).
+func ImportWorkload(path string, wcfg workload.Config) (*workload.Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reading CFG %s: %w", path, err)
+	}
+	prog, pf, err := cfgio.Import(data)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: importing %s: %w", path, err)
+	}
+	name := prog.Name
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		prog.Name = name
+	}
+	return workload.FromProfile(name, prog, pf, wcfg)
 }
 
 // Cell is one (architecture, algorithm) measurement.

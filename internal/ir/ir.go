@@ -125,7 +125,20 @@ const (
 	OpIJump // Kind IJump: index register Rd selects Targets[Rd]
 	OpRet   // Kind Ret
 	OpHalt  // Kind Halt
+
+	// Conditional moves (Kind Op), in the style of the Alpha AXP's CMOVxx
+	// family. They are the target of branch melding (if-conversion): a
+	// conditional branch skipping a side-effect-free block can be rewritten
+	// into predicated moves, eliminating the branch entirely. Appended after
+	// the control opcodes so existing opcode values are unchanged; KindOf
+	// classifies them as ordinary Ops.
+	OpCmovz  // rd = rs when rt == 0 (rd unchanged otherwise)
+	OpCmovnz // rd = rs when rt != 0 (rd unchanged otherwise)
 )
+
+// LastOpcode is the highest defined opcode; tables that enumerate every
+// mnemonic iterate OpNop..LastOpcode.
+const LastOpcode = OpCmovnz
 
 var opcodeNames = map[Opcode]string{
 	OpNop: "nop", OpLi: "li", OpMov: "mov", OpAdd: "add", OpSub: "sub",
@@ -135,7 +148,7 @@ var opcodeNames = map[Opcode]string{
 	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBle: "ble", OpBgt: "bgt",
 	OpBge: "bge", OpBeqz: "beqz", OpBnez: "bnez", OpBltz: "bltz",
 	OpBgez: "bgez", OpBr: "br", OpCall: "call", OpIJump: "ijump",
-	OpRet: "ret", OpHalt: "halt",
+	OpRet: "ret", OpHalt: "halt", OpCmovz: "cmovz", OpCmovnz: "cmovnz",
 }
 
 // String returns the assembler mnemonic for the opcode.

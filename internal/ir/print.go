@@ -28,7 +28,8 @@ func FormatInstr(prog *Program, p *Proc, in *Instr) string {
 		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
 	case OpMov:
 		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs)
-	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt:
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt,
+		OpCmovz, OpCmovnz:
 		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs, in.Rt)
 	case OpAddi, OpMuli, OpAndi, OpSlti:
 		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs, in.Imm)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"balign/internal/asm"
+	"balign/internal/cfgio"
 	"balign/internal/core"
 	"balign/internal/cost"
 	"balign/internal/ir"
@@ -26,6 +27,10 @@ type AlignRequest struct {
 	Asm string `json:"asm"`
 	// Profile is the edge profile in batrace's text format.
 	Profile string `json:"profile"`
+	// CFG is a combined program+profile document (JSON or DOT, see
+	// internal/cfgio; the encoding is auto-detected). Mutually exclusive
+	// with Asm/Profile.
+	CFG string `json:"cfg,omitempty"`
 	// Arch selects the architecture cost model pricing every plan
 	// (default btfnt).
 	Arch string `json:"arch"`
@@ -114,11 +119,17 @@ func parseAlignRequest(body []byte) (any, *apiError) {
 	if aerr := decodeStrict(body, req); aerr != nil {
 		return nil, aerr
 	}
-	if req.Asm == "" {
-		return nil, badRequest("bad_request", "asm is required")
-	}
-	if req.Profile == "" {
-		return nil, badRequest("bad_request", "profile is required")
+	if req.CFG != "" {
+		if req.Asm != "" || req.Profile != "" {
+			return nil, badRequest("bad_request", "cfg replaces both asm and profile")
+		}
+	} else {
+		if req.Asm == "" {
+			return nil, badRequest("bad_request", "asm is required")
+		}
+		if req.Profile == "" {
+			return nil, badRequest("bad_request", "profile is required")
+		}
 	}
 	if req.Arch == "" {
 		req.Arch = string(predict.ArchBTFNT)
@@ -152,13 +163,24 @@ func parseAlignRequest(body []byte) (any, *apiError) {
 // requested architecture's cost model.
 func (s *Server) computeAlign(ctx context.Context, reqAny any) (any, *apiError) {
 	req := reqAny.(*AlignRequest)
-	prog, err := asm.Assemble(req.Asm)
-	if err != nil {
-		return nil, badRequest("bad_asm", "%v", err)
-	}
-	pf, err := profile.Read(strings.NewReader(req.Profile))
-	if err != nil {
-		return nil, badRequest("bad_profile", "%v", err)
+	var prog *ir.Program
+	var pf *profile.Profile
+	if req.CFG != "" {
+		var err error
+		prog, pf, err = cfgio.Import([]byte(req.CFG))
+		if err != nil {
+			return nil, badRequest("bad_cfg", "%v", err)
+		}
+	} else {
+		var err error
+		prog, err = asm.Assemble(req.Asm)
+		if err != nil {
+			return nil, badRequest("bad_asm", "%v", err)
+		}
+		pf, err = profile.Read(strings.NewReader(req.Profile))
+		if err != nil {
+			return nil, badRequest("bad_profile", "%v", err)
+		}
 	}
 	model, err := cost.ForArch(predict.ArchID(req.Arch))
 	if err != nil {

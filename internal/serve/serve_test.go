@@ -72,6 +72,15 @@ func alignRequest(t *testing.T) map[string]any {
 	}
 }
 
+// alignCFGRequest is the align body in the CFG document encoding: one
+// combined program+profile document instead of asm + profile texts.
+func alignCFGRequest(t *testing.T) map[string]any {
+	return map[string]any{
+		"cfg":   readFixture(t, "sample.cfg.json"),
+		"algos": []string{"orig", "greedy", "cost", "tryn", "exttsp"},
+	}
+}
+
 func simulateInlineVM(t *testing.T) map[string]any {
 	return map[string]any{
 		"name":    "sample",
@@ -135,6 +144,7 @@ func goldenCases(t *testing.T) []struct {
 		req  map[string]any
 	}{
 		{"align_default.json", "/v1/align", alignRequest(t)},
+		{"align_cfg.json", "/v1/align", alignCFGRequest(t)},
 		{"simulate_inline_vm.json", "/v1/simulate", simulateInlineVM(t)},
 		{"simulate_inline_walk.json", "/v1/simulate", simulateInlineWalk(t)},
 		{"simulate_suite.json", "/v1/simulate", simulateSuite()},

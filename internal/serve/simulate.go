@@ -128,13 +128,13 @@ func parseSimulateRequest(body []byte) (any, *apiError) {
 			return nil, badRequest("bad_request", "name, profile, generator and max_instrs are inline-mode fields")
 		}
 		known := make(map[string]bool)
-		for _, n := range workload.Names() {
+		for _, n := range workload.AllNames() {
 			known[n] = true
 		}
 		for _, p := range req.Programs {
 			if !known[p] {
 				return nil, badRequest("bad_request", "unknown suite program %q (known: %s)",
-					p, strings.Join(workload.Names(), ", "))
+					p, strings.Join(workload.AllNames(), ", "))
 			}
 		}
 		if req.Scale < 0 || req.Scale > 4 {

@@ -177,6 +177,16 @@ func (vm *VM) Run(sink trace.Sink, edges trace.EdgeSink) (Result, error) {
 			}
 			vm.mem[addr] = vm.regs[in.Rd]
 			index++
+		case ir.OpCmovz:
+			if vm.regs[in.Rt] == 0 {
+				vm.regs[in.Rd] = vm.regs[in.Rs]
+			}
+			index++
+		case ir.OpCmovnz:
+			if vm.regs[in.Rt] != 0 {
+				vm.regs[in.Rd] = vm.regs[in.Rs]
+			}
+			index++
 
 		case ir.OpBeq, ir.OpBne, ir.OpBlt, ir.OpBle, ir.OpBgt, ir.OpBge,
 			ir.OpBeqz, ir.OpBnez, ir.OpBltz, ir.OpBgez:

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"balign/internal/ir"
+	"balign/internal/trace"
+	"balign/internal/vm"
+)
+
+func TestExtNamesDisjointFromSuite(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range Names() {
+		names[n] = true
+	}
+	for _, n := range ExtNames() {
+		if names[n] {
+			t.Errorf("extended name %q collides with the paper suite", n)
+		}
+		names[n] = true
+	}
+	if got, want := len(AllNames()), len(Names())+len(ExtNames()); got != want {
+		t.Errorf("AllNames has %d entries, want %d", got, want)
+	}
+}
+
+func TestExtSuiteBuildsAndRuns(t *testing.T) {
+	ws, err := ExtSuite(Config{})
+	if err != nil {
+		t.Fatalf("ExtSuite: %v", err)
+	}
+	if len(ws) != len(ExtNames()) {
+		t.Fatalf("ExtSuite built %d workloads, want %d", len(ws), len(ExtNames()))
+	}
+	for _, w := range ws {
+		if !w.IsKernel() {
+			t.Errorf("%s: extended workloads must be VM kernels", w.Name)
+			continue
+		}
+		if w.Class != Adversarial {
+			t.Errorf("%s: class %q, want %q", w.Name, w.Class, Adversarial)
+		}
+		pf, instrs, err := w.CollectProfile()
+		if err != nil {
+			t.Errorf("%s: profile collection: %v", w.Name, err)
+			continue
+		}
+		if instrs < 10000 {
+			t.Errorf("%s: only %d instructions; too small to exercise the predictors", w.Name, instrs)
+		}
+		if len(pf.Procs) == 0 {
+			t.Errorf("%s: empty profile", w.Name)
+		}
+	}
+}
+
+func TestExtByName(t *testing.T) {
+	for _, name := range ExtNames() {
+		if _, err := ByName(name, Config{}); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("kmp-nonesuch", Config{}); err == nil {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+// runKernel executes a workload's program once on a fresh VM and returns
+// the machine (for memory inspection) plus the event stream.
+func runKernel(t *testing.T, prog *ir.Program, setup func(*vm.VM)) (*vm.VM, []trace.Event) {
+	t.Helper()
+	machine := vm.New(prog)
+	if setup != nil {
+		setup(machine)
+	}
+	var events []trace.Event
+	_, err := machine.Run(trace.SinkFunc(func(ev trace.Event) { events = append(events, ev) }), nil)
+	if err != nil {
+		t.Fatalf("vm run: %v", err)
+	}
+	return machine, events
+}
+
+// TestMeldParity is the correctness contract of the if-converter: for each
+// meld variant, the base kernel and the melded kernel must leave identical
+// data memory, while the melded one executes strictly fewer conditional
+// branch events (the melded sites are gone from the stream).
+func TestMeldParity(t *testing.T) {
+	for _, base := range []string{"sc", "espresso"} {
+		cfg := Config{InputSeed: 3}
+		s, ok := byNameSpec(base)
+		if !ok {
+			t.Fatalf("suite workload %q missing", base)
+		}
+		orig, origSetup, _, err := s.Kernel(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", base, err)
+		}
+		melded, n, err := MeldProgram(orig)
+		if err != nil {
+			t.Fatalf("%s: MeldProgram: %v", base, err)
+		}
+		if n == 0 {
+			t.Fatalf("%s: no sites melded; the variant is vacuous", base)
+		}
+
+		vmO, evO := runKernel(t, orig, origSetup)
+		vmM, evM := runKernel(t, melded, origSetup)
+		if !reflect.DeepEqual(vmO.Mem(), vmM.Mem()) {
+			t.Errorf("%s: melded program computes different memory contents", base)
+		}
+		conds := func(evs []trace.Event) (n int) {
+			for _, e := range evs {
+				if e.Kind == ir.CondBr {
+					n++
+				}
+			}
+			return n
+		}
+		co, cm := conds(evO), conds(evM)
+		if cm >= co {
+			t.Errorf("%s: melded variant has %d cond events, base has %d; melding should remove branches",
+				base, cm, co)
+		}
+
+		// The registered *-meld workload must be this same transformation
+		// (modulo the program-name comment Format emits).
+		w, err := ByName(base+"-meld", cfg)
+		if err != nil {
+			t.Fatalf("ByName(%s-meld): %v", base, err)
+		}
+		melded.Name = base + "-meld"
+		if got := w.Prog.Format(); got != melded.Format() {
+			t.Errorf("%s-meld workload program differs from MeldProgram output", base)
+		}
+	}
+}
+
+// TestMeldProgramIdempotentWhenNoSites checks the rewriter leaves programs
+// without meldable sites untouched (kmp's skipped blocks contain loads).
+func TestMeldProgramIdempotentWhenNoSites(t *testing.T) {
+	pat := KMPRandomSymbols(1, 4, 2)
+	text := KMPRandomSymbols(2, 100, 2)
+	prog, _, err := BuildKMP(true, pat, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, n, err := MeldProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("melded %d sites in kmp; its skipped blocks all touch memory", n)
+	}
+	if out.Format() != prog.Format() {
+		t.Error("MeldProgram changed a program with no meldable sites")
+	}
+}
+
+// TestPhasedFlipsDirection checks the family's defining property: the hot
+// branch's per-phase taken rate alternates between ~0.9 and ~0.1, and the
+// aggregate rate sits near 0.5 — the profile sees a balanced branch.
+func TestPhasedFlipsDirection(t *testing.T) {
+	const n, phases = 512, 6
+	bits := make([]int64, n)
+	x := int64(42)
+	ones := 0
+	for i := range bits {
+		x = x*6364136223846793005 + 1442695040888963407
+		if int64(uint64(x)>>33)%10 < 9 {
+			bits[i] = 1
+			ones++
+		}
+	}
+	prog, setup, err := BuildPhased(bits, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, events := runKernel(t, prog, setup)
+	if got, want := machine.Mem()[phasedOutTally], int64(phases/2)*int64(ones)+int64(phases/2)*int64(n-ones); got != want {
+		t.Fatalf("taken tally %d, want %d", got, want)
+	}
+
+	// Locate the hot branch: the only beqz site. Its per-phase taken counts
+	// must alternate n-ones (even phases) and ones (odd phases) — note the
+	// kernel takes the branch when the XORed bit is ZERO.
+	var hotPC uint64
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			if term, ok := b.Terminator(); ok && term.Op == ir.OpBeqz {
+				hotPC = b.Addr + uint64(len(b.Instrs)-1)*ir.InstrBytes
+			}
+		}
+	}
+	if hotPC == 0 {
+		t.Fatal("hot beqz site not found")
+	}
+	var perPhase []int
+	seen := 0
+	taken := 0
+	for _, e := range events {
+		if e.PC != hotPC {
+			continue
+		}
+		if e.Taken {
+			taken++
+		}
+		seen++
+		if seen == n {
+			perPhase = append(perPhase, taken)
+			seen, taken = 0, 0
+		}
+	}
+	if len(perPhase) != phases {
+		t.Fatalf("saw %d complete phases, want %d", len(perPhase), phases)
+	}
+	for ph, got := range perPhase {
+		want := n - ones // even phase: bit 1 (common) XOR 0 = 1 -> beqz not taken
+		if ph%2 == 1 {
+			want = ones // odd phase: bit 1 XOR 1 = 0 -> taken
+		}
+		if got != want {
+			t.Errorf("phase %d: %d taken, want %d", ph, got, want)
+		}
+	}
+}

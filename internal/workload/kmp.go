@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"fmt"
+
+	"balign/internal/asm"
+	"balign/internal/ir"
+	"balign/internal/vm"
+)
+
+// The mp/kmp workloads are the Morris-Pratt and Knuth-Morris-Pratt
+// string-matching kernels whose branch behaviour Nicaud, Pivoteau &
+// Vialette analyse (PAPERS.md): the same matching loop, differing only in
+// the failure table (borders for MP, strict borders for KMP), searching a
+// parameterized random text for a parameterized random pattern. The
+// comparison branch's outcome stream is exactly determined by the algorithm,
+// so per-site mispredict counts have independent expectations — the
+// kmp_oracle_test.go property tests assert the full pipeline against a pure
+// Go reference (KMPBreakTrace) and against closed-form counts for
+// structured inputs.
+
+// Memory layout of the kmp kernel (64K words):
+const (
+	kmpPatBase  = 0     // pattern symbols, one word each
+	kmpFailBase = 8192  // failure table fail[0..m], fail[0] = -1
+	kmpTextBase = 16384 // text symbols
+	kmpOutCount = 32768 // match count written by the kernel
+	kmpParamN   = 32770 // text length, read by the kernel
+	kmpParamM   = 32771 // pattern length, read by the kernel
+
+	kmpMaxText    = 16383 // text region capacity
+	kmpMaxPattern = 4096
+)
+
+// kmpSrc is the shared MP/KMP matching loop. Branch sites, in the paper's
+// terms: the text-exhausted check (outer), the border-bottom check and the
+// comparison branch (inner), and the match check (advance).
+const kmpSrc = `
+mem 65536
+proc main
+    ld r3, 32770(r0)   ; n
+    ld r4, 32771(r0)   ; m
+    li r1, 0           ; i: text index
+    li r2, 0           ; j: pattern index
+    li r9, 0           ; match count
+outer:
+    bge r1, r3, done   ; site L: text exhausted
+inner:
+    bltz r2, advance   ; site B: border chain bottomed out (j < 0)
+    ld r5, 16384(r1)   ; text[i]
+    ld r6, 0(r2)       ; pat[j]
+    beq r5, r6, advance ; site C: the comparison branch
+    ld r2, 8192(r2)    ; j = fail[j]
+    br inner
+advance:
+    addi r1, r1, 1
+    addi r2, r2, 1
+    bne r2, r4, outer  ; site M: no full match yet (j != m)
+    addi r9, r9, 1
+    ld r2, 8192(r4)    ; restart: j = fail[m]
+    br outer
+done:
+    st r9, 32768(r0)
+    halt
+endproc
+`
+
+// BuildKMP assembles the matching kernel for the given pattern and text.
+// strong selects the KMP (strict border) failure table; false selects MP.
+// The returned setup hook loads pattern, failure table, text and the length
+// parameters into VM memory.
+func BuildKMP(strong bool, pattern, text []int64) (*ir.Program, func(*vm.VM), error) {
+	m, n := len(pattern), len(text)
+	if m == 0 || m > kmpMaxPattern {
+		return nil, nil, fmt.Errorf("kmp: pattern length %d out of range [1,%d]", m, kmpMaxPattern)
+	}
+	if n > kmpMaxText {
+		return nil, nil, fmt.Errorf("kmp: text length %d exceeds %d", n, kmpMaxText)
+	}
+	prog, err := asm.Assemble(kmpSrc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if strong {
+		prog.Name = "kmp"
+	} else {
+		prog.Name = "mp"
+	}
+	fail := KMPFailure(pattern, strong)
+	pat := append([]int64(nil), pattern...)
+	txt := append([]int64(nil), text...)
+	setup := func(v *vm.VM) {
+		v.SetMem(kmpPatBase, pat)
+		v.SetMem(kmpFailBase, fail)
+		v.SetMem(kmpTextBase, txt)
+		v.SetMem(kmpParamN, []int64{int64(n), int64(m)})
+	}
+	return prog, setup, nil
+}
+
+// KMPFailure computes the failure table fail[0..m] with fail[0] = -1: the
+// Morris-Pratt border table, or the KMP strict-border table when strong is
+// set (a border is strict when the next pattern symbol differs, so the
+// restarted comparison cannot immediately fail the same way). fail[m] is the
+// plain border length in both variants — after a full match there is no
+// next symbol to strengthen against.
+func KMPFailure(pattern []int64, strong bool) []int64 {
+	m := len(pattern)
+	pi := make([]int64, m+1)
+	pi[0] = -1
+	k := int64(-1)
+	for q := 1; q <= m; q++ {
+		for k >= 0 && pattern[k] != pattern[q-1] {
+			k = pi[k]
+		}
+		k++
+		pi[q] = k
+	}
+	if !strong {
+		return pi
+	}
+	out := make([]int64, m+1)
+	out[0] = -1
+	for j := 1; j < m; j++ {
+		if pi[j] >= 0 && pattern[j] == pattern[pi[j]] {
+			out[j] = out[pi[j]]
+		} else {
+			out[j] = pi[j]
+		}
+	}
+	out[m] = pi[m]
+	return out
+}
+
+// KMP break-trace site identifiers, in kernel source order.
+const (
+	KMPSiteL        = iota // outer: bge (text exhausted)
+	KMPSiteB               // inner: bltz (border chain bottom)
+	KMPSiteC               // inner: beq (comparison)
+	KMPSiteBrBorder        // br inner (after following the failure link)
+	KMPSiteM               // advance: bne (no full match)
+	KMPSiteBrMatch         // br outer (after recording a match)
+	kmpNumSites
+)
+
+// KMPEvent is one break event of the matching kernel's execution: the site
+// that executed and, for conditional sites, whether it was taken.
+type KMPEvent struct {
+	Site  int
+	Taken bool
+}
+
+// KMPBreakTrace executes the matching algorithm in pure Go, mirroring the
+// kernel's control flow decision for decision, and returns the complete
+// break-event stream plus the match count. It shares no code with the
+// VM/trace pipeline — the property tests use it as an independent oracle
+// for per-site branch behaviour.
+func KMPBreakTrace(strong bool, pattern, text []int64) ([]KMPEvent, int64) {
+	fail := KMPFailure(pattern, strong)
+	n, m := len(text), len(pattern)
+	var events []KMPEvent
+	var matches int64
+	emit := func(site int, taken bool) { events = append(events, KMPEvent{Site: site, Taken: taken}) }
+	i, j := 0, 0
+	for {
+		if i >= n { // site L
+			// The VM emits no break event for the final halt, so neither
+			// does the reference.
+			emit(KMPSiteL, true)
+			return events, matches
+		}
+		emit(KMPSiteL, false)
+		for { // inner
+			if j < 0 { // site B
+				emit(KMPSiteB, true)
+				break
+			}
+			emit(KMPSiteB, false)
+			if text[i] == pattern[j] { // site C
+				emit(KMPSiteC, true)
+				break
+			}
+			emit(KMPSiteC, false)
+			j = int(fail[j])
+			emit(KMPSiteBrBorder, true)
+		}
+		i++
+		j++
+		if j != m { // site M
+			emit(KMPSiteM, true)
+			continue
+		}
+		emit(KMPSiteM, false)
+		matches++
+		j = int(fail[m])
+		emit(KMPSiteBrMatch, true)
+	}
+}
+
+// KMPSitePCs maps each KMP site to the address of its break instruction in
+// prog (an original-layout BuildKMP program, blocks in source order) and,
+// for direct branches, the address of its taken target. It locates sites by
+// break kind in source order rather than by hard-coded addresses, so layout
+// details (filler counts, address base) are not baked into the tests.
+func KMPSitePCs(prog *ir.Program) (pcs [kmpNumSites]uint64, targets [kmpNumSites]uint64, err error) {
+	p := prog.Procs[0]
+	type site struct {
+		pc, target uint64
+	}
+	var conds, brs []site
+	for _, b := range p.Blocks {
+		term, ok := b.Terminator()
+		if !ok || (term.Kind() != ir.CondBr && term.Kind() != ir.Br) {
+			continue
+		}
+		pc := b.Addr + uint64(len(b.Instrs)-1)*ir.InstrBytes
+		tb := p.Block(term.TargetBlock)
+		if tb == nil {
+			return pcs, targets, fmt.Errorf("kmp: branch target %d missing", term.TargetBlock)
+		}
+		if term.Kind() == ir.CondBr {
+			conds = append(conds, site{pc, tb.Addr})
+		} else {
+			brs = append(brs, site{pc, tb.Addr})
+		}
+	}
+	if len(conds) != 4 || len(brs) != 2 {
+		return pcs, targets, fmt.Errorf("kmp: unexpected break shape: %d conds, %d brs", len(conds), len(brs))
+	}
+	order := []int{KMPSiteL, KMPSiteB, KMPSiteC, KMPSiteM}
+	for i, s := range order {
+		pcs[s], targets[s] = conds[i].pc, conds[i].target
+	}
+	pcs[KMPSiteBrBorder], targets[KMPSiteBrBorder] = brs[0].pc, brs[0].target
+	pcs[KMPSiteBrMatch], targets[KMPSiteBrMatch] = brs[1].pc, brs[1].target
+	return pcs, targets, nil
+}
+
+// kmpInput derives the default parameterized inputs for the registered
+// mp/kmp workloads: a binary alphabet (the hardest case for the comparison
+// branch), pattern length 12, text length 15000, both drawn from seeded
+// LCGs so Config.Seed and Config.InputSeed vary the data without changing
+// the program.
+func kmpInput(cfg Config, salt int64) (pattern, text []int64) {
+	const (
+		m     = 12
+		n     = 15000
+		alpha = 2
+	)
+	pattern = KMPRandomSymbols(cfg.Seed*2654435761+cfg.InputSeed*7919+salt, m, alpha)
+	text = KMPRandomSymbols(cfg.Seed*40503+cfg.InputSeed*104729+salt+1, n, alpha)
+	return pattern, text
+}
+
+// KMPRandomSymbols draws length symbols uniformly from [0, alpha) using the
+// kernel-standard LCG.
+func KMPRandomSymbols(seed int64, length, alpha int) []int64 {
+	out := make([]int64, length)
+	x := seed
+	for i := range out {
+		x = x*6364136223846793005 + 1442695040888963407
+		out[i] = int64(uint64(x)>>33) % int64(alpha)
+	}
+	return out
+}
+
+func mpKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	pat, text := kmpInput(cfg, 101)
+	prog, setup, err := BuildKMP(false, pat, text)
+	return prog, setup, 8, err
+}
+
+func kmpKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	pat, text := kmpInput(cfg, 101) // same inputs as mp: the ablation pair
+	prog, setup, err := BuildKMP(true, pat, text)
+	return prog, setup, 8, err
+}

@@ -1,0 +1,356 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"balign/internal/ir"
+	"balign/internal/predict"
+	"balign/internal/trace"
+	"balign/internal/vm"
+)
+
+// The KMP property oracle: the string-matching kernel's break-event stream
+// is exactly determined by the algorithm, so every pipeline quantity has an
+// independent expectation. Layer 1 checks the VM's event stream against the
+// pure-Go reference trace, event for event. Layer 2 re-implements each
+// dynamic architecture from its documented behaviour, drives it from the
+// reference trace, and demands exact integer agreement with the real
+// simulators — per-site for the PHTs, aggregate for all.
+
+// kmpVMEvents executes the kernel and returns its break-event stream.
+func kmpVMEvents(t *testing.T, strong bool, pat, text []int64) ([]trace.Event, *ir.Program, int64) {
+	t.Helper()
+	prog, setup, err := BuildKMP(strong, pat, text)
+	if err != nil {
+		t.Fatalf("BuildKMP: %v", err)
+	}
+	var events []trace.Event
+	machine := vm.New(prog)
+	setup(machine)
+	_, err = machine.Run(trace.SinkFunc(func(ev trace.Event) { events = append(events, ev) }), nil)
+	if err != nil {
+		t.Fatalf("vm run: %v", err)
+	}
+	return events, prog, machine.Mem()[kmpOutCount]
+}
+
+// refVMEvents maps the reference break trace onto the program's addresses,
+// producing the exact event stream the VM must emit.
+func refVMEvents(t *testing.T, prog *ir.Program, ref []KMPEvent) []trace.Event {
+	t.Helper()
+	pcs, targets, err := KMPSitePCs(prog)
+	if err != nil {
+		t.Fatalf("KMPSitePCs: %v", err)
+	}
+	out := make([]trace.Event, 0, len(ref))
+	for _, e := range ref {
+		pc := pcs[e.Site]
+		ev := trace.Event{PC: pc, Taken: true, Fall: pc + ir.InstrBytes}
+		switch e.Site {
+		case KMPSiteBrBorder, KMPSiteBrMatch:
+			ev.Kind = ir.Br
+			ev.Target = targets[e.Site]
+			ev.TakenTarget = targets[e.Site]
+		default:
+			ev.Kind = ir.CondBr
+			ev.Taken = e.Taken
+			ev.TakenTarget = targets[e.Site]
+			if e.Taken {
+				ev.Target = targets[e.Site]
+			} else {
+				// Original layout: blocks are contiguous, so the fall-through
+				// block starts right after the branch.
+				ev.Target = pc + ir.InstrBytes
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// countMatches is the slowest, most obviously correct matcher: the oracle
+// for the kernels' match counts.
+func countMatches(pat, text []int64) int64 {
+	var n int64
+	for i := 0; i+len(pat) <= len(text); i++ {
+		ok := true
+		for j := range pat {
+			if text[i+j] != pat[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+func TestKMPTraceMatchesReference(t *testing.T) {
+	for _, strong := range []bool{false, true} {
+		for seed := int64(0); seed < 4; seed++ {
+			pat := KMPRandomSymbols(seed*17+3, 5, 2)
+			text := KMPRandomSymbols(seed*29+11, 300, 2)
+			got, prog, matches := kmpVMEvents(t, strong, pat, text)
+			ref, refMatches := KMPBreakTrace(strong, pat, text)
+			want := refVMEvents(t, prog, ref)
+			if matches != refMatches || matches != countMatches(pat, text) {
+				t.Fatalf("strong=%v seed=%d: matches vm=%d ref=%d naive=%d",
+					strong, seed, matches, refMatches, countMatches(pat, text))
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("strong=%v seed=%d: event stream diverges (vm %d events, ref %d)",
+					strong, seed, len(got), len(want))
+			}
+		}
+	}
+}
+
+// --- independent architecture models, driven by the reference trace ---
+
+// modelResult mirrors the aggregate counters the real simulators produce.
+type modelResult struct {
+	mispredicts, misfetches, cond, condTaken, condCorrect uint64
+}
+
+// phtOracle models a PHT architecture over the reference trace: predict is
+// resolved per event, so the aggregate accounting (including the "correct
+// taken conditional misfetches" rule) and the per-site mispredict counts
+// come from the same pass. index maps a site to its counter slot; for the
+// direct-mapped table the kernel's sites never alias (a handful of distinct
+// addresses in 4096 entries), so each site is an independent 2-bit counter
+// — which is what makes closed forms possible.
+func phtOracle(ref []KMPEvent, entries int, index func(site int, ghr uint64) uint64) (modelResult, [kmpNumSites]uint64) {
+	counters := make([]predict.Counter2, entries)
+	for i := range counters {
+		counters[i] = predict.Counter2Init
+	}
+	var ghr uint64
+	var r modelResult
+	var mispredicts [kmpNumSites]uint64
+	for _, e := range ref {
+		if e.Site == KMPSiteBrBorder || e.Site == KMPSiteBrMatch {
+			r.misfetches++ // unconditional br: always a misfetch
+			continue
+		}
+		r.cond++
+		if e.Taken {
+			r.condTaken++
+		}
+		idx := index(e.Site, ghr)
+		if counters[idx].Taken() == e.Taken {
+			r.condCorrect++
+			if e.Taken {
+				r.misfetches++ // correct taken cond: fall-through was fetched
+			}
+		} else {
+			r.mispredicts++
+			mispredicts[e.Site]++
+		}
+		counters[idx] = counters[idx].Update(e.Taken)
+		ghr = (ghr << 1) & uint64(entries-1)
+		if e.Taken {
+			ghr |= 1
+		}
+	}
+	return r, mispredicts
+}
+
+// directOracle is phtOracle with site-indexed counters (no aliasing).
+func directOracle(ref []KMPEvent) (modelResult, [kmpNumSites]uint64) {
+	return phtOracle(ref, kmpNumSites, func(site int, _ uint64) uint64 { return uint64(site) })
+}
+
+// gshareOracle is phtOracle with the 4096-entry gshare index: a shared
+// 12-bit global history XORed with the site address, so sites interact
+// through both the history and (potentially) aliased counters.
+func gshareOracle(ref []KMPEvent, pcs [kmpNumSites]uint64) (modelResult, [kmpNumSites]uint64) {
+	const entries = 4096
+	return phtOracle(ref, entries, func(site int, ghr uint64) uint64 {
+		return ((pcs[site] / ir.InstrBytes) ^ ghr) & (entries - 1)
+	})
+}
+
+// btbOracle re-implements the BTB architecture from its documented
+// behaviour for the two break kinds kmp contains (cond, br). The kernel's
+// six branch addresses occupy six distinct sets in both simulated
+// geometries (64-entry/2-way and 256-entry/4-way), so eviction never
+// triggers and the model needs no replacement policy — it does verify that
+// premise before relying on it.
+type btbLine struct {
+	target  uint64
+	counter predict.Counter2
+}
+
+func btbOracle(t *testing.T, ref []KMPEvent, pcs, targets [kmpNumSites]uint64, entries, ways int) modelResult {
+	t.Helper()
+	sets := uint64(entries / ways)
+	bySet := map[uint64]int{}
+	for _, pc := range pcs {
+		bySet[(pc/ir.InstrBytes)%sets]++
+	}
+	for set, n := range bySet {
+		if n > ways {
+			t.Fatalf("btb oracle premise broken: %d sites share set %d (%d ways)", n, set, ways)
+		}
+	}
+	lines := make(map[uint64]*btbLine) // keyed by full pc: exact, given no eviction
+	var r modelResult
+	for _, e := range ref {
+		pc := pcs[e.Site]
+		if e.Site == KMPSiteBrBorder || e.Site == KMPSiteBrMatch {
+			if lines[pc] == nil { // br: hit free, miss misfetch + insert
+				r.misfetches++
+				lines[pc] = &btbLine{target: targets[e.Site], counter: 3}
+			}
+			continue
+		}
+		r.cond++
+		if e.Taken {
+			r.condTaken++
+		}
+		ln := lines[pc]
+		switch {
+		case ln != nil:
+			if ln.counter.Taken() == e.Taken {
+				r.condCorrect++ // hit with correct direction: free
+			} else {
+				r.mispredicts++
+			}
+			ln.counter = ln.counter.Update(e.Taken)
+			if e.Taken {
+				ln.target = targets[e.Site]
+			}
+		case e.Taken: // miss on a taken cond: fall-through was predicted
+			r.mispredicts++
+			lines[pc] = &btbLine{target: targets[e.Site], counter: 3}
+		default: // miss on a not-taken cond: free
+			r.condCorrect++
+		}
+	}
+	return r
+}
+
+// simulate runs the real architecture simulator over the VM's event stream.
+func simulate(t *testing.T, id predict.ArchID, events []trace.Event) predict.Result {
+	t.Helper()
+	sim, err := predict.NewSimulator(id, nil, nil)
+	if err != nil {
+		t.Fatalf("NewSimulator(%s): %v", id, err)
+	}
+	for _, ev := range events {
+		sim.Event(ev)
+	}
+	return sim.Result()
+}
+
+func TestKMPDynamicArchOracle(t *testing.T) {
+	for _, strong := range []bool{false, true} {
+		for seed := int64(0); seed < 3; seed++ {
+			pat := KMPRandomSymbols(seed*101+7, 7, 2)
+			text := KMPRandomSymbols(seed*211+13, 2000, 2)
+			events, prog, _ := kmpVMEvents(t, strong, pat, text)
+			ref, _ := KMPBreakTrace(strong, pat, text)
+			pcs, targets, err := KMPSitePCs(prog)
+			if err != nil {
+				t.Fatalf("KMPSitePCs: %v", err)
+			}
+
+			check := func(id predict.ArchID, want modelResult) {
+				got := simulate(t, id, events)
+				if got.Mispredicts != want.mispredicts || got.Misfetches != want.misfetches ||
+					got.Cond != want.cond || got.CondTaken != want.condTaken ||
+					got.CondCorrect != want.condCorrect {
+					t.Errorf("strong=%v seed=%d %s: pipeline {mp:%d mf:%d cond:%d taken:%d ok:%d} != oracle {mp:%d mf:%d cond:%d taken:%d ok:%d}",
+						strong, seed, id,
+						got.Mispredicts, got.Misfetches, got.Cond, got.CondTaken, got.CondCorrect,
+						want.mispredicts, want.misfetches, want.cond, want.condTaken, want.condCorrect)
+				}
+			}
+
+			direct, _ := directOracle(ref)
+			gshare, _ := gshareOracle(ref, pcs)
+			check(predict.ArchPHTDirect, direct)
+			check(predict.ArchPHTGshare, gshare)
+			check(predict.ArchBTB64, btbOracle(t, ref, pcs, targets, 64, 2))
+			check(predict.ArchBTB256, btbOracle(t, ref, pcs, targets, 256, 4))
+		}
+	}
+}
+
+// TestKMPClosedFormSiteCounts pins the hand-derived per-site mispredict
+// counts for the direct-mapped PHT on the fully deterministic family
+// pattern = a^m, text = a^n (every comparison succeeds):
+//
+//   - site C (comparison): always taken; the weakly-not-taken initial
+//     counter mispredicts exactly the first execution → 1;
+//   - site B (border bottom): j never goes negative → never taken, counter
+//     never leaves the not-taken half → 0;
+//   - site L (outer): not taken n times, then taken once at exit → 1;
+//   - site M (match check): taken m-1 times (prefix build-up), then not
+//     taken for every remaining position (a match at each of the n-m+1
+//     windows, fail[m] = m-1 keeps j at m after each advance). The taken
+//     run costs 1 (initial counter), the direction flip costs 2 (counter
+//     saturated at 3 walks down through 2) → 3 for m ≥ 3, n-m+1 ≥ 2.
+//
+// Both failure-table variants agree here: for a^m the weak and strict
+// tables differ only at indices the run never consults (fail[j] for j < m
+// is only read on a mismatch, which never happens).
+func TestKMPClosedFormSiteCounts(t *testing.T) {
+	const m, n = 4, 40
+	pat := make([]int64, m)
+	text := make([]int64, n)
+	for _, strong := range []bool{false, true} {
+		ref, matches := KMPBreakTrace(strong, pat, text)
+		if want := int64(n - m + 1); matches != want {
+			t.Fatalf("strong=%v: a^%d in a^%d: %d matches, want %d", strong, m, n, matches, want)
+		}
+		_, bySite := directOracle(ref)
+		want := [kmpNumSites]uint64{
+			KMPSiteL: 1,
+			KMPSiteB: 0,
+			KMPSiteC: 1,
+			KMPSiteM: 3,
+		}
+		if bySite != want {
+			t.Errorf("strong=%v: per-site pht-direct mispredicts %v, want %v", strong, bySite, want)
+		}
+	}
+}
+
+// TestKMPMetamorphicRelabeling checks the symmetry the paper's analysis
+// relies on: matching is invariant under any permutation of the alphabet
+// applied to both pattern and text, so the full reference trace and the
+// full pipeline results must be unchanged.
+func TestKMPMetamorphicRelabeling(t *testing.T) {
+	relabel := func(s []int64, perm map[int64]int64) []int64 {
+		out := make([]int64, len(s))
+		for i, v := range s {
+			out[i] = perm[v]
+		}
+		return out
+	}
+	perm := map[int64]int64{0: 2, 1: 5, 2: 9, 3: 0}
+	for _, strong := range []bool{false, true} {
+		pat := KMPRandomSymbols(97, 6, 4)
+		text := KMPRandomSymbols(131, 1500, 4)
+		ref, matches := KMPBreakTrace(strong, pat, text)
+		ref2, matches2 := KMPBreakTrace(strong, relabel(pat, perm), relabel(text, perm))
+		if matches != matches2 || !reflect.DeepEqual(ref, ref2) {
+			t.Fatalf("strong=%v: reference trace not invariant under relabeling", strong)
+		}
+		ev1, _, _ := kmpVMEvents(t, strong, pat, text)
+		ev2, _, _ := kmpVMEvents(t, strong, relabel(pat, perm), relabel(text, perm))
+		if !reflect.DeepEqual(ev1, ev2) {
+			t.Fatalf("strong=%v: VM event stream not invariant under relabeling", strong)
+		}
+		for _, id := range predict.DynamicArchs() {
+			r1, r2 := simulate(t, id, ev1), simulate(t, id, ev2)
+			if r1 != r2 {
+				t.Errorf("strong=%v %s: results differ under relabeling: %+v vs %+v", strong, id, r1, r2)
+			}
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package workload
+
+import (
+	"fmt"
+
+	"balign/internal/ir"
+	"balign/internal/vm"
+)
+
+// Branch melding (if-conversion): rewriting a conditional branch that skips
+// a short block of pure register operations into straight-line code using
+// the cmovz/cmovnz conditional moves, in the style of the Alpha AXP
+// compilers the paper targets. The melded variants of suite kernels put an
+// alignment-vs-elimination column in the grid: alignment reduces the cost
+// of a branch, melding removes the branch entirely, and the simulators
+// price both.
+
+// meldScratchPred and meldScratchVal are the registers the rewriter claims
+// for the saved predicate and the speculated value; procedures that use
+// either are left unmelded.
+const (
+	meldScratchPred = 31
+	meldScratchVal  = 30
+)
+
+// meldMaxBlock bounds the speculated block: melding trades len(F) extra
+// always-executed instructions for one branch, so long blocks are not worth
+// converting (and are where if-conversion loses in real compilers too).
+const meldMaxBlock = 4
+
+// MeldProgram returns a copy of prog with every meldable site if-converted,
+// plus the number of sites melded. A site is meldable when a block B ends
+// in a conditional branch over exactly its successor F — B's taken target
+// is F+1, F falls through, F has no other predecessors — and F contains at
+// most meldMaxBlock pure register instructions (no loads, stores, calls or
+// control flow, which can fault or have side effects when executed
+// speculatively). The rewrite replaces the branch with a predicate
+// computation into r31 and turns each F instruction `op rd, ...` into
+// `op r30, ...; cmov* rd, r30, r31`, then deletes F.
+//
+// The melded program computes bit-identical results to the original: the
+// conditional moves leave destinations untouched exactly when the original
+// branch would have skipped the block.
+func MeldProgram(prog *ir.Program) (*ir.Program, int, error) {
+	out := prog.Clone()
+	melded := 0
+	for _, p := range out.Procs {
+		n, err := meldProc(p)
+		if err != nil {
+			return nil, 0, fmt.Errorf("meld: proc %q: %w", p.Name, err)
+		}
+		melded += n
+	}
+	out.AssignAddresses(0x1000)
+	if err := out.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("meld: rewritten program invalid: %w", err)
+	}
+	return out, melded, nil
+}
+
+func meldProc(p *ir.Proc) (int, error) {
+	if usesRegs(p, meldScratchVal, meldScratchPred) {
+		return 0, nil // scratch registers live somewhere; leave untouched
+	}
+	melded := 0
+	for {
+		site := findMeldSite(p)
+		if site < 0 {
+			return melded, nil
+		}
+		if err := meldAt(p, ir.BlockID(site)); err != nil {
+			return melded, err
+		}
+		melded++
+	}
+}
+
+// findMeldSite returns the block ID of the first meldable branch block, or
+// -1 when none remain.
+func findMeldSite(p *ir.Proc) int {
+	for bi, b := range p.Blocks {
+		f := ir.BlockID(bi + 1)
+		term, ok := b.Terminator()
+		if !ok || term.Kind() != ir.CondBr || term.TargetBlock != f+1 {
+			continue
+		}
+		if int(f)+1 >= len(p.Blocks) {
+			continue
+		}
+		fb := p.Blocks[f]
+		if _, hasTerm := fb.Terminator(); hasTerm {
+			continue // F must fall through into the join block
+		}
+		if len(fb.Instrs) == 0 || len(fb.Instrs) > meldMaxBlock {
+			continue
+		}
+		if !allPureOps(fb.Instrs) {
+			continue
+		}
+		if countPreds(p, f) != 1 {
+			continue // someone else jumps into F; the branch is not its only guard
+		}
+		return bi
+	}
+	return -1
+}
+
+// allPureOps reports whether every instruction is a register-only operation
+// that is safe to execute unconditionally: no memory access (a speculated
+// load or store could fault on an address the skipped path never computes),
+// no control flow, and no reads of the scratch registers between ops.
+func allPureOps(instrs []ir.Instr) bool {
+	for i := range instrs {
+		switch instrs[i].Op {
+		case ir.OpNop, ir.OpLi, ir.OpMov, ir.OpAdd, ir.OpSub, ir.OpMul,
+			ir.OpDiv, ir.OpMod, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl,
+			ir.OpShr, ir.OpAddi, ir.OpMuli, ir.OpAndi, ir.OpSlt, ir.OpSlti:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// countPreds counts the control-flow predecessors of block f: branch and
+// ijump targets plus the fall-through from f-1.
+func countPreds(p *ir.Proc, f ir.BlockID) int {
+	preds := 0
+	for bi, b := range p.Blocks {
+		if ir.BlockID(bi)+1 == f && b.FallsThrough() {
+			preds++
+		}
+		term, ok := b.Terminator()
+		if !ok {
+			continue
+		}
+		switch term.Kind() {
+		case ir.CondBr, ir.Br:
+			if term.TargetBlock == f {
+				preds++
+			}
+		case ir.IJump:
+			for _, t := range term.Targets {
+				if t == f {
+					preds++
+				}
+			}
+		}
+	}
+	if f == p.Entry() {
+		preds++
+	}
+	return preds
+}
+
+// meldAt if-converts the site whose branch block is bi: predicate into r31,
+// each speculated instruction through r30 + cmov, then deletes block bi+1
+// and renumbers every block reference in the procedure.
+func meldAt(p *ir.Proc, bi ir.BlockID) error {
+	b := p.Blocks[bi]
+	f := bi + 1
+	fb := p.Blocks[f]
+	term := b.Instrs[len(b.Instrs)-1]
+
+	pred, cmov, err := meldPredicate(&term)
+	if err != nil {
+		return err
+	}
+	// Replace the branch with: predicate computation, then the speculated
+	// block routed through r30 and conditionally committed.
+	instrs := append([]ir.Instr(nil), b.Instrs[:len(b.Instrs)-1]...)
+	instrs = append(instrs, pred...)
+	for i := range fb.Instrs {
+		in := fb.Instrs[i].Clone()
+		if in.Op == ir.OpNop {
+			continue
+		}
+		dest := in.Rd
+		in.Rd = meldScratchVal
+		instrs = append(instrs,
+			in,
+			ir.Instr{Op: cmov, Rd: dest, Rs: meldScratchVal, Rt: meldScratchPred})
+	}
+	b.Instrs = instrs
+
+	// Delete F and renumber: every block ID > f shifts down by one. No
+	// reference to f itself can remain — B no longer branches, and F had no
+	// other predecessors.
+	p.Blocks = append(p.Blocks[:f], p.Blocks[f+1:]...)
+	for _, blk := range p.Blocks {
+		if blk.Orig > f {
+			blk.Orig--
+		}
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			switch in.Kind() {
+			case ir.CondBr, ir.Br:
+				if in.TargetBlock == f {
+					return fmt.Errorf("block %d still targeted after meld", f)
+				}
+				if in.TargetBlock > f {
+					in.TargetBlock--
+				}
+			case ir.IJump:
+				for j, t := range in.Targets {
+					if t == f {
+						return fmt.Errorf("block %d still targeted after meld", f)
+					}
+					if t > f {
+						in.Targets[j]--
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// meldPredicate returns the instructions that materialize the branch
+// condition of term into r31, and the conditional-move opcode that commits
+// a speculated value exactly when the branch would NOT have been taken
+// (i.e. when the skipped block would have executed).
+func meldPredicate(term *ir.Instr) ([]ir.Instr, ir.Opcode, error) {
+	p := uint8(meldScratchPred)
+	one := func(in ir.Instr) []ir.Instr { return []ir.Instr{in} }
+	switch term.Op {
+	case ir.OpBeqz: // taken when rd == 0; F runs when r31 != 0
+		return one(ir.Instr{Op: ir.OpMov, Rd: p, Rs: term.Rd}), ir.OpCmovnz, nil
+	case ir.OpBnez: // taken when rd != 0; F runs when r31 == 0
+		return one(ir.Instr{Op: ir.OpMov, Rd: p, Rs: term.Rd}), ir.OpCmovz, nil
+	case ir.OpBeq: // taken when rd == rs; F runs when difference != 0
+		return one(ir.Instr{Op: ir.OpSub, Rd: p, Rs: term.Rd, Rt: term.Rs}), ir.OpCmovnz, nil
+	case ir.OpBne: // taken when rd != rs; F runs when difference == 0
+		return one(ir.Instr{Op: ir.OpSub, Rd: p, Rs: term.Rd, Rt: term.Rs}), ir.OpCmovz, nil
+	case ir.OpBlt: // r31 = (rd < rs): 1 when taken; F runs when 0
+		return one(ir.Instr{Op: ir.OpSlt, Rd: p, Rs: term.Rd, Rt: term.Rs}), ir.OpCmovz, nil
+	case ir.OpBge: // r31 = (rd < rs): 0 when taken; F runs when 1
+		return one(ir.Instr{Op: ir.OpSlt, Rd: p, Rs: term.Rd, Rt: term.Rs}), ir.OpCmovnz, nil
+	case ir.OpBgt: // r31 = (rs < rd): 1 when taken; F runs when 0
+		return one(ir.Instr{Op: ir.OpSlt, Rd: p, Rs: term.Rs, Rt: term.Rd}), ir.OpCmovz, nil
+	case ir.OpBle: // r31 = (rs < rd): 0 when taken; F runs when 1
+		return one(ir.Instr{Op: ir.OpSlt, Rd: p, Rs: term.Rs, Rt: term.Rd}), ir.OpCmovnz, nil
+	case ir.OpBltz: // r31 = (rd < 0): 1 when taken; F runs when 0
+		return one(ir.Instr{Op: ir.OpSlti, Rd: p, Rs: term.Rd, Imm: 0}), ir.OpCmovz, nil
+	case ir.OpBgez: // r31 = (rd < 0): 0 when taken; F runs when 1
+		return one(ir.Instr{Op: ir.OpSlti, Rd: p, Rs: term.Rd, Imm: 0}), ir.OpCmovnz, nil
+	default:
+		return nil, ir.OpNop, fmt.Errorf("unmeldable branch opcode %v", term.Op)
+	}
+}
+
+// usesRegs reports whether any instruction in the procedure reads or writes
+// any of the given registers.
+func usesRegs(p *ir.Proc, regs ...uint8) bool {
+	hit := func(r uint8) bool {
+		for _, q := range regs {
+			if r == q {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if hit(in.Rd) || hit(in.Rs) || hit(in.Rt) {
+				// Rd/Rs/Rt default to 0 on ops that don't use them, and r0
+				// is never a scratch register, so no false positives.
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// meldVariant builds the named suite workload, if-converts it, and requires
+// that at least one site actually melded — a *-meld workload that silently
+// degenerates to its base kernel would make the ablation column a lie.
+func meldVariant(base string, cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	// Look up in the paper suite only — a meld variant of a meld variant
+	// would also create an initialization cycle through extSpecs.
+	var s Spec
+	for _, cand := range specs {
+		if cand.Name == base {
+			s = cand
+			break
+		}
+	}
+	if s.Kernel == nil {
+		return nil, nil, 0, fmt.Errorf("meld: no suite kernel workload %q", base)
+	}
+	prog, setup, repeat, err := s.Kernel(cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	melded, n, err := MeldProgram(prog)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if n == 0 {
+		return nil, nil, 0, fmt.Errorf("meld: %s has no meldable sites", base)
+	}
+	melded.Name = base + "-meld"
+	return melded, setup, repeat, nil
+}
+
+func scMeldKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	return meldVariant("sc", cfg)
+}
+
+func espressoMeldKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	return meldVariant("espresso", cfg)
+}

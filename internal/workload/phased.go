@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+
+	"balign/internal/asm"
+	"balign/internal/ir"
+	"balign/internal/vm"
+)
+
+// The phased workload is an adversarial family for profile-guided layout:
+// its hot branch has a ~90% taken rate in even phases and ~10% in odd
+// phases, flipping at every phase boundary. Aggregate profiles see a
+// near-balanced branch and gain little from alignment, while the dynamic
+// predictors pay a retraining cost at each boundary — the gap between
+// static and dynamic columns in the grid is the point of the family.
+
+const (
+	phasedBitsBase = 0     // per-element Bernoulli bits (0/1)
+	phasedParamN   = 16384 // elements per phase
+	phasedParamP   = 16385 // number of phases
+	phasedOutTally = 16386 // taken tally written by the kernel
+	phasedMaxN     = 16384
+)
+
+// phasedSrc iterates p phases over the same n bits, XORing each bit with the
+// phase parity so the hot branch's taken direction flips every phase.
+const phasedSrc = `
+mem 32768
+proc main
+    ld r3, 16384(r0)   ; n: elements per phase
+    ld r4, 16385(r0)   ; p: phases
+    li r5, 0           ; phase index
+    li r9, 0           ; taken tally
+phase:
+    bge r5, r4, done
+    li r1, 0           ; element index
+    andi r6, r5, 1     ; phase parity
+elem:
+    bge r1, r3, nextphase
+    ld r7, 0(r1)       ; element bit
+    xor r7, r7, r6     ; odd phases invert the direction
+    beqz r7, skip      ; the phase-flipping hot branch
+    addi r9, r9, 1
+skip:
+    addi r1, r1, 1
+    br elem
+nextphase:
+    addi r5, r5, 1
+    br phase
+done:
+    st r9, 16386(r0)
+    halt
+endproc
+`
+
+// BuildPhased assembles the phase-flip kernel over the given 0/1 bits,
+// running phases passes over them. Bits are sampled once; the direction
+// flip comes from the kernel's parity XOR, not from re-sampling.
+func BuildPhased(bits []int64, phases int) (*ir.Program, func(*vm.VM), error) {
+	n := len(bits)
+	if n == 0 || n > phasedMaxN {
+		return nil, nil, fmt.Errorf("phased: %d bits out of range [1,%d]", n, phasedMaxN)
+	}
+	if phases < 1 {
+		return nil, nil, fmt.Errorf("phased: need at least 1 phase, got %d", phases)
+	}
+	for i, b := range bits {
+		if b != 0 && b != 1 {
+			return nil, nil, fmt.Errorf("phased: bit %d is %d, want 0 or 1", i, b)
+		}
+	}
+	prog, err := asm.Assemble(phasedSrc)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog.Name = "phased"
+	data := append([]int64(nil), bits...)
+	setup := func(v *vm.VM) {
+		v.SetMem(phasedBitsBase, data)
+		v.SetMem(phasedParamN, []int64{int64(n), int64(phases)})
+	}
+	return prog, setup, nil
+}
+
+func phasedKernel(cfg Config) (*ir.Program, func(*vm.VM), int, error) {
+	const n = 2048
+	phases := int(12 * cfg.scale())
+	if phases < 2 {
+		phases = 2
+	}
+	bits := make([]int64, n)
+	x := cfg.Seed*9176156261 + cfg.InputSeed*15485863 + 307
+	for i := range bits {
+		x = x*6364136223846793005 + 1442695040888963407
+		if int64(uint64(x)>>33)%10 < 9 {
+			bits[i] = 1 // hot direction ~90% of elements
+		}
+	}
+	prog, setup, err := BuildPhased(bits, phases)
+	return prog, setup, 4, err
+}

@@ -246,14 +246,13 @@ func Names() []string {
 	return names
 }
 
-// ByName builds the named workload.
+// ByName builds the named workload, searching the paper suite first and the
+// extended families (ExtNames) second.
 func ByName(name string, cfg Config) (*Workload, error) {
-	for _, s := range specs {
-		if s.Name == name {
-			return build(s, cfg)
-		}
+	if s, ok := byNameSpec(name); ok {
+		return build(s, cfg)
 	}
-	return nil, fmt.Errorf("workload: unknown program %q (known: %v)", name, Names())
+	return nil, fmt.Errorf("workload: unknown program %q (known: %v)", name, AllNames())
 }
 
 // Suite builds all workloads in Table 2 order.

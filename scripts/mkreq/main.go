@@ -1,6 +1,7 @@
 // Command mkreq builds a balignd /v1/align request body from asm and
-// profile files. The fields are JSON strings, so encoding them here keeps
-// scripts/serve_smoke.sh free of shell-quoting hazards.
+// profile files, or from a single CFG document (-cfg). The fields are JSON
+// strings, so encoding them here keeps scripts/serve_smoke.sh free of
+// shell-quoting hazards.
 package main
 
 import (
@@ -11,29 +12,44 @@ import (
 )
 
 func main() {
-	asmPath := flag.String("asm", "", "assembly source file (required)")
+	asmPath := flag.String("asm", "", "assembly source file (required unless -cfg)")
 	profPath := flag.String("profile", "", "edge-profile file (optional)")
+	cfgPath := flag.String("cfg", "", "CFG document (JSON or DOT) replacing -asm and -profile")
 	name := flag.String("name", "smoke", "program name for the request")
 	extra := flag.String("extra", "", "JSON object merged into the request (e.g. archs, generator)")
 	flag.Parse()
 
-	if *asmPath == "" {
-		fmt.Fprintln(os.Stderr, "mkreq: -asm is required")
-		os.Exit(2)
-	}
-	asmSrc, err := os.ReadFile(*asmPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mkreq:", err)
-		os.Exit(1)
-	}
-	req := map[string]any{"name": *name, "asm": string(asmSrc)}
-	if *profPath != "" {
-		profSrc, err := os.ReadFile(*profPath)
+	req := map[string]any{"name": *name}
+	switch {
+	case *cfgPath != "":
+		if *asmPath != "" || *profPath != "" {
+			fmt.Fprintln(os.Stderr, "mkreq: -cfg replaces both -asm and -profile")
+			os.Exit(2)
+		}
+		cfgSrc, err := os.ReadFile(*cfgPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mkreq:", err)
 			os.Exit(1)
 		}
-		req["profile"] = string(profSrc)
+		req["cfg"] = string(cfgSrc)
+	case *asmPath != "":
+		asmSrc, err := os.ReadFile(*asmPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mkreq:", err)
+			os.Exit(1)
+		}
+		req["asm"] = string(asmSrc)
+		if *profPath != "" {
+			profSrc, err := os.ReadFile(*profPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mkreq:", err)
+				os.Exit(1)
+			}
+			req["profile"] = string(profSrc)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "mkreq: -asm or -cfg is required")
+		os.Exit(2)
 	}
 	if *extra != "" {
 		var more map[string]any

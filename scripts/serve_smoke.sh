@@ -59,6 +59,17 @@ STATUS=$(curl -sS -o "$WORK/align.out" -w '%{http_code}' \
 grep -q '"plans"' "$WORK/align.out" || fail "/v1/align response missing plans"
 echo "serve-smoke: /v1/align ok"
 
+# Same endpoint through the CFG front door: one document carries both the
+# program and its profile (DOT here; JSON is auto-detected too).
+"$GO" run ./scripts/mkreq -cfg testdata/cfg/go_scanobject.dot \
+    >"$WORK/align_cfg.json"
+
+STATUS=$(curl -sS -o "$WORK/align_cfg.out" -w '%{http_code}' \
+    -X POST --data-binary @"$WORK/align_cfg.json" "$BASE/v1/align")
+[ "$STATUS" = 200 ] || { cat "$WORK/align_cfg.out" >&2; fail "/v1/align (cfg) returned $STATUS"; }
+grep -q '"plans"' "$WORK/align_cfg.out" || fail "/v1/align (cfg) response missing plans"
+echo "serve-smoke: /v1/align (cfg) ok"
+
 cat >"$WORK/simulate.json" <<'EOF'
 {"programs": ["ora"], "scale": 0.02}
 EOF
