@@ -80,11 +80,14 @@ serve-smoke:
 # genuinely interleave even on smaller CI hosts, and any ordering bug
 # surfaces as a byte diff or a race report. The extended-families leg runs
 # the adversarial workloads (phase-flipping branches included) and an
-# imported CFG document across the stream on/off matrix; the cfgio leg is
-# the importer/exporter round-trip oracle on the same machinery.
+# imported CFG document across the stream on/off matrix; the tagged leg
+# pins the TAGE/perceptron grid byte-identical across stream on/off, both
+# kernel modes and shard counts; the cfgio leg is the importer/exporter
+# round-trip oracle on the same machinery.
 suite-smoke:
 	GOMAXPROCS=4 $(GO) test -race -run 'TestDeterminismAcrossGOMAXPROCS|TestShardedRunActuallyShards' ./internal/experiments
 	GOMAXPROCS=4 $(GO) test -race -run 'TestExtendedFamiliesStreamParity' ./internal/experiments
+	GOMAXPROCS=4 $(GO) test -race -run 'TestTaggedPredictorStreamParity' ./internal/experiments
 	GOMAXPROCS=4 $(GO) test -race -run 'TestImportExportRoundTripOracle|TestEmptyFallBlockRoundTrips' ./internal/cfgio
 	GOMAXPROCS=4 $(GO) test -race -run 'TestShardMerge' ./internal/kernel
 

@@ -97,7 +97,7 @@ const (
 	OrderBTFNT = core.OrderBTFNT
 )
 
-// Simulated architectures (paper Tables 3 and 4).
+// Simulated architectures (paper Tables 3 and 4, then the extensions).
 const (
 	ArchFallthrough = predict.ArchFallthrough
 	ArchBTFNT       = predict.ArchBTFNT
@@ -106,6 +106,9 @@ const (
 	ArchPHTGshare   = predict.ArchPHTGshare
 	ArchBTB64       = predict.ArchBTB64
 	ArchBTB256      = predict.ArchBTB256
+	ArchPHTLocal    = predict.ArchPHTLocal
+	ArchTAGE        = predict.ArchTAGE
+	ArchPerceptron  = predict.ArchPerceptron
 )
 
 // Alignment cost models (see internal/cost for the cycle accounting).
@@ -115,6 +118,7 @@ var (
 	ModelLikely      CostModel = cost.LikelyModel{}
 	ModelPHT         CostModel = cost.PHTModel{}
 	ModelBTB         CostModel = cost.BTBModel{}
+	ModelTagged      CostModel = cost.TaggedModel{}
 )
 
 // Assemble parses assembly source into a validated program.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"balign/internal/asm"
 	"balign/internal/cfgio"
@@ -42,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfgFile := fs.String("cfg", "", "CFG document (JSON or DOT) carrying both program and profile")
 	emit := fs.String("emit", "", "output encoding: asm (default) | json | dot (CFG with the transferred profile)")
 	algo := fs.String("algo", "tryn", "alignment algorithm: orig | greedy | cost | tryn | exttsp")
-	arch := fs.String("arch", "btfnt", "architecture cost model: fallthrough | btfnt | likely | pht-direct | pht-gshare | btb64 | btb256")
+	arch := fs.String("arch", "btfnt", "architecture cost model: "+strings.Join(predict.KnownArchNames(), " | "))
 	order := fs.String("order", "hottest", "chain layout order: hottest | btfnt")
 	window := fs.Int("window", core.DefaultWindow, "TryN window size")
 	procOrder := fs.Bool("procorder", false, "also reorder whole procedures by the ExtTSP call-graph objective")

@@ -61,10 +61,25 @@ func TestBTBModel(t *testing.T) {
 	approx(t, "uncond", m.Uncond(100), 110)
 }
 
+func TestTaggedModel(t *testing.T) {
+	m := TaggedModel{}
+	// 98% correct: fall = .98*1+.02*5 = 1.08; taken = .98*2+.02*5 = 2.06.
+	approx(t, "fall", m.CondBranch(100, 0, false), 108)
+	approx(t, "taken", m.CondBranch(0, 100, false), 206)
+	approx(t, "uncond", m.Uncond(100), 200)
+	// The tagged predictors mispredict far less than the PHTs, so almost
+	// the whole remaining alignable cost is the taken-side misfetch.
+	pht := PHTModel{}
+	if gapTagged, gapPHT := m.CondBranch(0, 100, false)-m.CondBranch(100, 0, false),
+		pht.CondBranch(0, 100, false)-pht.CondBranch(100, 0, false); gapTagged <= gapPHT {
+		t.Errorf("tagged taken-vs-fall gap %v not larger than PHT's %v", gapTagged, gapPHT)
+	}
+}
+
 func TestModelOrderingMakesAlignmentAttractive(t *testing.T) {
 	// For every model, a hot edge as fall-through must cost no more than
 	// the same edge taken, and strictly less for the static models.
-	for _, m := range []Model{FallthroughModel{}, BTFNTModel{}, LikelyModel{}, PHTModel{}, BTBModel{}} {
+	for _, m := range []Model{FallthroughModel{}, BTFNTModel{}, LikelyModel{}, PHTModel{}, BTBModel{}, TaggedModel{}} {
 		fall := m.CondBranch(1000, 10, false)
 		taken := m.CondBranch(10, 1000, false)
 		if fall >= taken {
@@ -82,6 +97,9 @@ func TestForArch(t *testing.T) {
 		predict.ArchPHTGshare:   "pht",
 		predict.ArchBTB64:       "btb",
 		predict.ArchBTB256:      "btb",
+		predict.ArchPHTLocal:    "pht",
+		predict.ArchTAGE:        "tagged",
+		predict.ArchPerceptron:  "tagged",
 	}
 	for id, want := range cases {
 		m, err := ForArch(id)
@@ -91,6 +109,13 @@ func TestForArch(t *testing.T) {
 		}
 		if m.Name() != want {
 			t.Errorf("ForArch(%s).Name() = %q, want %q", id, m.Name(), want)
+		}
+	}
+	// Every registered architecture must resolve: a descriptor with an
+	// unmapped cost group is a registry bug, not input.
+	for _, id := range predict.AllArchs() {
+		if _, err := ForArch(id); err != nil {
+			t.Errorf("ForArch(%s): %v", id, err)
 		}
 	}
 	if _, err := ForArch("bogus"); err == nil {

@@ -280,31 +280,26 @@ func trynModelFor(arch predict.ArchID) (cost.Model, core.ChainOrder) {
 	return m, order
 }
 
-// variantKeyForTry groups architectures sharing one TryN alignment (both
-// PHTs share the PHT model; both BTBs the BTB model).
-func variantKeyForTry(arch predict.ArchID) string {
-	switch arch {
-	case predict.ArchPHTDirect, predict.ArchPHTGshare:
-		return "try-pht"
-	case predict.ArchBTB64, predict.ArchBTB256:
-		return "try-btb"
-	default:
-		return "try-" + string(arch)
+// costGroupOf returns an architecture's registry cost group: the key that
+// groups architectures sharing one model-guided alignment (both PHTs share
+// the PHT model, both BTBs the BTB model, both tagged predictors the
+// tagged model). Architectures reaching the variant builder have already
+// been validated, so an unregistered id is an internal invariant breach.
+func costGroupOf(arch predict.ArchID) string {
+	d, ok := predict.Lookup(arch)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unregistered architecture %q", arch))
 	}
+	return string(d.CostGroup)
 }
+
+// variantKeyForTry groups architectures sharing one TryN alignment, keyed
+// by the registry's cost group.
+func variantKeyForTry(arch predict.ArchID) string { return "try-" + costGroupOf(arch) }
 
 // variantKeyForCost groups architectures sharing one Cost alignment, with
 // the same model sharing as the TryN columns.
-func variantKeyForCost(arch predict.ArchID) string {
-	switch arch {
-	case predict.ArchPHTDirect, predict.ArchPHTGshare:
-		return "cost-pht"
-	case predict.ArchBTB64, predict.ArchBTB256:
-		return "cost-btb"
-	default:
-		return "cost-" + string(arch)
-	}
-}
+func variantKeyForCost(arch predict.ArchID) string { return "cost-" + costGroupOf(arch) }
 
 // variantKeyForGreedy: the paper lays Greedy chains hottest-first for every
 // simulation except BT/FNT, which uses the Pettis-Hansen precedence order.

@@ -53,7 +53,7 @@ func TestKernelMatchesReferenceGrid(t *testing.T) {
 // architecture, the flat kernel's per-site penalty counts equal the
 // reference simulator's exactly.
 func TestKernelPerSiteParityAcrossGrid(t *testing.T) {
-	archs := append(predict.AllArchs(), predict.ArchPHTLocal)
+	archs := predict.AllArchs()
 	for _, name := range kernelWorkloads {
 		t.Run(name, func(t *testing.T) {
 			cfg := fastCfg(name)

@@ -78,7 +78,7 @@ func TestStreamMatchesRecordedSynthetic(t *testing.T) {
 // yields per-site cycle maps equal to the reference SiteRecorder replaying
 // the recorded trace.
 func TestStreamPerSiteParityAcrossGrid(t *testing.T) {
-	archs := append(predict.AllArchs(), predict.ArchPHTLocal)
+	archs := predict.AllArchs()
 	for _, name := range kernelWorkloads {
 		t.Run(name, func(t *testing.T) {
 			cfg := fastCfg(name)

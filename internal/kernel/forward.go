@@ -33,7 +33,7 @@ func (k *Kernel) ForwardBatch(b *trace.Batch) error {
 	switch k.class {
 	case classBTB:
 		err = k.forwardBTBBatch(b)
-	case classPHTDirect, classPHTGshare, classPHTLocal:
+	case classPHTDirect, classPHTGshare, classPHTLocal, classTAGE, classPerceptron:
 		err = k.forwardPHTBatch(b)
 	default:
 		err = k.forwardStaticBatch(b)
@@ -79,9 +79,13 @@ func (k *Kernel) forwardStaticBatch(b *trace.Batch) error {
 	return nil
 }
 
-// forwardPHTBatch forwards the pattern-history-table architectures: 2-bit
-// counter training, global/local history shifts and the return stack, with
-// all charging skipped.
+// forwardPHTBatch forwards the trained direction-predictor architectures
+// (PHTs, TAGE, hashed perceptron): counter/weight training, global/local
+// history shifts and the return stack, with all charging skipped. The
+// tagged predictors' update rules depend on their own prediction (useful
+// bits, training margin), so forwarding drives the same predict-and-update
+// core the run path does — the state evolution is identical by
+// construction, only the tallies are dropped.
 func (k *Kernel) forwardPHTBatch(b *trace.Batch) error {
 	var (
 		sites    = k.sites
@@ -128,6 +132,18 @@ loop:
 					bit = 1
 				}
 				hists[lslot] = ((hists[lslot] << 1) | bit) & histMask
+			case classTAGE:
+				var tbit uint8
+				if taken {
+					tbit = 1
+				}
+				k.tage.UpdateBit(sites[si].PC/ir.InstrBytes, tbit)
+			case classPerceptron:
+				var tbit uint8
+				if taken {
+					tbit = 1
+				}
+				k.perc.UpdateBit(sites[si].PC/ir.InstrBytes, tbit)
 			}
 		case ir.Call:
 			k.rasPush(sites[si].Fall)

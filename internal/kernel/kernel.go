@@ -47,6 +47,8 @@ const (
 	classPHTGshare
 	classPHTLocal
 	classBTB
+	classTAGE
+	classPerceptron
 )
 
 // Site describes one static control-transfer instruction of the compiled
@@ -134,6 +136,12 @@ type Kernel struct {
 	btbCtr     []predict.Counter2
 	btbTick    uint64
 
+	// Tagged-predictor state (classTAGE / classPerceptron): the predictor
+	// core shared with the reference simulator, driven through its
+	// slot/bit methods so both executors evolve identical state.
+	tage *predict.TAGE
+	perc *predict.HashedPerceptron
+
 	// Return stack (all classes), replicating predict.ReturnStack.
 	ras      [predict.ReturnStackDepth]uint64
 	rasTop   int
@@ -147,25 +155,40 @@ type Kernel struct {
 // SlotShift because the slot table now lives there.
 const siteShift = trace.SlotShift
 
-// classFor maps an architecture id to its devirtualized class.
-func classFor(arch predict.ArchID) (class, error) {
-	switch arch {
-	case predict.ArchFallthrough:
-		return classFallthrough, nil
-	case predict.ArchBTFNT:
-		return classBTFNT, nil
-	case predict.ArchLikely:
-		return classLikely, nil
-	case predict.ArchPHTDirect:
-		return classPHTDirect, nil
-	case predict.ArchPHTGshare:
-		return classPHTGshare, nil
-	case predict.ArchPHTLocal:
-		return classPHTLocal, nil
-	case predict.ArchBTB64, predict.ArchBTB256:
-		return classBTB, nil
+// classFor resolves an architecture's registry descriptor and maps its
+// kernel kind to the devirtualized class. The registry is the single
+// source of the architecture set: an id the registry doesn't know cannot
+// compile, and one it does know carries its own table geometry, so adding
+// an architecture never touches this switch unless it needs a genuinely
+// new inner-loop shape.
+func classFor(arch predict.ArchID) (class, predict.Desc, error) {
+	d, ok := predict.Lookup(arch)
+	if !ok {
+		return 0, predict.Desc{}, fmt.Errorf("kernel: unknown architecture %q (known: %v)",
+			arch, predict.KnownArchNames())
+	}
+	switch d.Kernel.Kind {
+	case predict.KernelFallthrough:
+		return classFallthrough, d, nil
+	case predict.KernelBTFNT:
+		return classBTFNT, d, nil
+	case predict.KernelLikely:
+		return classLikely, d, nil
+	case predict.KernelPHTDirect:
+		return classPHTDirect, d, nil
+	case predict.KernelPHTGshare:
+		return classPHTGshare, d, nil
+	case predict.KernelPHTLocal:
+		return classPHTLocal, d, nil
+	case predict.KernelBTB:
+		return classBTB, d, nil
+	case predict.KernelTAGE:
+		return classTAGE, d, nil
+	case predict.KernelPerceptron:
+		return classPerceptron, d, nil
 	default:
-		return 0, fmt.Errorf("kernel: unknown architecture %q", arch)
+		return 0, predict.Desc{}, fmt.Errorf("kernel: architecture %q has unsupported kernel kind %d",
+			arch, d.Kernel.Kind)
 	}
 }
 
@@ -201,7 +224,7 @@ func CompileArch(lay *trace.Layout, prog *ir.Program, prof *profile.Profile, arc
 	if lay == nil {
 		return nil, fmt.Errorf("kernel: nil layout")
 	}
-	cls, err := classFor(arch)
+	cls, desc, err := classFor(arch)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +250,9 @@ func CompileArch(lay *trace.Layout, prog *ir.Program, prof *profile.Profile, arc
 		k.fallOf[i] = s.Fall
 	}
 
-	// Architecture state.
+	// Architecture state, sized by the registry descriptor's kernel spec —
+	// the same geometry source the reference constructors read.
+	spec := desc.Kernel
 	switch cls {
 	case classFallthrough:
 		k.predOf = make([]uint8, n)
@@ -243,18 +268,15 @@ func CompileArch(lay *trace.Layout, prog *ir.Program, prof *profile.Profile, arc
 		k.predOf = make([]uint8, n)
 		k.compileLikely(prog, prof)
 	case classPHTDirect, classPHTGshare:
-		k.counters = newCounters(4096)
-		k.mask = 4095
+		k.counters = newCounters(spec.PHTEntries)
+		k.mask = uint64(spec.PHTEntries - 1)
 	case classPHTLocal:
-		k.histories = make([]uint16, 1024)
-		k.counters = newCounters(4096)
-		k.histMask = 4095
-		k.idxMask = 1023
+		k.histories = make([]uint16, spec.LocalHistEntries)
+		k.counters = newCounters(spec.PHTEntries)
+		k.histMask = uint16(spec.PHTEntries - 1)
+		k.idxMask = uint64(spec.LocalHistEntries - 1)
 	case classBTB:
-		entries, ways := 64, 2
-		if arch == predict.ArchBTB256 {
-			entries, ways = 256, 4
-		}
+		entries, ways := spec.BTBEntries, spec.BTBWays
 		k.btbSets = entries / ways
 		k.btbSetMask = uint64(k.btbSets - 1)
 		k.btbWays = ways
@@ -266,6 +288,10 @@ func CompileArch(lay *trace.Layout, prog *ir.Program, prof *profile.Profile, arc
 		for i := range k.sites {
 			k.takenOf[i] = k.sites[i].TakenTarget
 		}
+	case classTAGE:
+		k.tage = predict.NewTAGE(spec.TAGE)
+	case classPerceptron:
+		k.perc = predict.NewHashedPerceptron(spec.Perceptron)
 	}
 
 	rec.AddSince("kernel.compile_ns", start)
@@ -397,5 +423,11 @@ func (k *Kernel) Reset() {
 		k.btbCtr[i] = 0
 	}
 	k.btbTick = 0
+	if k.tage != nil {
+		k.tage.Reset()
+	}
+	if k.perc != nil {
+		k.perc.Reset()
+	}
 	k.rasTop, k.rasDepth = 0, 0
 }

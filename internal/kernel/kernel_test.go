@@ -12,10 +12,10 @@ import (
 	"balign/internal/trace"
 )
 
-// allArchs is every architecture the kernel must match the reference on,
-// including the ArchPHTLocal extension.
+// allArchs is every architecture the kernel must match the reference on:
+// the full registry, paper grids plus extensions.
 func allArchs() []predict.ArchID {
-	return append(predict.AllArchs(), predict.ArchPHTLocal)
+	return predict.AllArchs()
 }
 
 // mustAssemble builds and lays out a test program.

@@ -126,6 +126,14 @@ func (k *Kernel) runDirection(events []trace.Event) error {
 				pred = c.Taken()
 				counters[h] = counterStepBit(c, tbit)
 				hists[lslot] = ((hists[lslot] << 1) | uint16(tbit)) & histMask
+			case classTAGE:
+				slot := ev.PC / ir.InstrBytes
+				pred = k.tage.PredictBit(slot) != 0
+				k.tage.UpdateBit(slot, tbit)
+			case classPerceptron:
+				slot := ev.PC / ir.InstrBytes
+				pred = k.perc.PredictBit(slot) != 0
+				k.perc.UpdateBit(slot, tbit)
 			}
 			if pred == taken {
 				res.CondCorrect++

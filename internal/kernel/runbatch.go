@@ -26,7 +26,7 @@ func (k *Kernel) RunBatch(b *trace.Batch) error {
 	switch k.class {
 	case classBTB:
 		err = k.runBTBBatch(b)
-	case classPHTDirect, classPHTGshare, classPHTLocal:
+	case classPHTDirect, classPHTGshare, classPHTLocal, classTAGE, classPerceptron:
 		err = k.runDirectionBatch(b)
 	default:
 		err = k.runStaticBatch(b)
@@ -140,12 +140,14 @@ loop:
 	return retErr
 }
 
-// runDirectionBatch is the packed-op twin of runDirection for the
-// pattern-history-table architectures: the same charging rules and
-// predictor updates, with every per-event load drawn from the compact
-// per-site tables (one-byte kind validation, PC slots) and the
-// conditional-branch accounting fully branchless — per event the only
-// unpredictable branches left are the kind dispatch itself.
+// runDirectionBatch is the packed-op twin of runDirection for the trained
+// direction-predictor architectures (the PHTs plus the tagged TAGE and
+// hashed-perceptron predictors): the same charging rules and predictor
+// updates, with every per-event load drawn from the compact per-site
+// tables (one-byte kind validation, PC slots) and the conditional-branch
+// accounting fully branchless — per event the only unpredictable branches
+// left are the kind dispatch itself and, for the tagged classes, the
+// predictor core's own table scans.
 func (k *Kernel) runDirectionBatch(b *trace.Batch) error {
 	var (
 		kindOf   = k.kindOf
@@ -160,6 +162,8 @@ func (k *Kernel) runDirectionBatch(b *trace.Batch) error {
 		hists    = k.histories
 		histMask = k.histMask
 		idxMask  = k.idxMask
+		tage     = k.tage
+		perc     = k.perc
 		targets  = b.Targets
 		tcur     = 0
 		retErr   error
@@ -214,6 +218,12 @@ loop:
 				pbit = uint8(cc) >> 1
 				counters[h] = counterStepBit(cc, tbit)
 				hists[lslot] = ((hists[lslot] << 1) | uint16(tbit)) & histMask
+			case classTAGE:
+				pbit = tage.PredictBit(slotOf[si])
+				tage.UpdateBit(slotOf[si], tbit)
+			case classPerceptron:
+				pbit = perc.PredictBit(slotOf[si])
+				perc.UpdateBit(slotOf[si], tbit)
 			}
 			// Branchless charging: eq = predicted correctly; a correct
 			// taken conditional misfetches, a wrong one mispredicts.

@@ -2,7 +2,6 @@ package predict
 
 import (
 	"fmt"
-	"sort"
 
 	"balign/internal/ir"
 	"balign/internal/profile"
@@ -210,47 +209,72 @@ const (
 	ArchBTB256      ArchID = "btb256"
 )
 
-// StaticArchs lists the static architectures (Table 3) in paper order.
-func StaticArchs() []ArchID { return []ArchID{ArchFallthrough, ArchBTFNT, ArchLikely} }
+// The paper architectures' registry entries. Geometry lives in each
+// descriptor's KernelSpec and the reference constructors read it from
+// there, so the simulated table sizes have exactly one source.
+func init() {
+	Register(Desc{
+		ID: ArchFallthrough, Class: ClassStatic, Grid: GridStatic, Order: 0,
+		CostGroup: CostFallthrough,
+		Kernel:    KernelSpec{Kind: KernelFallthrough},
+		New: func(*ir.Program, *profile.Profile) (Simulator, error) {
+			return NewStaticSim(Fallthrough{}), nil
+		},
+	})
+	Register(Desc{
+		ID: ArchBTFNT, Class: ClassStatic, Grid: GridStatic, Order: 1,
+		CostGroup: CostBTFNT,
+		Kernel:    KernelSpec{Kind: KernelBTFNT},
+		New: func(*ir.Program, *profile.Profile) (Simulator, error) {
+			return NewStaticSim(BTFNT{}), nil
+		},
+	})
+	Register(Desc{
+		ID: ArchLikely, Class: ClassStatic, Grid: GridStatic, Order: 2,
+		CostGroup: CostLikely,
+		Kernel:    KernelSpec{Kind: KernelLikely},
+		New: func(prog *ir.Program, prof *profile.Profile) (Simulator, error) {
+			if prog == nil || prof == nil {
+				return nil, fmt.Errorf("predict: LIKELY architecture requires a program and profile")
+			}
+			return NewStaticSim(NewLikely(prog, prof)), nil
+		},
+	})
 
-// DynamicArchs lists the dynamic architectures (Table 4) in paper order.
-func DynamicArchs() []ArchID {
-	return []ArchID{ArchPHTDirect, ArchPHTGshare, ArchBTB64, ArchBTB256}
-}
-
-// AllArchs lists every architecture in paper order.
-func AllArchs() []ArchID { return append(StaticArchs(), DynamicArchs()...) }
-
-// NewSimulator constructs the named architecture simulator. The LIKELY
-// architecture needs the program layout and a profile of it to derive the
-// per-site hint bits; the other architectures ignore both arguments.
-func NewSimulator(id ArchID, prog *ir.Program, prof *profile.Profile) (Simulator, error) {
-	switch id {
-	case ArchFallthrough:
-		return NewStaticSim(Fallthrough{}), nil
-	case ArchBTFNT:
-		return NewStaticSim(BTFNT{}), nil
-	case ArchLikely:
-		if prog == nil || prof == nil {
-			return nil, fmt.Errorf("predict: LIKELY architecture requires a program and profile")
-		}
-		return NewStaticSim(NewLikely(prog, prof)), nil
-	case ArchPHTDirect:
-		return NewStaticSim(NewDirectPHT(4096)), nil
-	case ArchPHTGshare:
-		return NewStaticSim(NewGsharePHT(4096)), nil
-	case ArchPHTLocal:
-		return NewStaticSim(NewLocalPHT(1024, 4096)), nil
-	case ArchBTB64:
-		return NewBTBSim(64, 2), nil
-	case ArchBTB256:
-		return NewBTBSim(256, 4), nil
-	default:
-		ids := make([]string, 0, len(AllArchs()))
-		for _, a := range AllArchs() {
-			ids = append(ids, string(a))
-		}
-		sort.Strings(ids)
-		return nil, fmt.Errorf("predict: unknown architecture %q (known: %v)", id, ids)
-	}
+	direct := KernelSpec{Kind: KernelPHTDirect, PHTEntries: 4096}
+	Register(Desc{
+		ID: ArchPHTDirect, Class: ClassPHT, Grid: GridDynamic, Order: 0,
+		CostGroup: CostPHT,
+		Kernel:    direct,
+		New: func(*ir.Program, *profile.Profile) (Simulator, error) {
+			return NewStaticSim(NewDirectPHT(direct.PHTEntries)), nil
+		},
+	})
+	gshare := KernelSpec{Kind: KernelPHTGshare, PHTEntries: 4096}
+	Register(Desc{
+		ID: ArchPHTGshare, Class: ClassPHT, Grid: GridDynamic, Order: 1,
+		CostGroup: CostPHT,
+		Kernel:    gshare,
+		New: func(*ir.Program, *profile.Profile) (Simulator, error) {
+			return NewStaticSim(NewGsharePHT(gshare.PHTEntries)), nil
+		},
+	})
+	btb64 := KernelSpec{Kind: KernelBTB, BTBEntries: 64, BTBWays: 2}
+	Register(Desc{
+		ID: ArchBTB64, Class: ClassBTB, Grid: GridDynamic, Order: 2,
+		CostGroup: CostBTB,
+		Kernel:    btb64,
+		New: func(*ir.Program, *profile.Profile) (Simulator, error) {
+			return NewBTBSim(btb64.BTBEntries, btb64.BTBWays), nil
+		},
+	})
+	btb256 := KernelSpec{Kind: KernelBTB, BTBEntries: 256, BTBWays: 4}
+	Register(Desc{
+		ID: ArchBTB256, Class: ClassBTB, Grid: GridDynamic, Order: 3,
+		CostGroup: CostBTB,
+		Kernel:    btb256,
+		New: func(*ir.Program, *profile.Profile) (Simulator, error) {
+			return NewBTBSim(btb256.BTBEntries, btb256.BTBWays), nil
+		},
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"balign/internal/ir"
+	"balign/internal/profile"
 	"balign/internal/trace"
 )
 
@@ -85,5 +86,14 @@ func (p *LocalPHT) Reset() {
 // 4096-entry pattern table).
 const ArchPHTLocal ArchID = "pht-local"
 
-// ExtensionArchs lists architectures beyond the paper's tables.
-func ExtensionArchs() []ArchID { return []ArchID{ArchPHTLocal} }
+func init() {
+	spec := KernelSpec{Kind: KernelPHTLocal, PHTEntries: 4096, LocalHistEntries: 1024}
+	Register(Desc{
+		ID: ArchPHTLocal, Class: ClassPHT, Grid: GridExtension, Order: 0,
+		CostGroup: CostPHT,
+		Kernel:    spec,
+		New: func(*ir.Program, *profile.Profile) (Simulator, error) {
+			return NewStaticSim(NewLocalPHT(spec.LocalHistEntries, spec.PHTEntries)), nil
+		},
+	})
+}

@@ -1,0 +1,247 @@
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"balign/internal/ir"
+	"balign/internal/profile"
+)
+
+// Class is the hardware family of an architecture: the coarse discriminant
+// the documentation and reports group by.
+type Class uint8
+
+const (
+	// ClassStatic architectures predict every conditional with a fixed
+	// per-site direction bit (FALLTHROUGH, BT/FNT, LIKELY).
+	ClassStatic Class = iota
+	// ClassPHT architectures train pattern-history-table counters
+	// (direct-mapped, gshare, PAg).
+	ClassPHT
+	// ClassBTB architectures predict through a branch target buffer.
+	ClassBTB
+	// ClassTagged architectures are the modern history-based predictors
+	// (TAGE, hashed perceptron).
+	ClassTagged
+)
+
+// String returns the class's report label.
+func (c Class) String() string {
+	switch c {
+	case ClassStatic:
+		return "static"
+	case ClassPHT:
+		return "pht"
+	case ClassBTB:
+		return "btb"
+	case ClassTagged:
+		return "tagged"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Grid says which evaluation grid an architecture belongs to. Every
+// registered architecture is a member of exactly one grid; the registry
+// enforces it and the completeness tests pin it.
+type Grid uint8
+
+const (
+	// GridStatic is the paper's Table 3 (static architectures).
+	GridStatic Grid = iota
+	// GridDynamic is the paper's Table 4 (dynamic architectures).
+	GridDynamic
+	// GridExtension holds architectures beyond the paper's tables.
+	GridExtension
+)
+
+// String returns the grid's report label.
+func (g Grid) String() string {
+	switch g {
+	case GridStatic:
+		return "static"
+	case GridDynamic:
+		return "dynamic"
+	case GridExtension:
+		return "extension"
+	}
+	return fmt.Sprintf("grid(%d)", uint8(g))
+}
+
+// CostGroup keys an architecture's alignment cost model (cost.ForArch maps
+// each group to one Model) and groups the architectures that share one
+// model-guided alignment variant — the paper aligns once per model, not
+// once per architecture, so both PHTs share a layout and both BTBs do.
+type CostGroup string
+
+const (
+	CostFallthrough CostGroup = "fallthrough"
+	CostBTFNT       CostGroup = "btfnt"
+	CostLikely      CostGroup = "likely"
+	CostPHT         CostGroup = "pht"
+	CostBTB         CostGroup = "btb"
+	CostTagged      CostGroup = "tagged"
+)
+
+// KernelKind names the compiled kernel's devirtualized inner-loop shape for
+// an architecture. internal/kernel maps each kind to its specialized batch
+// loop; the rest of the compiled state (table geometry, predictor configs)
+// comes from the KernelSpec carrying the kind.
+type KernelKind uint8
+
+const (
+	KernelFallthrough KernelKind = iota
+	KernelBTFNT
+	KernelLikely
+	KernelPHTDirect
+	KernelPHTGshare
+	KernelPHTLocal
+	KernelBTB
+	KernelTAGE
+	KernelPerceptron
+)
+
+// KernelSpec is the declarative half of an architecture's compiled-kernel
+// builder: everything internal/kernel needs to materialize the flat
+// predictor state. Adding a new geometry of an existing kind (say a larger
+// BTB) is a registry entry, not a kernel change.
+type KernelSpec struct {
+	Kind KernelKind
+
+	// PHTEntries sizes the 2-bit counter table of the PHT kinds.
+	PHTEntries int
+	// LocalHistEntries sizes the per-branch history table of KernelPHTLocal.
+	LocalHistEntries int
+
+	// BTBEntries/BTBWays are the KernelBTB geometry.
+	BTBEntries int
+	BTBWays    int
+
+	// TAGE configures a KernelTAGE predictor.
+	TAGE TAGEConfig
+	// Perceptron configures a KernelPerceptron predictor.
+	Perceptron PerceptronConfig
+}
+
+// Desc is one architecture's registry entry: the single place its class,
+// grid membership, paper order, cost-model rules, reference-simulator
+// constructor and compiled-kernel spec live. predict, kernel, cost,
+// experiments, serve and the CLIs all derive their architecture lists and
+// dispatch from these descriptors.
+type Desc struct {
+	ID    ArchID
+	Class Class
+	Grid  Grid
+	// Order is the architecture's position within its grid (paper order
+	// for the paper grids); the list functions sort by (Grid, Order).
+	Order int
+	// CostGroup selects the alignment cost model and the shared
+	// model-guided alignment variant.
+	CostGroup CostGroup
+	// New constructs the reference simulator. The LIKELY architecture
+	// needs the program and its profile; other architectures ignore both.
+	New func(prog *ir.Program, prof *profile.Profile) (Simulator, error)
+	// Kernel describes the compiled form for internal/kernel.
+	Kernel KernelSpec
+}
+
+var registry = make(map[ArchID]*Desc)
+
+// Register adds an architecture descriptor. It panics on a duplicate ID, a
+// nil constructor, or a duplicate (Grid, Order) slot — registration happens
+// at init time, so any of these is a programming error, not input.
+func Register(d Desc) {
+	if d.ID == "" {
+		panic("predict: Register with empty ArchID")
+	}
+	if d.New == nil {
+		panic(fmt.Sprintf("predict: Register(%s) with nil constructor", d.ID))
+	}
+	if _, dup := registry[d.ID]; dup {
+		panic(fmt.Sprintf("predict: duplicate architecture %q", d.ID))
+	}
+	for _, other := range registry {
+		if other.Grid == d.Grid && other.Order == d.Order {
+			panic(fmt.Sprintf("predict: %q and %q share grid slot (%v, %d)",
+				other.ID, d.ID, d.Grid, d.Order))
+		}
+	}
+	dd := d
+	registry[d.ID] = &dd
+}
+
+// Lookup returns the descriptor registered for id.
+func Lookup(id ArchID) (Desc, bool) {
+	d, ok := registry[id]
+	if !ok {
+		return Desc{}, false
+	}
+	return *d, true
+}
+
+// Registered returns every descriptor in canonical order (grid, then
+// within-grid order).
+func Registered() []Desc {
+	out := make([]Desc, 0, len(registry))
+	for _, d := range registry {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Grid != out[j].Grid {
+			return out[i].Grid < out[j].Grid
+		}
+		return out[i].Order < out[j].Order
+	})
+	return out
+}
+
+// archsInGrid lists one grid's architectures in paper order.
+func archsInGrid(g Grid) []ArchID {
+	var out []ArchID
+	for _, d := range Registered() {
+		if d.Grid == g {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}
+
+// StaticArchs lists the static architectures (Table 3) in paper order.
+func StaticArchs() []ArchID { return archsInGrid(GridStatic) }
+
+// DynamicArchs lists the dynamic architectures (Table 4) in paper order.
+func DynamicArchs() []ArchID { return archsInGrid(GridDynamic) }
+
+// ExtensionArchs lists architectures beyond the paper's tables.
+func ExtensionArchs() []ArchID { return archsInGrid(GridExtension) }
+
+// PaperArchs lists the paper-grid architectures (Tables 3 and 4) in paper
+// order.
+func PaperArchs() []ArchID { return append(StaticArchs(), DynamicArchs()...) }
+
+// AllArchs lists every registered architecture: the paper grids in paper
+// order followed by the extensions.
+func AllArchs() []ArchID { return append(PaperArchs(), ExtensionArchs()...) }
+
+// KnownArchNames returns every registered architecture id as a sorted
+// string list, for error messages and CLI help text.
+func KnownArchNames() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// NewSimulator constructs the named architecture's reference simulator from
+// its registry descriptor. The LIKELY architecture needs the program layout
+// and a profile of it to derive the per-site hint bits; the other
+// architectures ignore both arguments.
+func NewSimulator(id ArchID, prog *ir.Program, prof *profile.Profile) (Simulator, error) {
+	d, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("predict: unknown architecture %q (known: %v)", id, KnownArchNames())
+	}
+	return d.New(prog, prof)
+}

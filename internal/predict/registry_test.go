@@ -1,0 +1,104 @@
+package predict
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"balign/internal/ir"
+	"balign/internal/profile"
+)
+
+// TestAllArchsCoversRegistry is the regression test for the bug where
+// AllArchs omitted pht-local even though NewSimulator accepted it: the
+// canonical list is now derived from the registry, so every registered
+// architecture — extensions included — must appear exactly once.
+func TestAllArchsCoversRegistry(t *testing.T) {
+	all := AllArchs()
+	seen := map[ArchID]int{}
+	for _, id := range all {
+		seen[id]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("AllArchs lists %q %d times", id, n)
+		}
+	}
+	for _, id := range []ArchID{ArchPHTLocal, ArchTAGE, ArchPerceptron} {
+		if seen[id] != 1 {
+			t.Errorf("AllArchs omits extension architecture %q", id)
+		}
+	}
+	if want := len(StaticArchs()) + len(DynamicArchs()) + len(ExtensionArchs()); len(all) != want {
+		t.Errorf("len(AllArchs) = %d, want static+dynamic+extension = %d", len(all), want)
+	}
+	if want := len(KnownArchNames()); len(all) != want {
+		t.Errorf("len(AllArchs) = %d, want %d registered architectures", len(all), want)
+	}
+}
+
+// TestPaperArchsMatchTables pins the paper grids: Tables 3 and 4 in paper
+// order, with the extensions excluded.
+func TestPaperArchsMatchTables(t *testing.T) {
+	wantStatic := []ArchID{ArchFallthrough, ArchBTFNT, ArchLikely}
+	if got := StaticArchs(); !reflect.DeepEqual(got, wantStatic) {
+		t.Errorf("StaticArchs = %v, want %v", got, wantStatic)
+	}
+	wantDynamic := []ArchID{ArchPHTDirect, ArchPHTGshare, ArchBTB64, ArchBTB256}
+	if got := DynamicArchs(); !reflect.DeepEqual(got, wantDynamic) {
+		t.Errorf("DynamicArchs = %v, want %v", got, wantDynamic)
+	}
+	if got := PaperArchs(); !reflect.DeepEqual(got, append(wantStatic, wantDynamic...)) {
+		t.Errorf("PaperArchs = %v, want Tables 3+4", got)
+	}
+	for _, id := range PaperArchs() {
+		d, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("paper architecture %q not registered", id)
+		}
+		if d.Grid == GridExtension {
+			t.Errorf("paper architecture %q registered in the extension grid", id)
+		}
+	}
+}
+
+// TestUnknownArchErrorListsRegistry checks the NewSimulator error names the
+// full registry, extensions included — the original omission surfaced as an
+// error message listing an incomplete known set.
+func TestUnknownArchErrorListsRegistry(t *testing.T) {
+	_, err := NewSimulator("no-such-arch", nil, nil)
+	if err == nil {
+		t.Fatal("NewSimulator accepted an unknown architecture")
+	}
+	for _, name := range KnownArchNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered architecture %q", err, name)
+		}
+	}
+}
+
+// TestRegisterRejectsBadDescriptors pins the registry's init-time
+// invariants: duplicate ids, empty ids, nil constructors and duplicate grid
+// slots all panic.
+func TestRegisterRejectsBadDescriptors(t *testing.T) {
+	newOK := func(*ir.Program, *profile.Profile) (Simulator, error) { return nil, nil }
+	cases := []struct {
+		name string
+		d    Desc
+	}{
+		{"empty id", Desc{New: newOK}},
+		{"nil constructor", Desc{ID: "x-nil"}},
+		{"duplicate id", Desc{ID: ArchFallthrough, Grid: GridExtension, Order: 99, New: newOK}},
+		{"duplicate slot", Desc{ID: "x-slot", Grid: GridStatic, Order: 0, New: newOK}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%s) did not panic", tc.name)
+				}
+			}()
+			Register(tc.d)
+		})
+	}
+}

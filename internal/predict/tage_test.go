@@ -1,0 +1,119 @@
+package predict
+
+import "testing"
+
+// tinyTAGE is a small geometry that exercises allocation and aging quickly.
+var tinyTAGE = TAGEConfig{
+	BaseEntries:  64,
+	TableEntries: 64,
+	TagBits:      7,
+	HistLens:     []uint{3, 7, 15, 31},
+}
+
+// patternAccuracy drives the predictor at one slot through reps of the
+// pattern and returns the accuracy over the final rep — the pattern period
+// bounds the history a predictor needs to learn it.
+func patternAccuracy(upd interface {
+	PredictBit(uint64) uint8
+	UpdateBit(uint64, uint8)
+}, slot uint64, pattern []uint8, reps int) float64 {
+	correct, total := 0, 0
+	for r := 0; r < reps; r++ {
+		for _, taken := range pattern {
+			if r == reps-1 {
+				if upd.PredictBit(slot) == taken {
+					correct++
+				}
+				total++
+			}
+			upd.UpdateBit(slot, taken)
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+// TestTAGELearnsHistoryPattern checks TAGE learns a periodic direction
+// pattern a history-free bimodal counter cannot: alternating T/N converges
+// to perfect prediction once a tagged table keys on the history.
+func TestTAGELearnsHistoryPattern(t *testing.T) {
+	tage := NewTAGE(tinyTAGE)
+	if acc := patternAccuracy(tage, 7, []uint8{1, 0}, 200); acc != 1.0 {
+		t.Errorf("TAGE accuracy on alternating pattern = %v, want 1.0", acc)
+	}
+	tage.Reset()
+	if acc := patternAccuracy(tage, 7, []uint8{1, 1, 0, 1, 0, 0, 1, 0}, 400); acc < 0.9 {
+		t.Errorf("TAGE accuracy on period-8 pattern = %v, want >= 0.9", acc)
+	}
+}
+
+// TestTAGEPredictIsPure checks PredictBit mutates nothing: interleaving
+// predictions with updates evolves the state exactly as updates alone do.
+func TestTAGEPredictIsPure(t *testing.T) {
+	a, b := NewTAGE(tinyTAGE), NewTAGE(tinyTAGE)
+	seq := []struct {
+		slot  uint64
+		taken uint8
+	}{}
+	for i := 0; i < 500; i++ {
+		seq = append(seq, struct {
+			slot  uint64
+			taken uint8
+		}{uint64(i*13) % 97, uint8(i*i) % 2})
+	}
+	for _, s := range seq {
+		for k := 0; k < 3; k++ {
+			a.PredictBit(s.slot) // extra reads must not perturb the state
+		}
+		a.UpdateBit(s.slot, s.taken)
+		b.UpdateBit(s.slot, s.taken)
+	}
+	for _, s := range seq {
+		if a.PredictBit(s.slot) != b.PredictBit(s.slot) {
+			t.Fatalf("state diverged at slot %d: PredictBit is not pure", s.slot)
+		}
+	}
+	if a.History() != b.History() {
+		t.Fatalf("history diverged: %#x vs %#x", a.History(), b.History())
+	}
+}
+
+// TestTAGEResetRestoresInitialState checks a reset predictor replays a
+// sequence exactly as a fresh one does.
+func TestTAGEResetRestoresInitialState(t *testing.T) {
+	warm := NewTAGE(tinyTAGE)
+	for i := 0; i < 1000; i++ {
+		warm.UpdateBit(uint64(i%53), uint8((i/3)%2))
+	}
+	warm.Reset()
+	fresh := NewTAGE(tinyTAGE)
+	for i := 0; i < 300; i++ {
+		slot, taken := uint64(i*7)%53, uint8(i%3%2)
+		if got, want := warm.PredictBit(slot), fresh.PredictBit(slot); got != want {
+			t.Fatalf("step %d: reset predictor predicts %d, fresh predicts %d", i, got, want)
+		}
+		warm.UpdateBit(slot, taken)
+		fresh.UpdateBit(slot, taken)
+	}
+}
+
+// TestFoldHist pins the XOR-fold hash on hand-computed cases.
+func TestFoldHist(t *testing.T) {
+	cases := []struct {
+		h            uint64
+		length, bits uint
+		want         uint64
+	}{
+		{0, 10, 4, 0},
+		{0b1111, 4, 4, 0b1111},
+		{0b11110000, 8, 4, 0b1111 ^ 0b0000},
+		{0b101101, 6, 3, 0b101 ^ 0b101},
+		{^uint64(0), 8, 4, 0},  // two identical nibbles cancel
+		{^uint64(0), 64, 1, 0}, // 64 ones fold to parity 0
+		{0xABCD, 8, 8, 0xCD},   // length masks off the high byte
+	}
+	for _, c := range cases {
+		if got := foldHist(c.h, c.length, c.bits); got != c.want {
+			t.Errorf("foldHist(%#x, %d, %d) = %#x, want %#x", c.h, c.length, c.bits, got, c.want)
+		}
+	}
+}

@@ -166,8 +166,9 @@ func parseSimulateRequest(body []byte) (any, *apiError) {
 	}
 	seen := make(map[string]bool)
 	for _, a := range req.Archs {
-		if _, err := cost.ForArch(predict.ArchID(a)); err != nil || a == string(predict.ArchPHTLocal) {
-			return nil, badRequest("bad_request", "unknown architecture %q", a)
+		if _, ok := predict.Lookup(predict.ArchID(a)); !ok {
+			return nil, badRequest("bad_request", "unknown architecture %q (known: %s)",
+				a, strings.Join(predict.KnownArchNames(), ", "))
 		}
 		if seen[a] {
 			return nil, badRequest("bad_request", "duplicate architecture %q", a)
@@ -397,9 +398,10 @@ func buildInlineVariants(ctx context.Context, prog *ir.Program, pf *profile.Prof
 	}
 	// Variant grouping mirrors the suite: Greedy lays chains hottest-first
 	// except for BT/FNT (Pettis-Hansen precedence order); Cost and Try15
-	// align under each architecture's cost model, with both PHTs and both
-	// BTBs sharing theirs; ExtTSP's objective is architecture-independent,
-	// so one variant serves every architecture.
+	// align under each architecture's cost model, with architectures that
+	// share a cost group in the registry (both PHTs, both BTBs, both tagged
+	// predictors) sharing one variant; ExtTSP's objective is
+	// architecture-independent, so one variant serves every architecture.
 	keyFor := func(algo string, arch predict.ArchID) string {
 		switch algo {
 		case "orig":
@@ -412,14 +414,9 @@ func buildInlineVariants(ctx context.Context, prog *ir.Program, pf *profile.Prof
 			}
 			return "greedy"
 		default:
-			switch arch {
-			case predict.ArchPHTDirect, predict.ArchPHTGshare:
-				return algo + "-pht"
-			case predict.ArchBTB64, predict.ArchBTB256:
-				return algo + "-btb"
-			default:
-				return algo + "-" + string(arch)
-			}
+			// Archs were validated against the registry on request decode.
+			d, _ := predict.Lookup(arch)
+			return algo + "-" + string(d.CostGroup)
 		}
 	}
 	for _, algo := range req.Algos {

@@ -55,7 +55,7 @@ func TestExecutorModesAgree(t *testing.T) {
 		t.Fatalf("Record: %v", err)
 	}
 
-	archs := append(predict.AllArchs(), predict.ArchPHTLocal)
+	archs := predict.AllArchs()
 	results := map[KernelMode][]predict.Result{}
 	for _, mode := range []KernelMode{KernelRef, KernelFlat} {
 		x, err := NewExecutor(string(mode), obs.New("test"))

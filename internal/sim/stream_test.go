@@ -104,7 +104,7 @@ func (f *streamFixture) source(batchCap int) trace.Source {
 // architectures must reproduce per-cell recorded replay exactly.
 func TestSimulateStreamMatchesSimulate(t *testing.T) {
 	f := newStreamFixture(t)
-	archs := append(predict.AllArchs(), predict.ArchPHTLocal)
+	archs := predict.AllArchs()
 	for _, mode := range []KernelMode{KernelFlat, KernelRef} {
 		t.Run(string(mode), func(t *testing.T) {
 			rec := obs.New("test")
