@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify ci staticcheck govulncheck fuzz-smoke serve-smoke suite-smoke benchhost bench bench-suite bench-kernel bench-stream tables report
+.PHONY: build test verify ci staticcheck govulncheck fuzz-smoke serve-smoke load-smoke suite-smoke benchhost bench bench-suite bench-kernel bench-stream bench-serve tables report
 
 # Pinned external analyzer versions; CI installs exactly these, local runs
 # use whatever is on PATH (or skip with a notice).
@@ -34,6 +34,7 @@ ci:
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) load-smoke
 	$(MAKE) suite-smoke
 
 # staticcheck / govulncheck run the pinned external analyzers when present
@@ -72,7 +73,20 @@ fuzz-smoke:
 # asserts a clean graceful drain. Complements the in-process httptest
 # coverage in internal/serve with a real listener + signal path.
 serve-smoke:
-	sh scripts/serve_smoke.sh
+	bash scripts/serve_smoke.sh
+
+# load-smoke is the sharded-serving gate. The race leg runs the router
+# correctness suite with the scheduler forced wide: shard affinity (same
+# cache key -> same shard for N in 1,2,4), byte-identity of routed vs
+# direct responses across all five request encodings, cache-hit survival
+# through sharding, and the drain/fault leg (SIGTERM a backend mid-run,
+# in-flight completes, one retry succeeds, zero dropped). The script leg
+# boots the real process tree (router + 2 shard processes), drives a short
+# closed-loop baload run and asserts clean drain. See DESIGN.md §16.
+load-smoke:
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/serve/router
+	GOMAXPROCS=4 $(GO) test -race -run 'TestVirtualReport' ./internal/load
+	bash scripts/load_smoke.sh
 
 # suite-smoke reruns the multi-core determinism oracles with the Go
 # scheduler forced wide (GOMAXPROCS=4) under the race detector: the
@@ -126,6 +140,13 @@ bench-kernel:
 bench-stream:
 	@$(MAKE) --no-print-directory benchhost
 	$(GO) test -bench 'Benchmark(SuiteStream|WalkerGenerate)' -benchtime 3x -run '^$$' .
+
+# bench-serve regenerates BENCH_serve.json: the single-node saturation
+# sweep plus measured and modeled 1/2/4-shard scaling through the
+# consistent-hash router. See scripts/benchserve for what each phase means
+# and how the 1-CPU caveats are recorded.
+bench-serve:
+	$(GO) run ./scripts/benchserve
 
 tables:
 	$(GO) run ./cmd/baexp -scale 0.2 all

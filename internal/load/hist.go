@@ -1,0 +1,150 @@
+package load
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Latencies below this are stored in exact 1ns buckets; above it, buckets
+// are log-spaced with histSubBits sub-buckets per octave (≈6% relative
+// resolution), which keeps the whole 1ns..2.5h range in under a thousand
+// counters.
+const (
+	histExactMax = 16 // values [0, histExactMax) get exact buckets
+	histSubBits  = 4  // sub-buckets per octave = 1<<histSubBits
+	histExactExp = 4  // log2(histExactMax)
+	histMaxExp   = 43 // top octave ≈ 2.4h — beyond any sane request latency
+	histBuckets  = histExactMax + (histMaxExp-histExactExp+1)<<histSubBits
+)
+
+// Hist is a log-bucketed latency histogram with lock-free concurrent
+// observation. Counts, the total and the exact max are all plain integer
+// accumulators, so a histogram filled by any interleaving of workers holds
+// identical state — the property the deterministic-report oracle rests on.
+type Hist struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sumNs  atomic.Uint64
+	maxNs  atomic.Uint64
+}
+
+// bucketOf maps a latency in ns onto its bucket index.
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < histExactMax {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= histExactExp
+	if exp > histMaxExp {
+		exp = histMaxExp
+		v = 1<<uint(histMaxExp+1) - 1
+	}
+	sub := (v >> uint(exp-histSubBits)) & (1<<histSubBits - 1)
+	return histExactMax + (exp-histExactExp)<<histSubBits + int(sub)
+}
+
+// bucketUpper returns the largest ns value a bucket can hold — what
+// quantiles report, making them conservative (never under-reported).
+func bucketUpper(idx int) int64 {
+	if idx < histExactMax {
+		return int64(idx)
+	}
+	idx -= histExactMax
+	exp := histExactExp + idx>>histSubBits
+	sub := uint64(idx & (1<<histSubBits - 1))
+	base := uint64(1) << uint(exp)
+	step := base >> histSubBits
+	return int64(base + (sub+1)*step - 1)
+}
+
+// Observe records one latency.
+func (h *Hist) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.total.Add(1)
+	h.sumNs.Add(uint64(ns))
+	for {
+		cur := h.maxNs.Load()
+		if uint64(ns) <= cur || h.maxNs.CompareAndSwap(cur, uint64(ns)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.total.Load() }
+
+// MaxNs returns the exact largest observed latency in ns.
+func (h *Hist) MaxNs() int64 { return int64(h.maxNs.Load()) }
+
+// MeanNs returns the mean latency in ns (integer division; 0 when empty).
+func (h *Hist) MeanNs() int64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return int64(h.sumNs.Load() / n)
+}
+
+// QuantileNs returns the latency at quantile num/den (e.g. 999/1000 for
+// p999) as the owning bucket's upper bound, with the exact max for the
+// final bucket. Integer arithmetic throughout: equal histograms always
+// answer equal quantiles.
+func (h *Hist) QuantileNs(num, den uint64) int64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := (n*num + den - 1) / den
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			upper := bucketUpper(i)
+			if m := h.MaxNs(); m < upper {
+				return m
+			}
+			return upper
+		}
+	}
+	return h.MaxNs()
+}
+
+// Summary snapshots the standard report quantiles.
+func (h *Hist) Summary() LatencySummary {
+	if h.Count() == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		P50Ns:  h.QuantileNs(50, 100),
+		P90Ns:  h.QuantileNs(90, 100),
+		P99Ns:  h.QuantileNs(99, 100),
+		P999Ns: h.QuantileNs(999, 1000),
+		MaxNs:  h.MaxNs(),
+		MeanNs: h.MeanNs(),
+	}
+}
+
+// LatencySummary is the report's fixed quantile set, in nanoseconds.
+type LatencySummary struct {
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+	MaxNs  int64 `json:"max_ns"`
+	MeanNs int64 `json:"mean_ns"`
+}

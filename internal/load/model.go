@@ -1,0 +1,164 @@
+package load
+
+import (
+	"fmt"
+	"time"
+
+	"balign/internal/serve/router"
+)
+
+// This file is a deterministic discrete-event queueing model of the
+// sharded balignd deployment: each shard is a single-server FIFO queue with
+// its own result cache, and requests route over the *real* consistent-hash
+// ring (router.NewRing + the same cache keys the backend derives), so the
+// model's shard placement and per-shard hit rates are exactly what the live
+// router produces. Service times come from the same seeded latency model as
+// FakeDoer.
+//
+// Its purpose in BENCH_serve.json is the scaling column on hosts where
+// measured scaling is meaningless (a 1-CPU container time-slices all shards
+// onto one core): the model answers "how would this request stream scale
+// with N real cores", clearly labeled as modeled rather than measured.
+
+// ModelResult is one modeled deployment point.
+type ModelResult struct {
+	Shards      int            `json:"shards"`
+	Requests    uint64         `json:"requests"`
+	CacheHits   uint64         `json:"cache_hits"`
+	MakespanNs  int64          `json:"makespan_ns"`
+	Throughput  float64        `json:"throughput_rps"`
+	Speedup     float64        `json:"speedup_vs_1"`
+	Latency     LatencySummary `json:"latency"`
+	MaxQueueLen int            `json:"max_queue_len"`
+	// Imbalance is max/mean per-shard request count — ring skew.
+	Imbalance float64 `json:"imbalance"`
+}
+
+// RunModel simulates the schedule's request stream against n shards and
+// returns the modeled point. Deterministic: same (corpus, schedule, n) →
+// identical result.
+func RunModel(c *Corpus, sched Schedule, shards int) (*ModelResult, error) {
+	ring, err := router.NewRing(shards, router.DefaultVNodes)
+	if err != nil {
+		return nil, err
+	}
+	arr := sched.arrivals()
+	if len(arr) == 0 {
+		return nil, fmt.Errorf("model: schedule yields zero requests")
+	}
+	picks, _ := c.Plan(len(arr))
+
+	free := make([]time.Duration, shards) // when each shard's server frees up
+	queued := make([]int, shards)         // current queue depth per shard
+	counts := make([]uint64, shards)      // per-shard request totals
+	seen := make([]map[int]bool, shards)  // per-shard cache contents (by entry)
+	for i := range seen {
+		seen[i] = map[int]bool{}
+	}
+	var hist Hist
+	var hits uint64
+	var makespan time.Duration
+	maxQ := 0
+
+	// Arrivals are time-ordered (schedule expansion emits them sorted), so a
+	// single forward pass is an exact FIFO simulation.
+	type inflight struct {
+		done  time.Duration
+		shard int
+	}
+	var running []inflight
+	for i, a := range arr {
+		e := c.Entries[picks[i]]
+		sh := ring.Lookup(e.Key)
+		counts[sh]++
+
+		// Retire completions up to this arrival to track queue depth.
+		live := running[:0]
+		for _, f := range running {
+			if f.done > a.at {
+				live = append(live, f)
+			} else {
+				queued[f.shard]--
+			}
+		}
+		running = live
+
+		hit := seen[sh][picks[i]]
+		seen[sh][picks[i]] = true
+		rng := splitmix64(uint64(c.Seed)*0x9e3779b97f4a7c15 ^ (uint64(i)+1)*0xda942042e4dd58b5)
+		var svcNs uint64
+		if hit {
+			hits++
+			svcNs = fakeHitBaseNs + rng%120_000
+		} else {
+			svcNs = fakeMissBaseNs + rng%1_500_000
+			switch e.Kind {
+			case KindSimSuite:
+				svcNs += fakeSuiteExtra + (rng>>16)%4_000_000
+			case KindSimInline:
+				svcNs += fakeInlineExtra + (rng>>16)%2_000_000
+			}
+		}
+		start := a.at
+		if free[sh] > start {
+			start = free[sh]
+		}
+		done := start + time.Duration(svcNs)
+		free[sh] = done
+		queued[sh]++
+		if queued[sh] > maxQ {
+			maxQ = queued[sh]
+		}
+		running = append(running, inflight{done: done, shard: sh})
+		hist.Observe(done - a.at) // queueing delay + service = client latency
+		if done > makespan {
+			makespan = done
+		}
+	}
+
+	res := &ModelResult{
+		Shards:      shards,
+		Requests:    uint64(len(arr)),
+		CacheHits:   hits,
+		MakespanNs:  int64(makespan),
+		Latency:     hist.Summary(),
+		MaxQueueLen: maxQ,
+	}
+	if makespan > 0 {
+		res.Throughput = round2(float64(len(arr)) / makespan.Seconds())
+	}
+	var maxC uint64
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	mean := float64(len(arr)) / float64(shards)
+	if mean > 0 {
+		res.Imbalance = round2(float64(maxC) / mean)
+	}
+	return res, nil
+}
+
+// ModelScaling runs the model at each shard count and fills Speedup
+// relative to the 1-shard makespan.
+func ModelScaling(c *Corpus, sched Schedule, shardCounts []int) ([]*ModelResult, error) {
+	var base int64
+	out := make([]*ModelResult, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		r, err := RunModel(c, sched, n)
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			base = r.MakespanNs
+		}
+		out = append(out, r)
+	}
+	for _, r := range out {
+		if base > 0 && r.MakespanNs > 0 {
+			r.Speedup = round2(float64(base) / float64(r.MakespanNs))
+		}
+	}
+	return out, nil
+}

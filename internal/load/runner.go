@@ -1,0 +1,176 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunConfig is one load-generation run.
+type RunConfig struct {
+	Schedule Schedule
+	Corpus   *Corpus
+	Doer     Doer
+	Clocks   ClockFactory
+	Workers  int
+	// Seed drives the request→entry plan (defaults to the corpus seed).
+	Seed int64
+	// Virtual marks a virtual-clock run: the report omits wall-time and
+	// host fields so its bytes are machine-independent.
+	Virtual bool
+}
+
+// slotAgg accumulates one schedule slot's order-independent counters.
+type slotAgg struct {
+	sent     atomic.Uint64
+	ok       atomic.Uint64
+	errs     atomic.Uint64
+	lastEnd  atomic.Uint64 // max completion offset (ns) seen in this slot
+	totalLat atomic.Uint64
+}
+
+// kindAgg accumulates one request kind's counters and latency histogram.
+type kindAgg struct {
+	hist Hist
+	sent atomic.Uint64
+	hits atomic.Uint64
+}
+
+// Run executes the schedule against the corpus and returns the report.
+// Closed-loop semantics: each of Workers workers owns the arrival indices
+// i ≡ worker (mod Workers) and issues them in order, sleeping until each
+// arrival time but never overlapping its own requests — so when the target
+// rate exceeds capacity the achieved rate saturates instead of piling up
+// unbounded in-flight work.
+func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 16
+	}
+	if cfg.Corpus == nil || len(cfg.Corpus.Entries) == 0 {
+		return nil, fmt.Errorf("load: empty corpus")
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	if cfg.Clocks == nil {
+		cfg.Clocks = NewWallClocks()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = cfg.Corpus.Seed
+	}
+
+	arr := cfg.Schedule.arrivals()
+	if len(arr) == 0 {
+		return nil, fmt.Errorf("load: schedule yields zero requests")
+	}
+	plan := *cfg.Corpus
+	plan.Seed = seed
+	picks, hits := plan.Plan(len(arr))
+	if fd, ok := cfg.Doer.(*FakeDoer); ok && fd.Hits == nil {
+		fd.Hits = hits
+	}
+
+	slots := make([]slotAgg, len(cfg.Schedule.Slots))
+	kinds := map[string]*kindAgg{}
+	for _, e := range cfg.Corpus.Entries {
+		if kinds[e.Kind] == nil {
+			kinds[e.Kind] = &kindAgg{}
+		}
+	}
+	var (
+		overall   Hist
+		sent      atomic.Uint64
+		okCount   atomic.Uint64
+		cacheHits atomic.Uint64
+		status429 atomic.Uint64
+		status503 atomic.Uint64
+		status504 atomic.Uint64
+		badStatus atomic.Uint64 // unexpected 4xx/5xx
+		transport atomic.Uint64
+		deadline  atomic.Uint64
+		lateness  atomic.Uint64 // total ns issued after target time
+	)
+
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clk := cfg.Clocks()
+			for i := w; i < len(arr); i += cfg.Workers {
+				a := arr[i]
+				if !clk.SleepUntil(ctx, a.at) {
+					return
+				}
+				issuedAt := clk.Now()
+				e := cfg.Corpus.Entries[picks[i]]
+				out := cfg.Doer.Do(ctx, clk, i, e)
+				if out.Err != nil && ctx.Err() != nil && errString(out.Err) != "deadline" {
+					return // run cancelled, not a request failure
+				}
+
+				sent.Add(1)
+				if late := issuedAt - a.at; late > 0 {
+					lateness.Add(uint64(late))
+				}
+				sa := &slots[a.slot]
+				sa.sent.Add(1)
+				sa.totalLat.Add(uint64(out.Latency))
+				end := uint64(issuedAt + out.Latency)
+				for {
+					cur := sa.lastEnd.Load()
+					if end <= cur || sa.lastEnd.CompareAndSwap(cur, end) {
+						break
+					}
+				}
+				ka := kinds[e.Kind]
+				ka.sent.Add(1)
+				ka.hist.Observe(out.Latency)
+				overall.Observe(out.Latency)
+
+				switch {
+				case out.Err != nil:
+					sa.errs.Add(1)
+					if errString(out.Err) == "deadline" {
+						deadline.Add(1)
+					} else {
+						transport.Add(1)
+					}
+				case out.Status == 200:
+					sa.ok.Add(1)
+					okCount.Add(1)
+					if out.CacheHit {
+						cacheHits.Add(1)
+						ka.hits.Add(1)
+					}
+				case out.Status == 429:
+					sa.errs.Add(1)
+					status429.Add(1)
+				case out.Status == 503:
+					sa.errs.Add(1)
+					status503.Add(1)
+				case out.Status == 504:
+					sa.errs.Add(1)
+					status504.Add(1)
+				default:
+					sa.errs.Add(1)
+					badStatus.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	return buildReport(cfg, seed, arr, slots, kinds, reportTotals{
+		overall: &overall, sent: sent.Load(), ok: okCount.Load(),
+		cacheHits: cacheHits.Load(), s429: status429.Load(),
+		s503: status503.Load(), s504: status504.Load(),
+		badStatus: badStatus.Load(), transport: transport.Load(),
+		deadline: deadline.Load(), latenessNs: lateness.Load(),
+		wallDur: time.Since(wallStart),
+	}), nil
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+)
+
+// endpointDef ties one POST API endpoint's URL path to its request parser
+// and compute method. The table is the single source of truth for what the
+// service exposes: New registers handlers from it, and the consistent-hash
+// router derives request ownership from the same parsers via RequestKey —
+// which is what guarantees a routed request computes the exact cache key
+// its backend shard will use.
+type endpointDef struct {
+	name    string
+	path    string
+	parse   func([]byte) (any, *apiError)
+	compute func(*Server, context.Context, any) (any, *apiError)
+}
+
+// endpoints lists the POST API surface in registration order.
+var endpoints = []endpointDef{
+	{"align", "/v1/align", parseAlignRequest, (*Server).computeAlign},
+	{"simulate", "/v1/simulate", parseSimulateRequest, (*Server).computeSimulate},
+}
+
+// EndpointPaths returns the POST API paths in registration order — exactly
+// the set of paths the shard router proxies by cache key.
+func EndpointPaths() []string {
+	paths := make([]string, len(endpoints))
+	for i, e := range endpoints {
+		paths[i] = e.path
+	}
+	return paths
+}
+
+// RequestKey parses body as a request for the endpoint at path and returns
+// the sha256 cache key the backend will derive for it: the same
+// parse-canonicalize-hash pipeline serveAPI runs, refactored out of the
+// handler so the router's shard choice and the backend's cache lookup can
+// never disagree. It fails for unknown paths and for bodies the endpoint's
+// parser rejects (the backend would answer those with an error envelope, so
+// they have no cache key).
+func RequestKey(path string, body []byte) (string, error) {
+	for _, e := range endpoints {
+		if e.path != path {
+			continue
+		}
+		req, aerr := e.parse(body)
+		if aerr != nil {
+			return "", fmt.Errorf("parsing %s request: %w", e.name, aerr)
+		}
+		key, aerr := cacheKey(e.name, req)
+		if aerr != nil {
+			return "", fmt.Errorf("canonicalizing %s request: %w", e.name, aerr)
+		}
+		return key, nil
+	}
+	return "", fmt.Errorf("no API endpoint at %q", path)
+}
+
+// RawBodyKey is the routing fallback for bodies RequestKey rejects: a
+// deterministic content hash of the raw bytes, so even malformed requests
+// route stably (and their error envelopes come from one shard, not many).
+func RawBodyKey(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// WriteErrorEnvelope writes the service's uniform JSON error envelope
+// without touching any server state — the shard router shares it so
+// proxied and locally generated failures look alike to clients.
+func WriteErrorEnvelope(w http.ResponseWriter, status int, code, msg string) {
+	writeError(w, nil, status, code, msg)
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRequestKeyMatchesHandlerCache pins the key-ownership contract the
+// shard router depends on: RequestKey derives the exact key the handler's
+// result cache uses, stable across calls, distinct across endpoints, and
+// insensitive to JSON field order (canonicalization happens post-parse).
+func TestRequestKeyMatchesHandlerCache(t *testing.T) {
+	asmSrc := readFixture(t, "sample.asm")
+	profSrc := readFixture(t, "sample.prof")
+	body := mustJSON(t, map[string]any{"asm": asmSrc, "profile": profSrc})
+	reordered := mustJSON(t, map[string]any{"profile": profSrc, "asm": asmSrc})
+
+	k1, err := RequestKey("/v1/align", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := RequestKey("/v1/align", reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("JSON field order changed the cache key")
+	}
+	if len(k1) != 64 || strings.Trim(k1, "0123456789abcdef") != "" {
+		t.Errorf("key %q is not sha256 hex", k1)
+	}
+
+	sim, err := RequestKey("/v1/simulate", mustJSON(t, map[string]any{
+		"name": "p", "asm": asmSrc, "profile": profSrc, "generator": "walk",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim == k1 {
+		t.Error("align and simulate share a cache key for similar bodies")
+	}
+
+	if _, err := RequestKey("/v1/nope", body); err == nil {
+		t.Error("unknown path produced a key")
+	}
+	if _, err := RequestKey("/v1/align", []byte("{not json")); err == nil {
+		t.Error("unparseable body produced a parsed key")
+	}
+
+	raw1, raw2 := RawBodyKey([]byte("{not json")), RawBodyKey([]byte("{not json"))
+	if raw1 != raw2 || len(raw1) != 64 {
+		t.Errorf("RawBodyKey not a stable sha256 hex: %q vs %q", raw1, raw2)
+	}
+	if raw1 == RawBodyKey([]byte("other")) {
+		t.Error("distinct raw bodies collide")
+	}
+}
+
+// TestEndpointPaths pins the path set the router proxies.
+func TestEndpointPaths(t *testing.T) {
+	paths := EndpointPaths()
+	want := map[string]bool{"/v1/align": true, "/v1/simulate": true}
+	if len(paths) != len(want) {
+		t.Fatalf("EndpointPaths = %v, want the two API paths", paths)
+	}
+	for _, p := range paths {
+		if !want[p] {
+			t.Errorf("unexpected endpoint path %q", p)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package router scales balignd out horizontally: a consistent-hash
+// router that owns no simulation state of its own, forwarding each API
+// request to one of N shared-nothing backend shards chosen by the
+// request's result-cache key.
+//
+// Key ownership is the design's load-bearing invariant. The backend's LRU
+// result cache is keyed by sha256 of (endpoint, canonical request); the
+// router derives the same key from the same parsers (serve.RequestKey)
+// and hashes it onto a ring of virtual nodes, so every repetition of a
+// request lands on the shard that cached it the first time. Per-shard
+// caches therefore keep their hit rates under sharding — no shared cache,
+// no invalidation traffic, no coordination at all on the hot path.
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the per-shard virtual-node count. 128 points per shard
+// keeps the largest/smallest ownership arc within a few percent of even
+// for the shard counts this repo targets (1–16).
+const DefaultVNodes = 128
+
+// Ring maps request cache keys onto shard slots [0, n). It is immutable
+// after construction and safe for concurrent use; shard slots are stable
+// identities (the supervisor may restart the process behind a slot and
+// swap its address without disturbing key ownership).
+type Ring struct {
+	shards int
+	hashes []uint64 // sorted virtual-node positions
+	owner  []int    // owner[i] = shard owning hashes[i]
+}
+
+// NewRing builds a ring of shards*vnodes points (vnodes <= 0 means
+// DefaultVNodes). shards must be positive.
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("ring needs a positive shard count, got %d", shards)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	type point struct {
+		hash  uint64
+		shard int
+	}
+	points := make([]point, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, point{hash64(fmt.Sprintf("shard-%d/vnode-%d", s, v)), s})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// A 64-bit collision between two labels is vanishingly unlikely,
+		// but the tie must still break deterministically.
+		return points[i].shard < points[j].shard
+	})
+	r := &Ring{
+		shards: shards,
+		hashes: make([]uint64, len(points)),
+		owner:  make([]int, len(points)),
+	}
+	for i, p := range points {
+		r.hashes[i] = p.hash
+		r.owner[i] = p.shard
+	}
+	return r, nil
+}
+
+// Shards returns the shard count the ring was built for.
+func (r *Ring) Shards() int { return r.shards }
+
+// Lookup returns the shard owning key: the first virtual node clockwise
+// from the key's hash. A pure function of (key, shards, vnodes) — the
+// property the router correctness suite pins.
+func (r *Ring) Lookup(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap: the lowest point owns the arc above the highest
+	}
+	return r.owner[i]
+}
+
+// hash64 is FNV-1a over the key bytes pushed through a splitmix64
+// finalizer: fast, dependency-free, and stable across processes and Go
+// versions (unlike hash/maphash). Raw FNV-1a disperses short structured
+// labels like "shard-0/vnode-17" poorly — neighboring labels cluster on
+// the ring and one shard ends up owning huge arcs — so the finalizer's
+// avalanche is what actually balances ownership.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,447 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"balign/internal/obs"
+	"balign/internal/serve"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultTimeout       = 60 * time.Second
+	DefaultRetryWait     = 100 * time.Millisecond
+	DefaultRetryAfterCap = 2 * time.Second
+	DefaultProbeTimeout  = 2 * time.Second
+	DefaultMaxBodyBytes  = 8 << 20
+)
+
+// Config configures a Router.
+type Config struct {
+	// Backends are the shard base URLs ("http://127.0.0.1:port"), one per
+	// shard slot. Slot order defines key ownership; the supervisor may
+	// swap a slot's URL after a restart without moving any keys.
+	Backends []string
+	// VNodes is the per-shard virtual-node count (<=0 = DefaultVNodes).
+	VNodes int
+	// MaxBodyBytes caps proxied request bodies (<=0 = DefaultMaxBodyBytes,
+	// matching the backend default so the router rejects what the shard
+	// would reject anyway, without spending a forward on it).
+	MaxBodyBytes int64
+	// Timeout bounds one proxied request end to end, retry included; the
+	// deadline propagates to the backend through the outgoing request's
+	// context (<=0 = DefaultTimeout).
+	Timeout time.Duration
+	// RetryWait is the pause before the single retry when the shard gave
+	// no Retry-After hint (<=0 = DefaultRetryWait). A draining shard's
+	// Retry-After is honored, capped at DefaultRetryAfterCap.
+	RetryWait time.Duration
+	// ProbeTimeout bounds each per-shard /healthz probe
+	// (<=0 = DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// Obs receives router.* counters. Nil disables telemetry.
+	Obs *obs.Recorder
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return DefaultTimeout
+	}
+	return c.Timeout
+}
+
+func (c Config) retryWait() time.Duration {
+	if c.RetryWait <= 0 {
+		return DefaultRetryWait
+	}
+	return c.RetryWait
+}
+
+func (c Config) probeTimeout() time.Duration {
+	if c.ProbeTimeout <= 0 {
+		return DefaultProbeTimeout
+	}
+	return c.ProbeTimeout
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes <= 0 {
+		return DefaultMaxBodyBytes
+	}
+	return c.MaxBodyBytes
+}
+
+// shard is one backend slot: a stable identity on the ring plus the
+// (swappable) address of the process currently serving it.
+type shard struct {
+	index int
+	url   atomic.Pointer[string]
+}
+
+// Router forwards API requests to backend shards by result-cache key.
+// Create with New; a Router is safe for concurrent use.
+type Router struct {
+	cfg    Config
+	obs    *obs.Recorder
+	ring   *Ring
+	shards []*shard
+	client *http.Client
+	mux    *http.ServeMux
+
+	draining atomic.Bool
+}
+
+// New validates cfg and returns a ready Router.
+func New(cfg Config) (*Router, error) {
+	ring, err := NewRing(len(cfg.Backends), cfg.VNodes)
+	if err != nil {
+		return nil, fmt.Errorf("router: %w", err)
+	}
+	rt := &Router{
+		cfg:  cfg,
+		obs:  cfg.Obs,
+		ring: ring,
+		mux:  http.NewServeMux(),
+		client: &http.Client{
+			// No client-level timeout: the per-request context carries the
+			// deadline, so slow backends are cancelled with the request.
+			Transport: &http.Transport{MaxIdleConnsPerHost: 64},
+		},
+	}
+	for i, u := range cfg.Backends {
+		if u == "" {
+			return nil, fmt.Errorf("router: backend %d has an empty URL", i)
+		}
+		sh := &shard{index: i}
+		sh.url.Store(&u)
+		rt.shards = append(rt.shards, sh)
+	}
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/shardz", rt.handleShardz)
+	rt.mux.Handle("/debug/", obs.DebugHandler())
+	for _, path := range serve.EndpointPaths() {
+		path := path
+		rt.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			rt.proxy(w, r, path)
+		})
+	}
+	return rt, nil
+}
+
+// Handler returns the router's root handler.
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt.obs.Add("router.requests", 1)
+		rt.mux.ServeHTTP(w, r)
+	})
+}
+
+// Shards returns the shard count.
+func (rt *Router) Shards() int { return rt.ring.Shards() }
+
+// Backend returns shard i's current base URL.
+func (rt *Router) Backend(i int) string { return *rt.shards[i].url.Load() }
+
+// SetBackend swaps shard i's base URL — the supervisor calls this after
+// restarting a crashed shard on a fresh ephemeral port. Key ownership is
+// by slot, so the swap moves no keys.
+func (rt *Router) SetBackend(i int, url string) error {
+	if i < 0 || i >= len(rt.shards) {
+		return fmt.Errorf("router: no shard %d", i)
+	}
+	if url == "" {
+		return fmt.Errorf("router: shard %d: empty URL", i)
+	}
+	rt.shards[i].url.Store(&url)
+	rt.obs.Add("router.backend_swaps", 1)
+	return nil
+}
+
+// ShardFor reports which shard slot owns the request (path, body) — the
+// exact routing decision proxy makes, exposed for tests and tooling.
+func (rt *Router) ShardFor(path string, body []byte) int {
+	key, err := serve.RequestKey(path, body)
+	if err != nil {
+		key = serve.RawBodyKey(body)
+	}
+	return rt.ring.Lookup(key)
+}
+
+// BeginDrain puts the router into draining mode: /healthz reports 503 and
+// new API requests are rejected, while forwards already in flight run to
+// completion (http.Server.Shutdown waits for them).
+func (rt *Router) BeginDrain() {
+	if !rt.draining.Swap(true) {
+		rt.obs.Add("router.drains", 1)
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// proxy is the forwarding pipeline for one API request: body cap, key
+// derivation, shard choice, forward with deadline propagation, single
+// retry across a shard restart, byte-exact response passthrough.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, path string) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		rt.obs.Add("router.errors", 1)
+		serve.WriteErrorEnvelope(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	if rt.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		rt.obs.Add("router.errors", 1)
+		serve.WriteErrorEnvelope(w, http.StatusServiceUnavailable, "draining",
+			"router is draining; retry against another instance")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.maxBodyBytes()))
+	r.Body.Close()
+	if err != nil {
+		rt.obs.Add("router.errors", 1)
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			serve.WriteErrorEnvelope(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+			return
+		}
+		serve.WriteErrorEnvelope(w, http.StatusBadRequest, "bad_body",
+			fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+
+	// Key ownership: the backend's own parse/canonicalize/hash pipeline.
+	// Unparseable bodies still route deterministically (by raw content
+	// hash) so their error envelopes come from one shard.
+	key, kerr := serve.RequestKey(path, body)
+	if kerr != nil {
+		key = serve.RawBodyKey(body)
+		rt.obs.Add("router.raw_keys", 1)
+	}
+	idx := rt.ring.Lookup(key)
+	rt.obs.Add(fmt.Sprintf("router.shard.%d.requests", idx), 1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.timeout())
+	defer cancel()
+
+	status, hdr, respBody, err := rt.forward(ctx, idx, path, body)
+	if retryable, wait := rt.retryDecision(status, respBody, err, hdr); retryable {
+		rt.obs.Add("router.retries", 1)
+		if sleepCtx(ctx, wait) {
+			// Re-resolve the shard URL: a restarted shard may be listening
+			// on a fresh ephemeral port by now.
+			s2, h2, b2, e2 := rt.forward(ctx, idx, path, body)
+			if e2 == nil {
+				status, hdr, respBody, err = s2, h2, b2, nil
+				rt.obs.Add("router.retry_success", 1)
+			} else {
+				err = e2
+			}
+		}
+	}
+	if err != nil {
+		rt.obs.Add("router.errors", 1)
+		if ctx.Err() != nil {
+			serve.WriteErrorEnvelope(w, http.StatusGatewayTimeout, "deadline_exceeded",
+				"request deadline exceeded")
+			return
+		}
+		serve.WriteErrorEnvelope(w, http.StatusBadGateway, "backend_unreachable",
+			fmt.Sprintf("shard %d: %v", idx, err))
+		return
+	}
+
+	// Byte-exact passthrough: the routed response is the shard's response.
+	for _, h := range []string{"Content-Type", "X-Balign-Cache", "Retry-After"} {
+		if v := hdr.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Balign-Shard", strconv.Itoa(idx))
+	w.WriteHeader(status)
+	w.Write(respBody)
+	rt.obs.Add("router.forwarded", 1)
+}
+
+// forward sends one POST to shard idx and reads the full response.
+func (rt *Router) forward(ctx context.Context, idx int, path string, body []byte) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		rt.Backend(idx)+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("reading shard response: %w", err)
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+// retryDecision implements the single-retry policy: retry on any transport
+// error (requests are deterministic computations keyed by content, so a
+// duplicate send is always safe) and on a shard's draining 503 — the two
+// shapes a shard restart presents. The wait honors the shard's Retry-After
+// hint, capped, and falls back to the configured retry wait.
+func (rt *Router) retryDecision(status int, body []byte, err error, hdr http.Header) (bool, time.Duration) {
+	wait := rt.cfg.retryWait()
+	if err != nil {
+		return true, wait
+	}
+	if status != http.StatusServiceUnavailable {
+		return false, 0
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if jsonErr := json.Unmarshal(body, &env); jsonErr != nil || env.Error.Code != "draining" {
+		return false, 0
+	}
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+			hinted := time.Duration(secs) * time.Second
+			if hinted > DefaultRetryAfterCap {
+				hinted = DefaultRetryAfterCap
+			}
+			if hinted > wait {
+				wait = hinted
+			}
+		}
+	}
+	return true, wait
+}
+
+// sleepCtx sleeps d unless ctx expires first; reports whether the full
+// wait completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// shardHealth is one shard's probe outcome in the /shardz report.
+type shardHealth struct {
+	Index  int    `json:"index"`
+	URL    string `json:"url"`
+	Status string `json:"status"` // ok | draining | unreachable
+	Detail string `json:"detail,omitempty"`
+}
+
+// probeShards checks every shard's /healthz concurrently.
+func (rt *Router) probeShards(ctx context.Context) []shardHealth {
+	out := make([]shardHealth, len(rt.shards))
+	var wg sync.WaitGroup
+	for i := range rt.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := rt.Backend(i)
+			h := shardHealth{Index: i, URL: url}
+			pctx, cancel := context.WithTimeout(ctx, rt.cfg.probeTimeout())
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, url+"/healthz", nil)
+			if err != nil {
+				h.Status, h.Detail = "unreachable", err.Error()
+				out[i] = h
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				h.Status, h.Detail = "unreachable", err.Error()
+				out[i] = h
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				h.Status = "ok"
+			case http.StatusServiceUnavailable:
+				h.Status = "draining"
+			default:
+				h.Status, h.Detail = "unreachable", fmt.Sprintf("healthz status %d", resp.StatusCode)
+			}
+			out[i] = h
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// handleHealthz is the aggregated liveness probe: 200 only when the router
+// is serving and every shard's own /healthz answers ok; 503 while draining
+// or with any shard down, so a load balancer in front of several routers
+// drops a degraded instance.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		serve.WriteErrorEnvelope(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if rt.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	health := rt.probeShards(r.Context())
+	ok := 0
+	for _, h := range health {
+		if h.Status == "ok" {
+			ok++
+		}
+	}
+	if ok == len(health) {
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"shards\":%d}\n", len(health))
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, "{\"status\":\"degraded\",\"shards\":%d,\"healthy\":%d}\n", len(health), ok)
+}
+
+// handleShardz reports per-shard health as JSON.
+func (rt *Router) handleShardz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		serve.WriteErrorEnvelope(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	health := rt.probeShards(r.Context())
+	out, err := json.MarshalIndent(struct {
+		Draining bool          `json:"draining"`
+		Shards   []shardHealth `json:"shards"`
+	}{rt.draining.Load(), health}, "", "  ")
+	if err != nil {
+		serve.WriteErrorEnvelope(w, http.StatusInternalServerError, "internal",
+			fmt.Sprintf("encoding shard health: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(out, '\n'))
+}

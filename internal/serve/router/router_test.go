@@ -1,0 +1,385 @@
+// Router correctness suite (run with -race in make suite-smoke's load leg):
+//
+//   - shard affinity: the ring is a pure function of (key, shards), so the
+//     same cache key always lands on the same shard, across ring instances
+//     and processes, for every shard count the repo targets;
+//   - byte identity: a response served through the router is byte-identical
+//     to the same request served by a standalone backend, for all five
+//     request encodings;
+//   - cache-hit survival: repeating a request through the router hits the
+//     owning shard's result cache — sharding does not cost hit rate;
+//   - drain/fault: restarting a backend mid-run loses no requests — the
+//     router honors the draining shard's Retry-After, retries once, and
+//     every in-flight request completes.
+package router_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"balign/internal/load"
+	"balign/internal/obs"
+	"balign/internal/serve"
+	"balign/internal/serve/router"
+)
+
+// fiveKindMix weights every request encoding equally so a small corpus
+// still covers all of them.
+func fiveKindMix() []load.MixItem {
+	return []load.MixItem{
+		{Kind: load.KindAlignAsm, Weight: 1},
+		{Kind: load.KindAlignCFGJSON, Weight: 1},
+		{Kind: load.KindAlignCFGDOT, Weight: 1},
+		{Kind: load.KindSimInline, Weight: 1},
+		{Kind: load.KindSimSuite, Weight: 1},
+	}
+}
+
+func buildCorpus(t *testing.T, seed int64, size int) *load.Corpus {
+	t.Helper()
+	c, err := load.BuildCorpus(seed, size, fiveKindMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// backend is one live serve.Server on a real listener.
+type backend struct {
+	srv  *serve.Server
+	hs   *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+func (b *backend) url() string { return "http://" + b.ln.Addr().String() }
+
+func startBackend(t *testing.T, addr string) *backend {
+	t.Helper()
+	srv, err := serve.New(serve.Config{MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &backend{srv: srv, ln: ln, hs: &http.Server{Handler: srv.Handler()}, done: make(chan error, 1)}
+	go func() { b.done <- b.hs.Serve(ln) }()
+	t.Cleanup(func() { b.hs.Close() })
+	return b
+}
+
+// drainAndStop takes the backend through balignd's graceful path: drain
+// flag first, then http.Server.Shutdown waiting out in-flight requests.
+func (b *backend) drainAndStop(t *testing.T) {
+	t.Helper()
+	b.srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.hs.Shutdown(ctx); err != nil {
+		t.Errorf("backend shutdown: %v", err)
+	}
+}
+
+func post(t *testing.T, base, path string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s%s: %v", base, path, err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func startRouter(t *testing.T, cfg router.Config) (*router.Router, string) {
+	t.Helper()
+	rt, err := router.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	return rt, "http://" + ln.Addr().String()
+}
+
+// TestShardAffinityProperty pins the routing invariant: for every shard
+// count, a key's shard is a pure function of the key — identical across
+// independently built rings (i.e. across router processes and restarts).
+func TestShardAffinityProperty(t *testing.T) {
+	corpus := buildCorpus(t, 11, 20)
+	for _, n := range []int{1, 2, 4} {
+		r1, err := router.NewRing(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := router.NewRing(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range corpus.Entries {
+			s1, s2 := r1.Lookup(e.Key), r2.Lookup(e.Key)
+			if s1 != s2 {
+				t.Fatalf("shards=%d key %s: ring instances disagree (%d vs %d)", n, e.Key[:12], s1, s2)
+			}
+			if s1 < 0 || s1 >= n {
+				t.Fatalf("shards=%d key %s: shard %d out of range", n, e.Key[:12], s1)
+			}
+			if again := r1.Lookup(e.Key); again != s1 {
+				t.Fatalf("shards=%d key %s: lookup not stable (%d then %d)", n, e.Key[:12], s1, again)
+			}
+		}
+		if n == 1 {
+			for _, e := range corpus.Entries {
+				if r1.Lookup(e.Key) != 0 {
+					t.Fatal("single-shard ring must map everything to shard 0")
+				}
+			}
+		}
+	}
+}
+
+// TestRingBalance guards the vnode hash dispersion: with 128 vnodes per
+// shard no shard may own much more than its fair share of keyspace. (Raw
+// FNV-1a point hashes failed this badly — max/mean 1.6 at 2 shards.)
+func TestRingBalance(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 4, 8} {
+		r, err := router.NewRing(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		for i := 0; i < keys; i++ {
+			counts[r.Lookup(fmt.Sprintf("%064x", i*2654435761))]++
+		}
+		maxC := 0
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if ratio := float64(maxC) * float64(n) / keys; ratio > 1.35 {
+			t.Errorf("shards=%d: max/mean ownership %.3f > 1.35 (counts %v)", n, ratio, counts)
+		}
+	}
+}
+
+// TestRoutedByteIdentity sends every request encoding both to a standalone
+// backend and through a 2-shard router, and requires byte-identical
+// response bodies plus matching status and cache headers.
+func TestRoutedByteIdentity(t *testing.T) {
+	corpus := buildCorpus(t, 21, 5)
+
+	direct := startBackend(t, "127.0.0.1:0")
+	b0 := startBackend(t, "127.0.0.1:0")
+	b1 := startBackend(t, "127.0.0.1:0")
+	_, base := startRouter(t, router.Config{Backends: []string{b0.url(), b1.url()}})
+
+	seen := map[string]bool{}
+	for _, e := range corpus.Entries {
+		if seen[e.Kind] {
+			continue
+		}
+		seen[e.Kind] = true
+		dResp, dBody := post(t, direct.url(), e.Path, e.Body)
+		rResp, rBody := post(t, base, e.Path, e.Body)
+		if dResp.StatusCode != rResp.StatusCode {
+			t.Errorf("%s: direct status %d, routed %d", e.Kind, dResp.StatusCode, rResp.StatusCode)
+		}
+		if !bytes.Equal(dBody, rBody) {
+			t.Errorf("%s: routed response differs from direct (%d vs %d bytes)", e.Kind, len(rBody), len(dBody))
+		}
+		if ct := rResp.Header.Get("Content-Type"); ct != dResp.Header.Get("Content-Type") {
+			t.Errorf("%s: Content-Type %q differs from direct", e.Kind, ct)
+		}
+		if rResp.Header.Get("X-Balign-Shard") == "" {
+			t.Errorf("%s: routed response missing X-Balign-Shard", e.Kind)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("corpus covered %d kinds, want all 5", len(seen))
+	}
+}
+
+// TestCacheHitsSurviveSharding repeats every corpus entry through a 2-shard
+// router: the first request computes, the repeat must hit the owning
+// shard's result cache and land on the same shard.
+func TestCacheHitsSurviveSharding(t *testing.T) {
+	corpus := buildCorpus(t, 31, 5)
+	b0 := startBackend(t, "127.0.0.1:0")
+	b1 := startBackend(t, "127.0.0.1:0")
+	rt, base := startRouter(t, router.Config{Backends: []string{b0.url(), b1.url()}})
+
+	shardsHit := map[string]bool{}
+	for _, e := range corpus.Entries {
+		r1, body1 := post(t, base, e.Path, e.Body)
+		if r1.StatusCode != http.StatusOK {
+			t.Fatalf("%s: first request got %d: %s", e.Kind, r1.StatusCode, body1)
+		}
+		if got := r1.Header.Get("X-Balign-Cache"); got != "miss" {
+			t.Errorf("%s: first request cache header %q, want miss", e.Kind, got)
+		}
+		r2, body2 := post(t, base, e.Path, e.Body)
+		if got := r2.Header.Get("X-Balign-Cache"); got != "hit" {
+			t.Errorf("%s: repeat request cache header %q, want hit", e.Kind, got)
+		}
+		if s1, s2 := r1.Header.Get("X-Balign-Shard"), r2.Header.Get("X-Balign-Shard"); s1 != s2 {
+			t.Errorf("%s: repeat landed on shard %s, first on %s", e.Kind, s2, s1)
+		} else {
+			shardsHit[s1] = true
+		}
+		if !bytes.Equal(body1, body2) {
+			t.Errorf("%s: cached response differs from computed response", e.Kind)
+		}
+		if want := rt.ShardFor(e.Path, e.Body); fmt.Sprint(want) != r1.Header.Get("X-Balign-Shard") {
+			t.Errorf("%s: ShardFor says %d, response header says %s", e.Kind, want, r1.Header.Get("X-Balign-Shard"))
+		}
+	}
+}
+
+// TestDrainFaultRetry is the fault-injection leg: while a steady stream of
+// requests flows through a 2-shard router, one backend is drained (503 +
+// Retry-After, in-flight work completing) and restarted on the same
+// address. Every request must still succeed — the router absorbs both the
+// draining window and the connection-refused window with its single retry.
+func TestDrainFaultRetry(t *testing.T) {
+	// Align-only corpus: recomputing a lost cache entry after the restart
+	// costs milliseconds, so the stream stays live through the fault even
+	// on a single-CPU runner under the race detector.
+	corpus, err := load.BuildCorpus(41, 6, []load.MixItem{
+		{Kind: load.KindAlignAsm, Weight: 1},
+		{Kind: load.KindAlignCFGJSON, Weight: 1},
+		{Kind: load.KindAlignCFGDOT, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New("router-test")
+
+	b0 := startBackend(t, "127.0.0.1:0")
+	b1 := startBackend(t, "127.0.0.1:0")
+	addr0 := b0.ln.Addr().String()
+	// RetryWait must outlast the deliberate down window below, so a
+	// connection-refused retry always lands after the rebind.
+	_, base := startRouter(t, router.Config{
+		Backends:  []string{b0.url(), b1.url()},
+		RetryWait: 300 * time.Millisecond,
+		Obs:       rec,
+	})
+
+	// Warm every key so the stream is fast cache hits and the drain window
+	// reliably overlaps live traffic.
+	for _, e := range corpus.Entries {
+		if r, body := post(t, base, e.Path, e.Body); r.StatusCode != http.StatusOK {
+			t.Fatalf("warmup %s: %d: %s", e.Kind, r.StatusCode, body)
+		}
+	}
+
+	const workers = 4
+	const perWorker = 30
+	var wg sync.WaitGroup
+	var bad int32
+	var badMu sync.Mutex
+	var failures []string
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < perWorker; i++ {
+				e := corpus.Entries[(w+i)%len(corpus.Entries)]
+				resp, err := client.Post(base+e.Path, "application/json", bytes.NewReader(e.Body))
+				if err != nil {
+					badMu.Lock()
+					bad++
+					failures = append(failures, fmt.Sprintf("worker %d req %d: %v", w, i, err))
+					badMu.Unlock()
+					continue
+				}
+				out, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					badMu.Lock()
+					bad++
+					failures = append(failures, fmt.Sprintf("worker %d req %d: status %d: %.120s", w, i, resp.StatusCode, out))
+					badMu.Unlock()
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(w)
+	}
+
+	// Mid-run: drain shard 0 gracefully, hold it down briefly (the
+	// connection-refused window), then restart it on the same address so
+	// the router's retry — after honoring Retry-After — finds it again.
+	time.Sleep(100 * time.Millisecond)
+	b0.drainAndStop(t)
+	if got := b0.srv.InFlight(); got != 0 {
+		t.Errorf("backend finished draining with %d requests in flight", got)
+	}
+	time.Sleep(50 * time.Millisecond)
+	restarted := startBackend(t, addr0)
+	if restarted.ln.Addr().String() != addr0 {
+		t.Fatalf("restart rebound to %s, want %s", restarted.ln.Addr().String(), addr0)
+	}
+
+	wg.Wait()
+	if bad != 0 {
+		t.Fatalf("%d requests failed across the restart:\n%s", bad, failures[0])
+	}
+	counters := rec.Report().Counters
+	if counters["router.retries"] == 0 {
+		t.Error("restart window produced no retries — fault was not exercised")
+	}
+	if counters["router.retries"] != counters["router.retry_success"] {
+		t.Errorf("retries %d but retry_success %d — some retries failed",
+			counters["router.retries"], counters["router.retry_success"])
+	}
+}
+
+// TestRouterDrainEnvelope checks the router's own drain behavior: after
+// BeginDrain, API requests get the 503 draining envelope with Retry-After
+// and /healthz reports draining.
+func TestRouterDrainEnvelope(t *testing.T) {
+	b0 := startBackend(t, "127.0.0.1:0")
+	rt, base := startRouter(t, router.Config{Backends: []string{b0.url()}})
+	rt.BeginDrain()
+	if !rt.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	resp, body := post(t, base, "/v1/align", []byte(`{}`))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining router answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining 503 missing Retry-After")
+	}
+	if !bytes.Contains(body, []byte(`"draining"`)) {
+		t.Errorf("draining envelope missing code: %s", body)
+	}
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz answered %d, want 503", hresp.StatusCode)
+	}
+}

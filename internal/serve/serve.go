@@ -172,12 +172,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/debug/", obs.DebugHandler())
-	s.mux.HandleFunc("/v1/align", func(w http.ResponseWriter, r *http.Request) {
-		s.serveAPI(w, r, "align", parseAlignRequest, s.computeAlign)
-	})
-	s.mux.HandleFunc("/v1/simulate", func(w http.ResponseWriter, r *http.Request) {
-		s.serveAPI(w, r, "simulate", parseSimulateRequest, s.computeSimulate)
-	})
+	for _, e := range endpoints {
+		e := e
+		s.mux.HandleFunc(e.path, func(w http.ResponseWriter, r *http.Request) {
+			s.serveAPI(w, r, e)
+		})
+	}
 	return s, nil
 }
 
@@ -337,15 +337,15 @@ func (s *Server) admit(ctx context.Context) (release func(), ok bool) {
 
 // serveAPI runs the shared request pipeline for one POST endpoint: method
 // and drain checks, admission, deadline, body limit, parse, cache lookup,
-// compute, cache fill. parse returns the canonical request value — its
-// JSON marshalling (together with the endpoint name) is the cache key, so
-// two bodies that decode identically share one cached result. compute
-// returns the response value to be marshalled; cached entries replay the
-// exact stored bytes, so equal keys always produce byte-identical bodies.
-func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, endpoint string,
-	parse func([]byte) (any, *apiError),
-	compute func(ctx context.Context, req any) (any, *apiError)) {
-
+// compute, cache fill. The endpoint's parser returns the canonical request
+// value — its JSON marshalling (together with the endpoint name) is the
+// cache key, so two bodies that decode identically share one cached result
+// (and, via RequestKey, so the shard router owns exactly the keys this
+// handler caches). compute returns the response value to be marshalled;
+// cached entries replay the exact stored bytes, so equal keys always
+// produce byte-identical bodies.
+func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, e endpointDef) {
+	endpoint := e.name
 	s.obs.Add("serve."+endpoint+".requests", 1)
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -382,7 +382,7 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, endpoint strin
 		s.writeAPIError(w, endpoint, badRequest("bad_body", "reading request body: %v", err))
 		return
 	}
-	req, aerr := parse(body)
+	req, aerr := e.parse(body)
 	if aerr != nil {
 		s.writeAPIError(w, endpoint, aerr)
 		return
@@ -402,7 +402,7 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, endpoint strin
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.timeout())
 	defer cancel()
-	resp, aerr := compute(ctx, req)
+	resp, aerr := e.compute(s, ctx, req)
 	if aerr != nil {
 		// The deadline wins attribution: a compute error observed after
 		// the context expired is almost always cancellation fallout.

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# load_smoke.sh — end-to-end smoke test for the load harness and the
+# sharded balignd deployment.
+#
+# Builds balignd and baload, boots a 2-shard supervisor (router + two
+# shared-nothing shard processes), drives a short constant-rate closed-loop
+# run over the full request mix, and gates on: nonzero achieved RPS, zero
+# unexpected errors (429/503/504 backpressure excluded), and nonzero cache
+# hits through the router. Finishes with a SIGTERM and asserts the whole
+# process tree drains cleanly. Run from the repository root: make load-smoke
+set -euo pipefail
+
+GO=${GO:-go}
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$ROOT"
+
+WORK=$(mktemp -d)
+. "$ROOT/scripts/daemon_lib.sh"
+cleanup() {
+    daemon_cleanup
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "load-smoke: FAIL: $*" >&2
+    dump_daemon_logs
+    exit 1
+}
+
+"$GO" build -o "$WORK/balignd" ./cmd/balignd
+"$GO" build -o "$WORK/baload" ./cmd/baload
+
+boot_daemon router "$WORK/balignd" -shards 2 -timeout 30s -drain 20s
+PID=$DAEMON_PID
+BASE="http://$DAEMON_ADDR"
+
+# The aggregated probe answers 200 only when both shards are healthy.
+curl -sSf "$BASE/healthz" | grep -q '"shards":2' \
+    || fail "aggregated healthz does not report 2 shards"
+echo "load-smoke: 2-shard router healthy"
+
+# Short closed-loop run. The gates are the point: the run must achieve a
+# nonzero rate and see zero unexpected errors end to end through the
+# router. The mix covers both endpoints and all three align encodings but
+# leaves out simulate-suite: a single cold suite compute can exceed the
+# whole smoke budget on a 1-CPU runner (the suite encoding is covered by
+# the race-enabled router byte-identity tests instead).
+"$WORK/baload" -base "$BASE" -mode real \
+    -schedule constant -rps 25 -duration 4s -workers 8 \
+    -corpus 12 -seed 7 -timeout 60s \
+    -mix "align-asm=2,align-cfg-json=1,align-cfg-dot=1,simulate-inline=1" \
+    -min-rps 1 -max-unexpected 0 \
+    -report "$WORK/load_report.json" \
+    || fail "baload run failed its gates"
+
+grep -q '"mode": "real"' "$WORK/load_report.json" || fail "report missing mode"
+echo "load-smoke: closed-loop run passed its gates"
+
+# Cache-hit survival through the router: the corpus repeats entries, so a
+# healthy sharded deployment must show hits.
+HITS=$(sed -n 's/^  "cache_hits": \([0-9]*\),$/\1/p' "$WORK/load_report.json")
+[ -n "$HITS" ] || fail "report missing cache_hits"
+[ "$HITS" -gt 0 ] || fail "no cache hits through the router (got $HITS)"
+echo "load-smoke: $HITS cache hits through the router"
+
+# Graceful drain of the whole tree: router first, then both shards.
+stop_daemon "$PID"
+echo "load-smoke: PASS (clean drain)"

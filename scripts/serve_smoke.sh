@@ -1,47 +1,35 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # serve_smoke.sh — end-to-end smoke test for the balignd daemon.
 #
 # Builds balignd, boots it on an ephemeral port, waits for /healthz, fires
 # one /v1/align and one /v1/simulate request built from the committed serve
 # fixtures, then delivers SIGTERM and asserts a clean graceful drain (exit
 # status 0). Run from the repository root:  make serve-smoke
-set -eu
+set -euo pipefail
 
 GO=${GO:-go}
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$ROOT"
 
 WORK=$(mktemp -d)
-PID=
+. "$ROOT/scripts/daemon_lib.sh"
 cleanup() {
-    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    daemon_cleanup
     rm -rf "$WORK"
 }
 trap cleanup EXIT INT TERM
 
 fail() {
     echo "serve-smoke: FAIL: $*" >&2
-    [ -f "$WORK/balignd.log" ] && sed 's/^/serve-smoke:   balignd: /' "$WORK/balignd.log" >&2
+    dump_daemon_logs
     exit 1
 }
 
 "$GO" build -o "$WORK/balignd" ./cmd/balignd
 
-"$WORK/balignd" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
-    -timeout 30s -drain 20s >"$WORK/balignd.log" 2>&1 &
-PID=$!
-
-# Wait (up to ~10s) for the daemon to publish its bound address.
-i=0
-while [ ! -s "$WORK/addr" ]; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && fail "daemon never published its address"
-    kill -0 "$PID" 2>/dev/null || fail "daemon exited before listening"
-    sleep 0.1
-done
-ADDR=$(cat "$WORK/addr")
-BASE="http://$ADDR"
-echo "serve-smoke: balignd up at $ADDR"
+boot_daemon balignd "$WORK/balignd" -timeout 30s -drain 20s
+PID=$DAEMON_PID
+BASE="http://$DAEMON_ADDR"
 
 curl -sSf "$BASE/healthz" >/dev/null || fail "healthz probe failed"
 
@@ -80,9 +68,5 @@ grep -q '"report"' "$WORK/simulate.out" || fail "/v1/simulate response missing r
 echo "serve-smoke: /v1/simulate ok"
 
 # Graceful drain: SIGTERM must produce a clean exit.
-kill -TERM "$PID"
-EXIT=0
-wait "$PID" || EXIT=$?
-PID=
-[ "$EXIT" = 0 ] || fail "daemon exited $EXIT after SIGTERM"
+stop_daemon "$PID"
 echo "serve-smoke: PASS (clean drain)"
